@@ -1,0 +1,9 @@
+//! Fig. 9 — equality queries on synthetic data (same sweeps as Fig. 8).
+//!
+//! Paper shape to reproduce: the OIF's cost is "practically constant"
+//! (O(|qs| log |D|)) — flat in |D| and tiny everywhere — while the IF pays
+//! full list scans exactly like subset queries.
+
+fn main() {
+    bench::run_synthetic_figure(datagen::QueryKind::Equality, "Fig. 9");
+}

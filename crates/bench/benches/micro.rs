@@ -1,0 +1,122 @@
+//! Criterion micro-benchmarks of the substrates: codec throughput, B-tree
+//! operations, sequence-form sorting, RoI computation and block scans.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_codec(c: &mut Criterion) {
+    let ids: Vec<u64> = (0..10_000u64).map(|i| i * 3 + (i % 3)).collect();
+    let postings: Vec<codec::Posting> = ids
+        .iter()
+        .map(|&id| codec::Posting::new(id, (id % 20 + 1) as u32))
+        .collect();
+    let encoded = codec::postings::encode_postings(&postings);
+
+    let mut g = c.benchmark_group("codec");
+    g.throughput(criterion::Throughput::Elements(postings.len() as u64));
+    g.bench_function("encode_10k_postings", |b| {
+        b.iter(|| codec::postings::encode_postings(black_box(&postings)))
+    });
+    g.bench_function("decode_10k_postings", |b| {
+        b.iter(|| codec::postings::decode_postings(black_box(&encoded)).unwrap())
+    });
+    g.bench_function("dgap_encode_10k", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            codec::dgap::encode_sorted(black_box(&ids), &mut out);
+            out
+        })
+    });
+    g.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree");
+    g.sample_size(10);
+    g.bench_function("bulk_load_10k", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                let mut loader = btree::BulkLoader::new(pagestore::Pager::with_cache_bytes(1 << 20));
+                for i in 0..10_000u32 {
+                    loader.push(&i.to_be_bytes(), &[0u8; 32]).unwrap();
+                }
+                loader.finish()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    let tree = {
+        let mut loader = btree::BulkLoader::new(pagestore::Pager::with_cache_bytes(1 << 22));
+        for i in 0..100_000u32 {
+            loader.push(&i.to_be_bytes(), &[0u8; 16]).unwrap();
+        }
+        loader.finish()
+    };
+    g.bench_function("point_get_warm", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 7919) % 100_000;
+            tree.get(&i.to_be_bytes())
+        })
+    });
+    g.bench_function("seek_and_scan_100", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 7919) % 99_000;
+            tree.seek(&i.to_be_bytes()).take(100).count()
+        })
+    });
+    g.finish();
+}
+
+fn bench_oif_internals(c: &mut Criterion) {
+    let d = datagen::SyntheticSpec {
+        num_records: 20_000,
+        vocab_size: 500,
+        zipf: 0.8,
+        len_min: 2,
+        len_max: 16,
+        seed: 1,
+    }
+    .generate();
+
+    let mut g = c.benchmark_group("oif");
+    g.sample_size(10);
+    g.bench_function("build_20k_records", |b| {
+        b.iter_batched(|| (), |_| oif::Oif::build(&d), BatchSize::LargeInput)
+    });
+
+    let idx = oif::Oif::build(&d);
+    let queries = bench::workload(&d, datagen::QueryKind::Subset, 4, 99);
+    g.bench_function("subset_query_warm_cache", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            idx.subset(black_box(&queries[i]))
+        })
+    });
+    let eq_queries = bench::workload(&d, datagen::QueryKind::Equality, 4, 98);
+    g.bench_function("equality_query_warm_cache", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % eq_queries.len();
+            idx.equality(black_box(&eq_queries[i]))
+        })
+    });
+    g.finish();
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    use rand::SeedableRng;
+    let z = datagen::Zipf::new(8000, 0.8);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    c.bench_function("zipf_sample", |b| b.iter(|| z.sample(&mut rng)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_codec, bench_btree, bench_oif_internals, bench_zipf
+}
+criterion_main!(benches);

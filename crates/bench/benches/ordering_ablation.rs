@@ -1,0 +1,158 @@
+//! §5 "Impact of the OIF ordering" — is the OIF's benefit due to the
+//! ordering + metadata, or merely to indexing the lists in a B-tree?
+//!
+//! Compares IF vs unordered B-tree vs OIF on subset queries bucketed by
+//! selectivity (paper: 10⁻⁷ — one answer — up to 10⁻²; the scaled dataset
+//! bounds the lowest reachable selectivity at 1/|D|).
+//!
+//! Paper shape to reproduce: "the OIF outperforms the unordered B-tree on
+//! the inverted lists in all cases"; equality behaves similarly for both
+//! (small candidate sets), and superset gives the unordered tree no
+//! advantage at all.
+//!
+//! Also sweeps the block byte-budget (DESIGN.md §6 ablation).
+
+use bench::{header, measure, scale, workload, Measurement};
+use datagen::{brute, QueryKind, SyntheticSpec};
+use oif::{BlockConfig, Oif, OifConfig};
+use ubtree::UnorderedBTree;
+
+fn main() {
+    let d = SyntheticSpec::paper_default(scale()).generate();
+    println!(
+        "default synthetic dataset: {} records, |I| = {}",
+        d.len(),
+        d.vocab_size
+    );
+    let n = d.len() as f64;
+
+    let ifile = invfile::InvertedFile::build(&d);
+    let ub = UnorderedBTree::build(&d);
+    let oifx = Oif::build(&d);
+
+    header(
+        "ordering ablation — subset by selectivity",
+        "x = measured selectivity bucket, y = avg disk page accesses",
+    );
+    // Draw a large pool of subset queries across sizes, bucket them by
+    // their true selectivity, then measure each bucket on all three
+    // structures.
+    let mut buckets: Vec<(f64, f64, Vec<Vec<u32>>)> = vec![
+        (0.0, 1e-5, Vec::new()),
+        (1e-5, 1e-4, Vec::new()),
+        (1e-4, 1e-3, Vec::new()),
+        (1e-3, 1e-2, Vec::new()),
+    ];
+    for qs_size in [2usize, 3, 4, 6, 8, 12] {
+        for q in workload(&d, QueryKind::Subset, qs_size, 900 + qs_size as u64) {
+            let sel = brute::subset(&d, &q).len() as f64 / n;
+            for (lo, hi, qs) in &mut buckets {
+                if sel > *lo && sel <= *hi && qs.len() < 10 {
+                    qs.push(q.clone());
+                }
+            }
+        }
+    }
+    println!(
+        "{:>16} {:>6} | {:>10} | {:>10} | {:>10}",
+        "selectivity", "n", "IF", "UBTree", "OIF"
+    );
+    for (lo, hi, qs) in &buckets {
+        if qs.is_empty() {
+            continue;
+        }
+        let a = measure(ifile.pager(), qs, |q| ifile.subset(q));
+        let b = measure(ub.pager(), qs, |q| ub.subset(q));
+        let c = measure(oifx.pager(), qs, |q| oifx.subset(q));
+        println!(
+            "({lo:>7.0e},{hi:>6.0e}] {:>6} | {:>10.1} | {:>10.1} | {:>10.1}",
+            qs.len(),
+            a.pages,
+            b.pages,
+            c.pages
+        );
+    }
+
+    header(
+        "block byte-budget ablation — subset, |qs| = 4",
+        "x = target block bytes, y = avg page accesses / index pages",
+    );
+    let qs = workload(&d, QueryKind::Subset, 4, 901);
+    for target in [128usize, 256, 512, 1024, 2048] {
+        let idx = Oif::build_with(
+            &d,
+            OifConfig {
+                block: BlockConfig {
+                    target_bytes: target,
+                    tag_prefix: None,
+                },
+                ..OifConfig::default()
+            },
+            None,
+        );
+        let m: Measurement = measure(idx.pager(), &qs, |q| idx.subset(q));
+        println!(
+            "{target:>8} | {:>8.1} pages/query | tree {:>7} pages, {:>8} blocks",
+            m.pages,
+            idx.tree_pages(),
+            idx.tree_blocks()
+        );
+    }
+
+    header(
+        "tag-prefix ablation — subset, |qs| = 4",
+        "x = stored tag prefix ranks, y = avg page accesses / tree bytes",
+    );
+    for prefix in [None, Some(1), Some(2), Some(4), Some(8)] {
+        let idx = Oif::build_with(
+            &d,
+            OifConfig {
+                block: BlockConfig {
+                    target_bytes: 512,
+                    tag_prefix: prefix,
+                },
+                ..OifConfig::default()
+            },
+            None,
+        );
+        let m = measure(idx.pager(), &qs, |q| idx.subset(q));
+        println!(
+            "{:>8} | {:>8.1} pages/query | tree {:>9} bytes",
+            prefix.map_or("full".to_string(), |p| p.to_string()),
+            m.pages,
+            idx.space().tree_bytes
+        );
+    }
+
+    header(
+        "metadata ablation — all predicates, |qs| = 4",
+        "metadata on/off, y = avg page accesses",
+    );
+    let no_meta = Oif::build_with(
+        &d,
+        OifConfig {
+            use_metadata: false,
+            ..OifConfig::default()
+        },
+        None,
+    );
+    for kind in QueryKind::ALL {
+        let qs = workload(&d, kind, 4, 902);
+        let on = measure(oifx.pager(), &qs, |q| match kind {
+            QueryKind::Subset => oifx.subset(q),
+            QueryKind::Equality => oifx.equality(q),
+            QueryKind::Superset => oifx.superset(q),
+        });
+        let off = measure(no_meta.pager(), &qs, |q| match kind {
+            QueryKind::Subset => no_meta.subset(q),
+            QueryKind::Equality => no_meta.equality(q),
+            QueryKind::Superset => no_meta.superset(q),
+        });
+        println!(
+            "{:>9} | with metadata {:>8.1} | without {:>8.1}",
+            kind.name(),
+            on.pages,
+            off.pages
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Large-|D| probe: demonstrates the I/O-time crossover that the scaled
+//! default (|D| = 200 K) cannot show. Used for EXPERIMENTS.md; run with
+//! `cargo run --release -p bench --bin probe`.
+
+use bench::{measure, workload};
+use datagen::{QueryKind, SyntheticSpec};
+
+fn main() {
+    for n in [2_000_000usize, 5_000_000] {
+        let d = SyntheticSpec {
+            num_records: n,
+            ..SyntheticSpec::paper_default(1)
+        }
+        .generate();
+        let ifile = invfile::InvertedFile::build(&d);
+        let oifx = oif::Oif::build(&d);
+        for (kind, qs_size) in [(QueryKind::Subset, 4), (QueryKind::Equality, 4)] {
+            let qs = workload(&d, kind, qs_size, 7);
+            let a = measure(ifile.pager(), &qs, |q| match kind {
+                QueryKind::Subset => ifile.subset(q),
+                QueryKind::Equality => ifile.equality(q),
+                QueryKind::Superset => ifile.superset(q),
+            });
+            let b = measure(oifx.pager(), &qs, |q| match kind {
+                QueryKind::Subset => oifx.subset(q),
+                QueryKind::Equality => oifx.equality(q),
+                QueryKind::Superset => oifx.superset(q),
+            });
+            println!(
+                "|D|={n} {} |qs|={qs_size}: IF {:.0} pages / {:.0} ms ({:.0} io), OIF {:.0} pages / {:.0} ms ({:.0} io)",
+                kind.name(), a.pages, a.total_ms(), a.io_ms(), b.pages, b.total_ms(), b.io_ms()
+            );
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Shared harness code for the experiment benches.
+//!
+//! Every figure and table of the paper's §5 has a `[[bench]]` target in
+//! this crate (`harness = false`) that regenerates its rows/series. The
+//! helpers here implement the paper's measurement protocol:
+//!
+//! * the buffer-pool cache is the minimum 32 KiB and is dropped before
+//!   every query ("we set up the database cache to the minimum (32K) and
+//!   we circumvent the operating system cache");
+//! * the primary metric is cache misses = disk page accesses;
+//! * latency is split into simulated I/O time (deterministic
+//!   [`pagestore::IoCostModel`]) and measured CPU time.
+//!
+//! Dataset sizes default to the paper's divided by [`scale`] (50). Set
+//! `FULL_SCALE=1` for paper-size runs or `OIF_SCALE=<n>` for a custom
+//! divisor.
+
+use datagen::{Dataset, QueryKind, WorkloadSpec};
+use pagestore::Pager;
+use std::time::{Duration, Instant};
+
+/// The scale divisor applied to the paper's dataset sizes.
+pub fn scale() -> usize {
+    if std::env::var_os("FULL_SCALE").is_some_and(|v| v == "1") {
+        return 1;
+    }
+    std::env::var("OIF_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50)
+}
+
+/// Number of queries per size and type (paper: 10).
+pub const QUERIES_PER_POINT: usize = 10;
+
+/// Averaged per-query measurement over a workload batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Measurement {
+    /// Disk page accesses (cache misses), averaged per query.
+    pub pages: f64,
+    /// Sequential misses per query.
+    pub seq: f64,
+    /// Random misses per query.
+    pub random: f64,
+    /// Simulated I/O time per query.
+    pub io: Duration,
+    /// Measured CPU time per query.
+    pub cpu: Duration,
+}
+
+impl Measurement {
+    pub fn total_ms(&self) -> f64 {
+        (self.io + self.cpu).as_secs_f64() * 1e3
+    }
+
+    pub fn io_ms(&self) -> f64 {
+        self.io.as_secs_f64() * 1e3
+    }
+
+    pub fn cpu_ms(&self) -> f64 {
+        self.cpu.as_secs_f64() * 1e3
+    }
+}
+
+/// Run `eval` over every query in the batch, returning the per-query
+/// average. Matches the paper's protocol: the (32 KiB) cache is dropped
+/// once at the start of the batch and then persists across the batch's
+/// queries, exactly like Berkeley DB's cache during a measured run.
+pub fn measure(
+    pager: &Pager,
+    queries: &[Vec<u32>],
+    mut eval: impl FnMut(&[u32]) -> Vec<u64>,
+) -> Measurement {
+    let mut m = Measurement::default();
+    if queries.is_empty() {
+        return m;
+    }
+    let mut io = Duration::ZERO;
+    let mut cpu = Duration::ZERO;
+    let (mut pages, mut seq, mut random) = (0u64, 0u64, 0u64);
+    pager.clear_cache();
+    for q in queries {
+        pager.reset_stats();
+        let t0 = Instant::now();
+        let _answers = eval(q);
+        cpu += t0.elapsed();
+        let s = pager.stats();
+        pages += s.misses();
+        seq += s.seq_misses;
+        random += s.random_misses;
+        io += s.io_time;
+    }
+    let n = queries.len() as u32;
+    m.pages = pages as f64 / n as f64;
+    m.seq = seq as f64 / n as f64;
+    m.random = random as f64 / n as f64;
+    m.io = io / n;
+    m.cpu = cpu / n;
+    m
+}
+
+/// Generate the paper's query workload for one (kind, size) point.
+pub fn workload(d: &Dataset, kind: QueryKind, qs_size: usize, seed: u64) -> Vec<Vec<u32>> {
+    WorkloadSpec {
+        kind,
+        qs_size,
+        count: QUERIES_PER_POINT,
+        seed,
+    }
+    .generate(d)
+    .queries
+}
+
+/// Print a figure header.
+pub fn header(title: &str, caption: &str) {
+    println!("\n=== {title} ===");
+    println!("{caption}");
+}
+
+/// Print one row of an IF-vs-OIF page-access series.
+pub fn row_pages(x: impl std::fmt::Display, if_m: &Measurement, oif_m: &Measurement) {
+    println!(
+        "{x:>8} | IF {:>9.1} pages ({:>7.1} seq {:>6.1} rnd) | OIF {:>9.1} pages ({:>7.1} seq {:>6.1} rnd)",
+        if_m.pages, if_m.seq, if_m.random, oif_m.pages, oif_m.seq, oif_m.random
+    );
+}
+
+/// Print one row of an IF-vs-OIF time series (i/o + cpu, msec).
+pub fn row_time(x: impl std::fmt::Display, if_m: &Measurement, oif_m: &Measurement) {
+    println!(
+        "{x:>8} | IF {:>9.1} ms (io {:>8.1} cpu {:>6.2}) | OIF {:>9.1} ms (io {:>8.1} cpu {:>6.2})",
+        if_m.total_ms(),
+        if_m.io_ms(),
+        if_m.cpu_ms(),
+        oif_m.total_ms(),
+        oif_m.io_ms(),
+        oif_m.cpu_ms()
+    );
+}
+
+/// Run one synthetic sweep point: build both indexes over `d`, measure the
+/// given predicate at `qs_size`, and return `(IF, OIF)` measurements.
+pub fn run_point(d: &Dataset, kind: QueryKind, qs_size: usize, seed: u64) -> (Measurement, Measurement) {
+    let ifile = invfile::InvertedFile::build(d);
+    let oifx = oif::Oif::build(d);
+    let qs = workload(d, kind, qs_size, seed);
+    let m_if = measure(ifile.pager(), &qs, |q| match kind {
+        QueryKind::Subset => ifile.subset(q),
+        QueryKind::Equality => ifile.equality(q),
+        QueryKind::Superset => ifile.superset(q),
+    });
+    let m_oif = measure(oifx.pager(), &qs, |q| match kind {
+        QueryKind::Subset => oifx.subset(q),
+        QueryKind::Equality => oifx.equality(q),
+        QueryKind::Superset => oifx.superset(q),
+    });
+    (m_if, m_oif)
+}
+
+/// The four synthetic sweeps of Figs. 8–10, shared by the three figure
+/// benches. Prints page-access rows (first figure row) and time rows
+/// (second figure row) for each sweep.
+pub fn run_synthetic_figure(kind: QueryKind, fig: &str) {
+    use datagen::SyntheticSpec;
+    let s = scale();
+    let default_qs = 4;
+
+    header(
+        &format!("{fig}.a — {} vs |I|", kind.name()),
+        &format!("|D| = 10M/{s}, zipf 0.8, |qs| = {default_qs}; |I| sweep (paper: 500..8000)"),
+    );
+    let mut rows = Vec::new();
+    for vocab in [500usize, 2000, 4000, 6000, 8000] {
+        let d = SyntheticSpec {
+            vocab_size: vocab,
+            ..SyntheticSpec::paper_default(s)
+        }
+        .generate();
+        rows.push((vocab, run_point(&d, kind, default_qs, 42)));
+    }
+    for (x, (a, b)) in &rows {
+        row_pages(x, a, b);
+    }
+    println!("  -- time --");
+    for (x, (a, b)) in &rows {
+        row_time(x, a, b);
+    }
+
+    header(
+        &format!("{fig}.b — {} vs |D|", kind.name()),
+        &format!("|I| = 2000, zipf 0.8, |qs| = {default_qs}; |D| sweep (paper: 1M..50M, ÷{s})"),
+    );
+    let mut rows = Vec::new();
+    for millions in [1usize, 5, 10, 50] {
+        let d = SyntheticSpec {
+            num_records: millions * 1_000_000 / s,
+            ..SyntheticSpec::paper_default(s)
+        }
+        .generate();
+        rows.push((format!("{millions}M/{s}"), run_point(&d, kind, default_qs, 43)));
+    }
+    for (x, (a, b)) in &rows {
+        row_pages(x, a, b);
+    }
+    println!("  -- time --");
+    for (x, (a, b)) in &rows {
+        row_time(x, a, b);
+    }
+
+    header(
+        &format!("{fig}.c — {} vs |qs|", kind.name()),
+        &format!("|D| = 10M/{s}, |I| = 2000, zipf 0.8; |qs| sweep (paper: 2..20)"),
+    );
+    let d = SyntheticSpec::paper_default(s).generate();
+    let ifile = invfile::InvertedFile::build(&d);
+    let oifx = oif::Oif::build(&d);
+    let mut rows = Vec::new();
+    for qs_size in [2usize, 4, 6, 8, 10, 12, 14, 16, 18, 20] {
+        let qs = workload(&d, kind, qs_size, 44 + qs_size as u64);
+        if qs.is_empty() {
+            continue;
+        }
+        let a = measure(ifile.pager(), &qs, |q| match kind {
+            QueryKind::Subset => ifile.subset(q),
+            QueryKind::Equality => ifile.equality(q),
+            QueryKind::Superset => ifile.superset(q),
+        });
+        let b = measure(oifx.pager(), &qs, |q| match kind {
+            QueryKind::Subset => oifx.subset(q),
+            QueryKind::Equality => oifx.equality(q),
+            QueryKind::Superset => oifx.superset(q),
+        });
+        rows.push((qs_size, (a, b)));
+    }
+    for (x, (a, b)) in &rows {
+        row_pages(x, a, b);
+    }
+    println!("  -- time --");
+    for (x, (a, b)) in &rows {
+        row_time(x, a, b);
+    }
+
+    header(
+        &format!("{fig}.d — {} vs skew", kind.name()),
+        &format!("|D| = 10M/{s}, |I| = 2000, |qs| = {default_qs}; Zipf sweep (paper: 0..1)"),
+    );
+    let mut rows = Vec::new();
+    for zipf in [0.0f64, 0.4, 0.8, 1.0] {
+        let d = SyntheticSpec {
+            zipf,
+            ..SyntheticSpec::paper_default(s)
+        }
+        .generate();
+        rows.push((format!("{zipf}"), run_point(&d, kind, default_qs, 45)));
+    }
+    for (x, (a, b)) in &rows {
+        row_pages(x, a, b);
+    }
+    println!("  -- time --");
+    for (x, (a, b)) in &rows {
+        row_time(x, a, b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::SyntheticSpec;
+
+    #[test]
+    fn measure_counts_pages() {
+        let d = SyntheticSpec {
+            num_records: 2000,
+            vocab_size: 100,
+            zipf: 0.8,
+            len_min: 2,
+            len_max: 10,
+            seed: 1,
+        }
+        .generate();
+        let idx = invfile::InvertedFile::build(&d);
+        let qs = workload(&d, QueryKind::Subset, 2, 3);
+        let m = measure(idx.pager(), &qs, |q| idx.subset(q));
+        assert!(m.pages > 0.0);
+        assert!(m.io > Duration::ZERO);
+    }
+
+    #[test]
+    fn scale_default_is_50() {
+        if std::env::var_os("FULL_SCALE").is_none() && std::env::var_os("OIF_SCALE").is_none() {
+            assert_eq!(scale(), 50);
+        }
+    }
+}

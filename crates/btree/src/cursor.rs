@@ -1,0 +1,223 @@
+//! Ordered range cursor over leaf pages.
+//!
+//! Query evaluation in the OIF is "seek to the first block whose tag covers
+//! the RoI's lower bound, then read blocks sequentially until the tag
+//! exceeds the upper bound" (§4). The cursor implements exactly that
+//! access pattern: a descending seek (random page accesses, one per level)
+//! followed by next-leaf walks (mostly sequential accesses).
+
+use crate::node::Node;
+use crate::tree::BTree;
+use pagestore::PageId;
+
+/// A forward cursor over a [`BTree`]'s entries in key order.
+pub struct Cursor<'t> {
+    tree: &'t BTree,
+    /// Decoded current leaf; `None` when exhausted.
+    leaf: Option<DecodedLeaf>,
+    /// Index of the next entry to return within the current leaf.
+    idx: usize,
+}
+
+struct DecodedLeaf {
+    node: Node,
+    #[allow(dead_code)]
+    page: PageId,
+}
+
+impl<'t> Cursor<'t> {
+    /// Position at the first entry whose key does **not** satisfy `before`.
+    ///
+    /// `before` must be monotone w.r.t. the tree's byte order (a prefix of
+    /// `true`s followed by `false`s). This supports order-consistent
+    /// alternative comparators — e.g. the OIF seeks blocks by `(item,
+    /// last-record-id)` even though keys embed a tag between the two,
+    /// because tag order and id order agree within one item's list.
+    pub(crate) fn seek_by(tree: &'t BTree, before: impl Fn(&[u8]) -> bool) -> Self {
+        let mut page = tree.root();
+        let node = loop {
+            match tree.node_for_cursor(page) {
+                n @ Node::Leaf { .. } => break n,
+                Node::Internal { entries } => {
+                    let idx = entries.partition_point(|e| before(&e.separator));
+                    let idx = idx.min(entries.len() - 1);
+                    page = entries[idx].child;
+                }
+            }
+        };
+        let idx = match &node {
+            Node::Leaf { entries, .. } => entries.partition_point(|e| before(&e.key)),
+            Node::Internal { .. } => unreachable!(),
+        };
+        let mut cursor = Cursor {
+            tree,
+            leaf: Some(DecodedLeaf { node, page }),
+            idx,
+        };
+        cursor.skip_exhausted_leaves();
+        cursor
+    }
+
+    /// Position at the first entry with key ≥ `key`.
+    pub(crate) fn seek(tree: &'t BTree, key: &[u8]) -> Self {
+        let page = if key.is_empty() {
+            tree.leftmost_leaf()
+        } else {
+            let mut page = tree.root();
+            loop {
+                match tree.node_for_cursor(page) {
+                    Node::Leaf { .. } => break page,
+                    Node::Internal { entries } => {
+                        let idx = entries.partition_point(|e| e.separator.as_slice() < key);
+                        let idx = idx.min(entries.len() - 1);
+                        page = entries[idx].child;
+                    }
+                }
+            }
+        };
+        let node = tree.node_for_cursor(page);
+        let idx = match &node {
+            Node::Leaf { entries, .. } => entries.partition_point(|e| e.key.as_slice() < key),
+            Node::Internal { .. } => unreachable!(),
+        };
+        let mut cursor = Cursor {
+            tree,
+            leaf: Some(DecodedLeaf { node, page }),
+            idx,
+        };
+        cursor.skip_exhausted_leaves();
+        cursor
+    }
+
+    /// Advance past leaves whose remaining entries are exhausted (including
+    /// empty leaves left behind by deletes).
+    fn skip_exhausted_leaves(&mut self) {
+        loop {
+            let Some(leaf) = &self.leaf else { return };
+            let (len, next) = match &leaf.node {
+                Node::Leaf { entries, next } => (entries.len(), *next),
+                Node::Internal { .. } => unreachable!(),
+            };
+            if self.idx < len {
+                return;
+            }
+            match next {
+                None => {
+                    self.leaf = None;
+                    return;
+                }
+                Some(p) => {
+                    self.leaf = Some(DecodedLeaf {
+                        node: self.tree.node_for_cursor(p),
+                        page: p,
+                    });
+                    self.idx = 0;
+                }
+            }
+        }
+    }
+
+    /// Peek at the current entry without advancing.
+    pub fn peek(&self) -> Option<(&[u8], &[u8])> {
+        let leaf = self.leaf.as_ref()?;
+        match &leaf.node {
+            Node::Leaf { entries, .. } => entries
+                .get(self.idx)
+                .map(|e| (e.key.as_slice(), e.value.as_slice())),
+            Node::Internal { .. } => unreachable!(),
+        }
+    }
+
+    /// Return the current entry and advance.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(Vec<u8>, Vec<u8>)> {
+        let out = self.peek().map(|(k, v)| (k.to_vec(), v.to_vec()))?;
+        self.idx += 1;
+        self.skip_exhausted_leaves();
+        Some(out)
+    }
+}
+
+impl Iterator for Cursor<'_> {
+    type Item = (Vec<u8>, Vec<u8>);
+    fn next(&mut self) -> Option<Self::Item> {
+        Cursor::next(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pagestore::Pager;
+
+    fn filled_tree(n: u32) -> BTree {
+        let mut t = BTree::create(Pager::with_cache_bytes(1 << 20));
+        for i in 0..n {
+            t.insert(&i.to_be_bytes(), &(i * 2).to_be_bytes()).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn full_scan_in_order() {
+        let t = filled_tree(3000);
+        let keys: Vec<u32> = t
+            .scan()
+            .map(|(k, _)| u32::from_be_bytes(k.try_into().unwrap()))
+            .collect();
+        assert_eq!(keys, (0..3000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seek_lands_on_first_ge() {
+        let mut t = BTree::create(Pager::new());
+        for i in (0..100u32).step_by(10) {
+            t.insert(&i.to_be_bytes(), b"x").unwrap();
+        }
+        let mut c = t.seek(&15u32.to_be_bytes());
+        let (k, _) = c.next().unwrap();
+        assert_eq!(u32::from_be_bytes(k.try_into().unwrap()), 20);
+    }
+
+    #[test]
+    fn seek_exact_match() {
+        let t = filled_tree(500);
+        let c = t.seek(&123u32.to_be_bytes());
+        assert_eq!(c.peek().unwrap().0, 123u32.to_be_bytes());
+    }
+
+    #[test]
+    fn seek_past_end_is_empty() {
+        let t = filled_tree(10);
+        let mut c = t.seek(&100u32.to_be_bytes());
+        assert!(c.next().is_none());
+    }
+
+    #[test]
+    fn scan_skips_emptied_leaves() {
+        let mut t = filled_tree(2000);
+        // Remove a whole contiguous band, likely emptying some leaves.
+        for i in 500..1500u32 {
+            t.remove(&i.to_be_bytes());
+        }
+        let keys: Vec<u32> = t
+            .scan()
+            .map(|(k, _)| u32::from_be_bytes(k.try_into().unwrap()))
+            .collect();
+        let expected: Vec<u32> = (0..500).chain(1500..2000).collect();
+        assert_eq!(keys, expected);
+    }
+
+    #[test]
+    fn empty_tree_scan() {
+        let t = BTree::create(Pager::new());
+        assert_eq!(t.scan().count(), 0);
+    }
+
+    #[test]
+    fn iterator_bridges() {
+        let t = filled_tree(64);
+        let total: usize = t.scan().count();
+        assert_eq!(total, 64);
+    }
+}

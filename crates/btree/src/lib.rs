@@ -1,0 +1,34 @@
+//! A disk-resident B⁺-tree over the [`pagestore`] substrate.
+//!
+//! The OIF stores every block of every inverted list as one entry of a
+//! single B⁺-tree (§3: "in the actual implementation we store all blocks in
+//! a single B-tree"), keyed by `(item, tag, last-record-id)`. This crate
+//! provides that tree: variable-length byte keys and values, point lookups,
+//! ordered range cursors, inserts with node splits, deletes, and a
+//! bottom-up bulk loader used at index-build time.
+//!
+//! Design notes:
+//!
+//! * One tree = one logical file on the simulated disk; every node occupies
+//!   exactly one page, so each node visit is one (counted) page access —
+//!   the measurement the paper reports.
+//! * Internal nodes hold `(separator, child)` pairs where `separator` is an
+//!   upper bound (inclusive) for every key in the child's subtree; the last
+//!   child absorbs keys greater than all separators.
+//! * Keys compare as raw bytes. Callers encode order-preserving keys
+//!   (big-endian ranks/ids), which is how the OIF's lexicographic tag order
+//!   is realised.
+//! * Deletes are merge-free (a node may underflow but never violates
+//!   ordering); the workloads of the paper are build + batch-rebuild, and
+//!   the space slack this leaves matches the B-tree fill-factor overhead
+//!   the paper itself reports (§5, "Space overhead").
+
+mod bulk;
+mod cursor;
+mod node;
+mod tree;
+
+pub use bulk::BulkLoader;
+pub use cursor::Cursor;
+pub use node::MAX_ENTRY_BYTES;
+pub use tree::{BTree, BTreeError};

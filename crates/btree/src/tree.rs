@@ -1,0 +1,440 @@
+//! The B⁺-tree proper: lookups, inserts with split propagation, deletes.
+
+use crate::node::{InternalEntry, LeafEntry, Node, MAX_ENTRY_BYTES};
+use pagestore::{FileId, PageId, Pager};
+
+/// Errors returned by tree operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BTreeError {
+    /// `key.len() + value.len()` exceeds [`MAX_ENTRY_BYTES`].
+    EntryTooLarge { key_len: usize, value_len: usize },
+}
+
+impl std::fmt::Display for BTreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BTreeError::EntryTooLarge { key_len, value_len } => write!(
+                f,
+                "entry too large: key {key_len} B + value {value_len} B > {MAX_ENTRY_BYTES} B"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BTreeError {}
+
+/// A disk-resident B⁺-tree. See the crate docs for the design.
+pub struct BTree {
+    pager: Pager,
+    file: FileId,
+    root: PageId,
+    height: usize,
+    len: u64,
+}
+
+impl BTree {
+    /// Create an empty tree in a fresh file of `pager`'s disk.
+    pub fn create(pager: Pager) -> Self {
+        let file = pager.create_file();
+        let root = pager.allocate_page(file);
+        pager.write_page(file, root, &Node::empty_leaf().encode());
+        BTree {
+            pager,
+            file,
+            root,
+            height: 1,
+            len: 0,
+        }
+    }
+
+    pub(crate) fn from_parts(pager: Pager, file: FileId, root: PageId, height: usize, len: u64) -> Self {
+        BTree {
+            pager,
+            file,
+            root,
+            height,
+            len,
+        }
+    }
+
+    /// Number of key/value entries stored.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of levels (1 = root is a leaf).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pages allocated to the tree's file (nodes, including freed slack).
+    pub fn pages(&self) -> u64 {
+        self.pager.file_len(self.file)
+    }
+
+    /// Total on-disk bytes of the tree.
+    pub fn bytes_on_disk(&self) -> u64 {
+        self.pages() * pagestore::PAGE_SIZE as u64
+    }
+
+    pub fn pager(&self) -> &Pager {
+        &self.pager
+    }
+
+    #[allow(dead_code)] // used by heapfile-style diagnostics and future compaction
+    pub(crate) fn file(&self) -> FileId {
+        self.file
+    }
+
+    pub(crate) fn root(&self) -> PageId {
+        self.root
+    }
+
+    fn read_node(&self, page: PageId) -> Node {
+        self.pager.with_page(self.file, page, Node::decode)
+    }
+
+    fn write_node(&self, page: PageId, node: &Node) {
+        self.pager.write_page(self.file, page, &node.encode());
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let leaf_page = self.descend_to_leaf(key);
+        let node = self.read_node(leaf_page);
+        match node {
+            Node::Leaf { entries, .. } => entries
+                .binary_search_by(|e| e.key.as_slice().cmp(key))
+                .ok()
+                .map(|i| entries[i].value.clone()),
+            Node::Internal { .. } => unreachable!("descend_to_leaf returns a leaf"),
+        }
+    }
+
+    /// True if `key` is present.
+    pub fn contains_key(&self, key: &[u8]) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Walk from the root to the leaf that should contain `key`.
+    fn descend_to_leaf(&self, key: &[u8]) -> PageId {
+        let mut page = self.root;
+        loop {
+            match self.read_node(page) {
+                Node::Leaf { .. } => return page,
+                Node::Internal { entries } => {
+                    page = Self::child_for(&entries, key);
+                }
+            }
+        }
+    }
+
+    /// Pick the child whose separator (inclusive upper bound) first covers
+    /// `key`; keys beyond every separator go to the last child.
+    fn child_for(entries: &[InternalEntry], key: &[u8]) -> PageId {
+        debug_assert!(!entries.is_empty());
+        let idx = entries.partition_point(|e| e.separator.as_slice() < key);
+        let idx = idx.min(entries.len() - 1);
+        entries[idx].child
+    }
+
+    /// Insert or replace `key`. Returns the previous value if any.
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>, BTreeError> {
+        if key.len() + value.len() > MAX_ENTRY_BYTES {
+            return Err(BTreeError::EntryTooLarge {
+                key_len: key.len(),
+                value_len: value.len(),
+            });
+        }
+        let (old, split) = self.insert_rec(self.root, key, value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        if let Some((sep_left, right_page, sep_right)) = split {
+            // Root split: grow the tree by one level.
+            let new_root = self.pager.allocate_page(self.file);
+            let node = Node::Internal {
+                entries: vec![
+                    InternalEntry {
+                        separator: sep_left,
+                        child: self.root,
+                    },
+                    InternalEntry {
+                        separator: sep_right,
+                        child: right_page,
+                    },
+                ],
+            };
+            self.write_node(new_root, &node);
+            self.root = new_root;
+            self.height += 1;
+        }
+        Ok(old)
+    }
+
+    /// Recursive insert. Returns `(previous value, split info)` where split
+    /// info is `(left max key, new right page, right max key)` when `page`
+    /// was split.
+    #[allow(clippy::type_complexity)]
+    fn insert_rec(
+        &mut self,
+        page: PageId,
+        key: &[u8],
+        value: &[u8],
+    ) -> (Option<Vec<u8>>, Option<(Vec<u8>, PageId, Vec<u8>)>) {
+        let mut node = self.read_node(page);
+        let old = match &mut node {
+            Node::Leaf { entries, .. } => {
+                match entries.binary_search_by(|e| e.key.as_slice().cmp(key)) {
+                    Ok(i) => {
+                        let old = std::mem::replace(&mut entries[i].value, value.to_vec());
+                        Some(old)
+                    }
+                    Err(i) => {
+                        entries.insert(
+                            i,
+                            LeafEntry {
+                                key: key.to_vec(),
+                                value: value.to_vec(),
+                            },
+                        );
+                        None
+                    }
+                }
+            }
+            Node::Internal { entries } => {
+                let idx = entries.partition_point(|e| e.separator.as_slice() < key);
+                let idx = idx.min(entries.len() - 1);
+                let child = entries[idx].child;
+                let (old, split) = self.insert_rec(child, key, value);
+                // The child's max key may have grown (insert beyond the last
+                // separator).
+                if let Some((left_max, right_page, right_max)) = split {
+                    entries[idx].separator = left_max;
+                    entries.insert(
+                        idx + 1,
+                        InternalEntry {
+                            separator: right_max,
+                            child: right_page,
+                        },
+                    );
+                } else if entries[idx].separator.as_slice() < key {
+                    entries[idx].separator = key.to_vec();
+                }
+                old
+            }
+        };
+        if node.fits_in_page() {
+            self.write_node(page, &node);
+            return (old, None);
+        }
+        // Overflow: split and hand the new sibling up to the parent.
+        let right = node.split();
+        let right_page = self.pager.allocate_page(self.file);
+        if let Node::Leaf { next, .. } = &mut node {
+            *next = Some(right_page);
+        }
+        let left_max = node.max_key().expect("split leaves entries").to_vec();
+        let right_max = right.max_key().expect("split leaves entries").to_vec();
+        self.write_node(page, &node);
+        self.write_node(right_page, &right);
+        debug_assert!(node.fits_in_page() && right.fits_in_page());
+        (old, Some((left_max, right_page, right_max)))
+    }
+
+    /// Remove `key`, returning its value if present. Merge-free: nodes may
+    /// underflow but the tree stays ordered and searchable.
+    pub fn remove(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        let leaf_page = self.descend_to_leaf(key);
+        let mut node = self.read_node(leaf_page);
+        let removed = match &mut node {
+            Node::Leaf { entries, .. } => {
+                match entries.binary_search_by(|e| e.key.as_slice().cmp(key)) {
+                    Ok(i) => Some(entries.remove(i).value),
+                    Err(_) => None,
+                }
+            }
+            Node::Internal { .. } => unreachable!(),
+        };
+        if removed.is_some() {
+            self.write_node(leaf_page, &node);
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Ordered cursor positioned at the first entry with key ≥ `key`.
+    pub fn seek(&self, key: &[u8]) -> crate::Cursor<'_> {
+        crate::Cursor::seek(self, key)
+    }
+
+    /// Cursor positioned at the first entry whose key does not satisfy the
+    /// monotone predicate `before` (see [`crate::Cursor::seek_by`] for the
+    /// contract).
+    pub fn seek_by(&self, before: impl Fn(&[u8]) -> bool) -> crate::Cursor<'_> {
+        crate::Cursor::seek_by(self, before)
+    }
+
+    /// Cursor over the whole tree from the first entry.
+    pub fn scan(&self) -> crate::Cursor<'_> {
+        crate::Cursor::seek(self, &[])
+    }
+
+    /// Walk down the leftmost spine (used by full scans).
+    pub(crate) fn leftmost_leaf(&self) -> PageId {
+        let mut page = self.root;
+        loop {
+            match self.read_node(page) {
+                Node::Leaf { .. } => return page,
+                Node::Internal { entries } => page = entries[0].child,
+            }
+        }
+    }
+
+    pub(crate) fn node_for_cursor(&self, page: PageId) -> Node {
+        self.read_node(page)
+    }
+
+    /// Structural invariant check used by tests and debug assertions: key
+    /// order within/between nodes and separator correctness.
+    pub fn check_invariants(&self) {
+        let mut leaf_keys = Vec::new();
+        self.check_rec(self.root, None, &mut leaf_keys);
+        for w in leaf_keys.windows(2) {
+            assert!(w[0] < w[1], "leaf keys must be strictly increasing");
+        }
+        assert_eq!(leaf_keys.len() as u64, self.len, "len bookkeeping");
+    }
+
+    fn check_rec(&self, page: PageId, upper: Option<&[u8]>, out: &mut Vec<Vec<u8>>) {
+        match self.read_node(page) {
+            Node::Leaf { entries, .. } => {
+                for e in &entries {
+                    if let Some(u) = upper {
+                        assert!(e.key.as_slice() <= u, "leaf key exceeds separator");
+                    }
+                    out.push(e.key.clone());
+                }
+            }
+            Node::Internal { entries } => {
+                assert!(!entries.is_empty(), "internal node may not be empty");
+                for e in &entries {
+                    if let Some(u) = upper {
+                        assert!(e.separator.as_slice() <= u, "separator exceeds parent bound");
+                    }
+                    self.check_rec(e.child, Some(&e.separator), out);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for BTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BTree")
+            .field("len", &self.len)
+            .field("height", &self.height)
+            .field("pages", &self.pages())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> BTree {
+        BTree::create(Pager::with_cache_bytes(1 << 20))
+    }
+
+    #[test]
+    fn empty_tree_lookups() {
+        let t = tree();
+        assert!(t.is_empty());
+        assert_eq!(t.get(b"nope"), None);
+        assert!(!t.contains_key(b"nope"));
+    }
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut t = tree();
+        assert_eq!(t.insert(b"alpha", b"1").unwrap(), None);
+        assert_eq!(t.insert(b"beta", b"2").unwrap(), None);
+        assert_eq!(t.get(b"alpha"), Some(b"1".to_vec()));
+        assert_eq!(t.insert(b"alpha", b"one").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(t.get(b"alpha"), Some(b"one".to_vec()));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn thousands_of_inserts_split_and_stay_ordered() {
+        let mut t = tree();
+        let n = 5000u32;
+        // Insert in a shuffled-ish order (stride walk).
+        let mut k = 0u32;
+        for _ in 0..n {
+            k = (k + 2654435761u32.wrapping_mul(7)) % n;
+            while t
+                .insert(format!("key{k:08}").as_bytes(), &k.to_le_bytes())
+                .unwrap()
+                .is_some()
+            {
+                k = (k + 1) % n;
+            }
+        }
+        assert_eq!(t.len(), n as u64);
+        assert!(t.height() > 1, "tree must have split");
+        t.check_invariants();
+        for probe in [0u32, 1, n / 2, n - 1] {
+            assert_eq!(
+                t.get(format!("key{probe:08}").as_bytes()),
+                Some(probe.to_le_bytes().to_vec())
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_inserts() {
+        let mut t = tree();
+        for i in 0..2000u32 {
+            t.insert(&i.to_be_bytes(), &[0u8; 32]).unwrap();
+        }
+        t.check_invariants();
+        assert_eq!(t.get(&1999u32.to_be_bytes()), Some(vec![0u8; 32]));
+    }
+
+    #[test]
+    fn remove_then_get() {
+        let mut t = tree();
+        for i in 0..100u32 {
+            t.insert(&i.to_be_bytes(), b"v").unwrap();
+        }
+        assert_eq!(t.remove(&50u32.to_be_bytes()), Some(b"v".to_vec()));
+        assert_eq!(t.remove(&50u32.to_be_bytes()), None);
+        assert_eq!(t.get(&50u32.to_be_bytes()), None);
+        assert_eq!(t.len(), 99);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn oversized_entry_rejected() {
+        let mut t = tree();
+        let err = t.insert(&[1u8; 100], &vec![0u8; 4096]).unwrap_err();
+        assert!(matches!(err, BTreeError::EntryTooLarge { .. }));
+    }
+
+    #[test]
+    fn large_values_near_limit() {
+        let mut t = tree();
+        for i in 0..50u32 {
+            let v = vec![i as u8; MAX_ENTRY_BYTES - 4];
+            t.insert(&i.to_be_bytes(), &v).unwrap();
+        }
+        t.check_invariants();
+        assert_eq!(t.get(&7u32.to_be_bytes()).unwrap()[0], 7);
+    }
+}

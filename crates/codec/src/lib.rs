@@ -1,0 +1,42 @@
+//! Integer and posting-list codecs used by both indexes.
+//!
+//! The paper compresses inverted lists with the byte-wise ("v-byte") scheme
+//! of Williams & Zobel [45], applied to *d-gaps* (differences between
+//! consecutive record ids) rather than raw ids: "The ids are represented as
+//! series of d-gaps compressed by a v-byte compression. The same compression
+//! is used for the lengths of the records." (§5).
+//!
+//! This crate provides exactly that: [`vbyte`] for the varint itself,
+//! [`dgap`] for the gap transform, and [`postings`] for the
+//! `(record id, record length)` posting-list encoding shared by the classic
+//! inverted file and the OIF.
+
+pub mod dgap;
+pub mod postings;
+pub mod vbyte;
+
+pub use postings::{Posting, PostingsDecoder, PostingsEncoder};
+pub use vbyte::{decode_u64, encode_u64, encoded_len};
+
+/// Errors raised while decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended in the middle of a varint.
+    UnexpectedEnd,
+    /// A varint was longer than the 10 bytes a `u64` can need.
+    Overflow,
+    /// Structural inconsistency, e.g. a non-monotonic id sequence.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd => write!(f, "input ended mid-varint"),
+            DecodeError::Overflow => write!(f, "varint exceeds u64 range"),
+            DecodeError::Corrupt(what) => write!(f, "corrupt stream: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}

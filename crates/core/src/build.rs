@@ -1,0 +1,351 @@
+//! Offline OIF construction (§3).
+//!
+//! 1. Derive the item order `<D` from supports.
+//! 2. Sort records by the lexicographic order of their sequence forms and
+//!    assign new 1-based ids (Fig. 3).
+//! 3. Record the per-item metadata regions (Theorem 1).
+//! 4. Emit each rank's inverted list — skipping each record's smallest
+//!    item when the metadata table is enabled — chopped into tagged blocks,
+//!    and bulk-load all blocks into one B⁺-tree keyed by
+//!    `(item, tag, last id)`.
+
+use crate::block::{encode_key, BlockConfig};
+use crate::index::{Oif, OifConfig};
+use crate::meta::{MetaRegion, MetaTable};
+use crate::order::{ItemOrder, Rank};
+use crate::seqform::SeqForm;
+use btree::BulkLoader;
+use codec::postings::{Posting, PostingsEncoder};
+use datagen::Dataset;
+use pagestore::Pager;
+
+pub(crate) struct SortedDb {
+    pub order: ItemOrder,
+    /// Sequence forms in new-id order (`sfs[new_id - 1]`).
+    pub sfs: Vec<SeqForm>,
+    /// Original record ids in new-id order.
+    pub id_map: Vec<u64>,
+}
+
+/// Steps 1–2: order items, sort records, assign new ids.
+pub(crate) fn sort_records(dataset: &Dataset) -> SortedDb {
+    let order = ItemOrder::from_dataset(dataset);
+    let mut keyed: Vec<(SeqForm, u64)> = dataset
+        .records
+        .iter()
+        .map(|r| (SeqForm::of(&r.items, &order), r.id))
+        .collect();
+    // Lexicographic sf order; ties (duplicate set-values) broken by the
+    // original id so the assignment is deterministic.
+    keyed.sort();
+    let (sfs, id_map): (Vec<SeqForm>, Vec<u64>) = keyed.into_iter().unzip();
+    SortedDb { order, sfs, id_map }
+}
+
+pub(crate) fn build(dataset: &Dataset, config: OifConfig, pager: Pager) -> Oif {
+    assert!(
+        dataset.records.len() < u32::MAX as usize,
+        "record ids must stay below 2^32 for key-order correctness"
+    );
+    let SortedDb { order, sfs, id_map } = sort_records(dataset);
+    let vocab_size = dataset.vocab_size;
+
+    // Step 3: metadata regions by smallest rank. Records sorted by sf means
+    // each smallest rank owns one contiguous run of new ids; within it the
+    // length-1 record (the sf equal to just that rank) sorts first.
+    let mut meta = MetaTable::new(vocab_size);
+    {
+        let mut i = 0usize;
+        while i < sfs.len() {
+            if sfs[i].is_empty() {
+                i += 1; // empty sets sort first and belong to no region
+                continue;
+            }
+            let rank = sfs[i].smallest().unwrap();
+            let l = (i + 1) as u64;
+            let mut j = i;
+            let mut u1 = l - 1;
+            while j < sfs.len() && sfs[j].smallest() == Some(rank) {
+                if sfs[j].len() == 1 {
+                    u1 = (j + 1) as u64;
+                }
+                j += 1;
+            }
+            meta.set(
+                rank,
+                MetaRegion {
+                    l,
+                    u: j as u64,
+                    u1,
+                },
+            );
+            i = j;
+        }
+    }
+
+    // Step 4: per-rank posting lists. To keep memory proportional to the
+    // postings (not vocab × records), gather (rank, new_id, len) triples
+    // and sort by (rank, new_id). new ids ascend within a rank exactly in
+    // sf order, which makes tags monotone too.
+    let mut triples: Vec<(Rank, u64, u32)> = Vec::new();
+    for (idx, sf) in sfs.iter().enumerate() {
+        let new_id = (idx + 1) as u64;
+        let len = sf.len() as u32;
+        let start = usize::from(config.use_metadata); // skip smallest rank when metadata is on
+        for &rank in &sf.ranks()[start.min(sf.len())..] {
+            triples.push((rank, new_id, len));
+        }
+    }
+    triples.sort_unstable();
+
+    // Chop each rank's run into blocks and bulk-load the single B⁺-tree.
+    // The configured block budget is clamped so that a block plus its
+    // (tag-bearing) key always fits a tree entry.
+    let max_tag_ranks = match config.block.tag_prefix {
+        Some(n) => n.min(sfs.iter().map(SeqForm::len).max().unwrap_or(0)),
+        None => sfs.iter().map(SeqForm::len).max().unwrap_or(0),
+    };
+    let max_key_bytes = 4 + 4 * max_tag_ranks + 8;
+    let target_bytes = config
+        .block
+        .target_bytes
+        .min(btree::MAX_ENTRY_BYTES.saturating_sub(max_key_bytes))
+        .max(16);
+    let mut loader = BulkLoader::new(pager);
+    let mut stored_postings = vec![0u64; vocab_size];
+    let mut blocks_per_rank = vec![0u32; vocab_size];
+    let mut list_bytes = 0u64;
+    let mut i = 0usize;
+    while i < triples.len() {
+        let rank = triples[i].0;
+        let mut run_end = i;
+        while run_end < triples.len() && triples[run_end].0 == rank {
+            run_end += 1;
+        }
+        stored_postings[rank as usize] = (run_end - i) as u64;
+        // Emit blocks within [i, run_end).
+        let mut enc = PostingsEncoder::with_mode(config.compression);
+        let mut block_last: Option<u64> = None;
+        let flush = |enc: PostingsEncoder,
+                     last_id: u64,
+                     loader: &mut BulkLoader,
+                     list_bytes: &mut u64,
+                     blocks: &mut u32| {
+            let tag = tag_for(&sfs[(last_id - 1) as usize], &config.block);
+            let key = encode_key(rank, &tag, last_id);
+            let payload = enc.finish();
+            *list_bytes += payload.len() as u64;
+            *blocks += 1;
+            loader
+                .push(&key, &payload)
+                .expect("block sized within entry limit");
+        };
+        for &(_, new_id, len) in &triples[i..run_end] {
+            let p = Posting::new(new_id, len);
+            if !enc.is_empty() && enc.len_bytes() + enc.cost_of(p) > target_bytes {
+                let full = std::mem::replace(
+                    &mut enc,
+                    PostingsEncoder::with_mode(config.compression),
+                );
+                flush(
+                    full,
+                    block_last.unwrap(),
+                    &mut loader,
+                    &mut list_bytes,
+                    &mut blocks_per_rank[rank as usize],
+                );
+            }
+            enc.push(p);
+            block_last = Some(new_id);
+        }
+        if !enc.is_empty() {
+            flush(
+                enc,
+                block_last.unwrap(),
+                &mut loader,
+                &mut list_bytes,
+                &mut blocks_per_rank[rank as usize],
+            );
+        }
+        i = run_end;
+    }
+    let tree = loader.finish();
+
+    Oif {
+        order,
+        tree,
+        meta: if config.use_metadata {
+            meta
+        } else {
+            MetaTable::new(vocab_size)
+        },
+        id_map,
+        stored_postings,
+        blocks_per_rank,
+        list_bytes,
+        num_records: dataset.records.len() as u64,
+        vocab_size,
+        config,
+        data_bytes: dataset.raw_bytes(),
+    }
+}
+
+fn tag_for(sf: &SeqForm, block: &BlockConfig) -> SeqForm {
+    match block.tag_prefix {
+        Some(n) => sf.prefix(n),
+        None => sf.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_new_id_assignment() {
+        // Fig. 3 lists the sorted records; new id 1 = {a} (orig 113),
+        // new id 12 = {a,d} (orig 114), new id 18 = {d,h} (orig 107).
+        let d = Dataset::paper_fig1();
+        let sorted = sort_records(&d);
+        assert_eq!(sorted.id_map[0], 113); // {a}
+        assert_eq!(sorted.id_map[11], 114); // {a,d}
+        // Fig. 3 prints {d,i} at 17 and {d,h} at 18, but h and i both have
+        // support 2, and Eq. 1 breaks ties alphabetically: h <D i, so
+        // {d,h} must sort first. We follow Eq. 1 (the figure has a typo).
+        assert_eq!(sorted.id_map[16], 107); // {d,h}
+        assert_eq!(sorted.id_map[17], 112); // {d,i}
+        // Record 2 in Fig. 3 is {a,b,c} = orig 111.
+        assert_eq!(sorted.id_map[1], 111);
+        // Record 13 = {b,c} = orig 109; record 14 = {b,g,j} = orig 110.
+        assert_eq!(sorted.id_map[12], 109);
+        assert_eq!(sorted.id_map[13], 110);
+    }
+
+    #[test]
+    fn fig5_metadata_regions() {
+        // Fig. 5's metadata table: a -> [1,12], b -> [13,14], c -> [15,16],
+        // d -> [17,18].
+        let d = Dataset::paper_fig1();
+        let idx = Oif::build(&d);
+        let m = |rank| idx.meta().region(rank).unwrap();
+        assert_eq!((m(0).l, m(0).u), (1, 12));
+        assert_eq!((m(1).l, m(1).u), (13, 14));
+        assert_eq!((m(2).l, m(2).u), (15, 16));
+        assert_eq!((m(3).l, m(3).u), (17, 18));
+        // u1 of a's region: record 1 = {a} is the only singleton.
+        assert_eq!(m(0).u1, 1);
+        // b's region has no singleton.
+        assert_eq!(m(1).u1, 12);
+    }
+
+    #[test]
+    fn fig5_list_contents() {
+        // With metadata, Fig. 5 shows b -> {2..8}, c -> {2,3,9,10,11,13},
+        // d -> {4,5,12,15}.
+        let d = Dataset::paper_fig1();
+        let idx = Oif::build(&d);
+        assert_eq!(idx.stored_postings_of(1), 7); // b
+        assert_eq!(idx.stored_postings_of(2), 6); // c
+        assert_eq!(idx.stored_postings_of(3), 4); // d
+        // a's list is fully replaced by metadata.
+        assert_eq!(idx.stored_postings_of(0), 0);
+    }
+
+    #[test]
+    fn without_metadata_lists_are_full() {
+        // Fig. 4 (no metadata): a -> 12 postings, b -> 9, c -> 8, d -> 6.
+        let d = Dataset::paper_fig1();
+        let cfg = OifConfig {
+            use_metadata: false,
+            ..OifConfig::default()
+        };
+        let idx = Oif::build_with(&d, cfg, None);
+        assert_eq!(idx.stored_postings_of(0), 12);
+        assert_eq!(idx.stored_postings_of(1), 9);
+        assert_eq!(idx.stored_postings_of(2), 8);
+        assert_eq!(idx.stored_postings_of(3), 6);
+    }
+
+    #[test]
+    fn metadata_saves_one_posting_per_record() {
+        let d = datagen::SyntheticSpec {
+            num_records: 3000,
+            vocab_size: 200,
+            zipf: 0.8,
+            len_min: 2,
+            len_max: 12,
+            seed: 4,
+        }
+        .generate();
+        let with = Oif::build(&d);
+        let without = Oif::build_with(
+            &d,
+            OifConfig {
+                use_metadata: false,
+                ..OifConfig::default()
+            },
+            None,
+        );
+        assert_eq!(
+            with.stored_postings() + d.records.len() as u64,
+            without.stored_postings()
+        );
+    }
+
+    #[test]
+    fn small_blocks_mean_more_tree_entries() {
+        let d = datagen::SyntheticSpec {
+            num_records: 2000,
+            vocab_size: 100,
+            zipf: 0.8,
+            len_min: 2,
+            len_max: 12,
+            seed: 4,
+        }
+        .generate();
+        let small = Oif::build_with(
+            &d,
+            OifConfig {
+                block: BlockConfig {
+                    target_bytes: 64,
+                    tag_prefix: None,
+                },
+                ..OifConfig::default()
+            },
+            None,
+        );
+        let large = Oif::build_with(
+            &d,
+            OifConfig {
+                block: BlockConfig {
+                    target_bytes: 2048,
+                    tag_prefix: None,
+                },
+                ..OifConfig::default()
+            },
+            None,
+        );
+        assert!(small.tree().len() > large.tree().len() * 4);
+    }
+
+    #[test]
+    fn duplicate_records_are_handled() {
+        let d = Dataset::from_items(
+            vec![vec![0, 1], vec![0, 1], vec![0, 1], vec![2]],
+            3,
+        );
+        let idx = Oif::build(&d);
+        assert_eq!(idx.num_records(), 4);
+        // All three duplicates keep distinct new ids.
+        let region = idx.meta().region(0).unwrap();
+        assert_eq!(region.len(), 3);
+    }
+
+    #[test]
+    fn empty_dataset_builds() {
+        let d = Dataset::from_items(vec![], 5);
+        let idx = Oif::build(&d);
+        assert_eq!(idx.num_records(), 0);
+        assert_eq!(idx.stored_postings(), 0);
+    }
+}

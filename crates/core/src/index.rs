@@ -1,0 +1,176 @@
+//! The [`Oif`] index structure, its configuration and space accounting.
+
+use crate::block::BlockConfig;
+use crate::meta::MetaTable;
+use crate::order::{ItemOrder, Rank};
+use btree::BTree;
+use codec::postings::Compression;
+use datagen::{Dataset, ItemId};
+use pagestore::Pager;
+
+/// Build-time configuration of an OIF index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OifConfig {
+    /// Block sizing / tag truncation.
+    pub block: BlockConfig,
+    /// Keep the per-item `[l, u]` regions and drop list suffixes (§3,
+    /// "Metadata"). On by default; off isolates the Theorem-1 gain in
+    /// ablations.
+    pub use_metadata: bool,
+    /// Buffer-pool budget in bytes (paper: 32 KiB).
+    pub cache_bytes: usize,
+    /// Posting compression (paper: v-byte over d-gaps).
+    pub compression: Compression,
+}
+
+impl Default for OifConfig {
+    fn default() -> Self {
+        OifConfig {
+            block: BlockConfig::default(),
+            use_metadata: true,
+            cache_bytes: 32 * 1024,
+            compression: Compression::VByteDGap,
+        }
+    }
+}
+
+/// Space accounting mirroring §5's "Space overhead" discussion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpaceBreakdown {
+    /// Bytes of the raw dataset (ids + items), the paper's reference size.
+    pub data_bytes: u64,
+    /// Live posting payload bytes across all blocks.
+    pub list_bytes: u64,
+    /// On-disk bytes of the block B⁺-tree (pages, incl. fill-factor slack
+    /// and key overhead).
+    pub tree_bytes: u64,
+    /// In-memory metadata table bytes.
+    pub meta_bytes: u64,
+    /// Bytes of the new-id → original-id reassignment map (the "+8 %"
+    /// table of §5).
+    pub id_map_bytes: u64,
+}
+
+/// The Ordered Inverted File.
+///
+/// Built offline from a [`Dataset`]; answers the three containment
+/// predicates through the methods in [`crate::query`]. All disk I/O flows
+/// through the [`Pager`] handed to (or created by) the build, whose
+/// statistics the experiment harness reads.
+pub struct Oif {
+    pub(crate) order: ItemOrder,
+    pub(crate) tree: BTree,
+    pub(crate) meta: MetaTable,
+    /// `id_map[new_id - 1]` = original record id (new ids are 1-based,
+    /// following Fig. 3).
+    pub(crate) id_map: Vec<u64>,
+    /// Postings stored per rank (i.e. excluding those replaced by
+    /// metadata).
+    pub(crate) stored_postings: Vec<u64>,
+    /// Blocks per rank (drives the skip-vs-scan heuristic in queries).
+    pub(crate) blocks_per_rank: Vec<u32>,
+    /// Live payload bytes per rank.
+    pub(crate) list_bytes: u64,
+    pub(crate) num_records: u64,
+    pub(crate) vocab_size: usize,
+    pub(crate) config: OifConfig,
+    /// Raw-dataset size snapshot for space reports.
+    pub(crate) data_bytes: u64,
+}
+
+impl Oif {
+    /// Build with default configuration.
+    pub fn build(dataset: &Dataset) -> Self {
+        Self::build_with(dataset, OifConfig::default(), None)
+    }
+
+    /// Build with explicit configuration; `pager` defaults to a fresh pool
+    /// of `config.cache_bytes`.
+    pub fn build_with(dataset: &Dataset, config: OifConfig, pager: Option<Pager>) -> Self {
+        let pager = pager.unwrap_or_else(|| Pager::with_cache_bytes(config.cache_bytes));
+        crate::build::build(dataset, config, pager)
+    }
+
+    pub fn num_records(&self) -> u64 {
+        self.num_records
+    }
+
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    pub fn config(&self) -> &OifConfig {
+        &self.config
+    }
+
+    /// The item order `<D` the index was built under.
+    pub fn order(&self) -> &ItemOrder {
+        &self.order
+    }
+
+    /// The metadata table.
+    pub fn meta(&self) -> &MetaTable {
+        &self.meta
+    }
+
+    /// The pager (for I/O statistics and cache control).
+    pub fn pager(&self) -> &Pager {
+        self.tree.pager()
+    }
+
+    /// Translate a new (ordered) id back to the original record id.
+    pub fn original_id(&self, new_id: u64) -> u64 {
+        self.id_map[(new_id - 1) as usize]
+    }
+
+    /// Number of postings stored in the block tree for `item` (excludes the
+    /// suffix replaced by metadata).
+    pub fn stored_postings_of(&self, item: ItemId) -> u64 {
+        self.stored_postings[self.order.rank(item) as usize]
+    }
+
+    pub(crate) fn stored_postings_of_rank(&self, rank: Rank) -> u64 {
+        self.stored_postings[rank as usize]
+    }
+
+    /// Total stored postings.
+    pub fn stored_postings(&self) -> u64 {
+        self.stored_postings.iter().sum()
+    }
+
+    /// Number of blocks in the block B⁺-tree.
+    pub fn tree_blocks(&self) -> u64 {
+        self.tree.len()
+    }
+
+    /// Number of disk pages the block B⁺-tree occupies.
+    pub fn tree_pages(&self) -> u64 {
+        self.tree.pages()
+    }
+
+    /// Space accounting for the §5 space-overhead experiment.
+    pub fn space(&self) -> SpaceBreakdown {
+        SpaceBreakdown {
+            data_bytes: self.data_bytes,
+            list_bytes: self.list_bytes,
+            tree_bytes: self.tree.bytes_on_disk(),
+            meta_bytes: self.meta.bytes(),
+            id_map_bytes: (self.id_map.len() * 8) as u64,
+        }
+    }
+
+    pub(crate) fn tree(&self) -> &BTree {
+        &self.tree
+    }
+}
+
+impl std::fmt::Debug for Oif {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Oif")
+            .field("records", &self.num_records)
+            .field("vocab", &self.vocab_size)
+            .field("blocks", &self.tree.len())
+            .field("stored_postings", &self.stored_postings())
+            .finish()
+    }
+}

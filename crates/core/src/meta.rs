@@ -1,0 +1,132 @@
+//! The metadata table (§3, "Metadata" and Theorem 1).
+//!
+//! Re-assigning ids by sequence-form order makes "the combinations of the
+//! most frequent items of each record define a contiguous region over the
+//! id space": all records whose *smallest* item is `o` occupy one id range
+//! `[l, u]`. The table stores that range per item, which
+//!
+//! * replaces the suffix of every inverted list (the postings of records
+//!   whose smallest item is the list's item) — saving `1/ℓ` of all
+//!   postings, and
+//! * supplies the extra bound `u1` (footnote 1 of §4.3): ids in `[l, u1]`
+//!   are exactly the length-1 records of the region, which never appear in
+//!   any stored list.
+
+use crate::order::Rank;
+
+/// Id region of records whose smallest item has a given rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaRegion {
+    /// First id of the region.
+    pub l: u64,
+    /// Last id of the region (inclusive).
+    pub u: u64,
+    /// Last id of the length-1 records within `[l, u]` (`l - 1` when the
+    /// region has no length-1 records). `[l, u1]` is always a prefix of
+    /// `[l, u]` because `(o)` sorts before `(o, …)`.
+    pub u1: u64,
+}
+
+impl MetaRegion {
+    pub fn contains(&self, id: u64) -> bool {
+        self.l <= id && id <= self.u
+    }
+
+    /// Ids of the length-1 records in this region.
+    pub fn singleton_range(&self) -> std::ops::RangeInclusive<u64> {
+        self.l..=self.u1
+    }
+
+    pub fn singleton_count(&self) -> u64 {
+        (self.u1 + 1).saturating_sub(self.l)
+    }
+
+    pub fn len(&self) -> u64 {
+        self.u - self.l + 1
+    }
+
+    /// Regions are never empty by construction (`l <= u` always holds),
+    /// provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Memory-resident table of [`MetaRegion`]s, indexed by rank.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetaTable {
+    /// `regions[rank]` — `None` when no record has that smallest rank.
+    regions: Vec<Option<MetaRegion>>,
+}
+
+impl MetaTable {
+    pub fn new(vocab_size: usize) -> Self {
+        MetaTable {
+            regions: vec![None; vocab_size],
+        }
+    }
+
+    pub(crate) fn set(&mut self, rank: Rank, region: MetaRegion) {
+        debug_assert!(region.l <= region.u);
+        self.regions[rank as usize] = Some(region);
+    }
+
+    /// Region of records whose smallest rank is `rank`.
+    pub fn region(&self, rank: Rank) -> Option<MetaRegion> {
+        self.regions.get(rank as usize).copied().flatten()
+    }
+
+    /// Is `id` a record whose smallest rank is `rank`? (Theorem 1 makes
+    /// this an exact membership test.)
+    pub fn smallest_is(&self, rank: Rank, id: u64) -> bool {
+        self.region(rank).is_some_and(|r| r.contains(id))
+    }
+
+    /// Total number of postings the table replaces (one per record).
+    pub fn postings_saved(&self) -> u64 {
+        self.regions
+            .iter()
+            .flatten()
+            .map(|r| r.u - r.l + 1)
+            .sum()
+    }
+
+    /// In-memory footprint: three u64 per present region plus the slot
+    /// array.
+    pub fn bytes(&self) -> u64 {
+        (self.regions.len() * std::mem::size_of::<Option<MetaRegion>>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_membership() {
+        let r = MetaRegion { l: 5, u: 10, u1: 6 };
+        assert!(r.contains(5) && r.contains(10));
+        assert!(!r.contains(4) && !r.contains(11));
+        assert_eq!(r.singleton_range(), 5..=6);
+        assert_eq!(r.singleton_count(), 2);
+        assert_eq!(r.len(), 6);
+    }
+
+    #[test]
+    fn empty_singleton_prefix() {
+        let r = MetaRegion { l: 5, u: 10, u1: 4 };
+        assert_eq!(r.singleton_count(), 0);
+        assert!(r.singleton_range().is_empty());
+    }
+
+    #[test]
+    fn table_lookup() {
+        let mut t = MetaTable::new(4);
+        t.set(1, MetaRegion { l: 1, u: 12, u1: 1 });
+        t.set(3, MetaRegion { l: 17, u: 18, u1: 16 });
+        assert!(t.smallest_is(1, 12));
+        assert!(!t.smallest_is(1, 13));
+        assert!(t.region(0).is_none());
+        assert_eq!(t.postings_saved(), 12 + 2);
+    }
+}

@@ -1,0 +1,144 @@
+//! The total item order `<D` of Eq. 1.
+//!
+//! For items `oi, oj`: `oi <D oj` iff `s(oi) > s(oj)`, ties broken by the
+//! base order of the items (the paper uses alphabetic order; our items are
+//! dense integers, so ascending item id). The *rank* of an item is its
+//! position in this order — rank 0 is the most frequent item, the
+//! "smallest" under `<D`.
+
+use datagen::{Dataset, ItemId};
+
+/// Position of an item in the `<D` order (0 = most frequent).
+pub type Rank = u32;
+
+/// Bidirectional mapping between items and their `<D` ranks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemOrder {
+    /// `rank_of[item] = rank`.
+    rank_of: Vec<Rank>,
+    /// `item_of[rank] = item`.
+    item_of: Vec<ItemId>,
+    /// `support[item]` = number of records containing the item.
+    support: Vec<u64>,
+}
+
+impl ItemOrder {
+    /// Derive the order from item supports (Eq. 1).
+    pub fn from_supports(support: Vec<u64>) -> Self {
+        let mut items: Vec<ItemId> = (0..support.len() as u32).collect();
+        items.sort_by(|&a, &b| {
+            support[b as usize]
+                .cmp(&support[a as usize]) // larger support first
+                .then(a.cmp(&b)) // ties: smaller item id first
+        });
+        let mut rank_of = vec![0 as Rank; support.len()];
+        for (rank, &item) in items.iter().enumerate() {
+            rank_of[item as usize] = rank as Rank;
+        }
+        ItemOrder {
+            rank_of,
+            item_of: items,
+            support,
+        }
+    }
+
+    /// Derive the order from a dataset's item supports.
+    pub fn from_dataset(d: &Dataset) -> Self {
+        Self::from_supports(d.supports())
+    }
+
+    /// Number of items in the vocabulary.
+    pub fn vocab_size(&self) -> usize {
+        self.rank_of.len()
+    }
+
+    /// `<D` rank of `item`.
+    pub fn rank(&self, item: ItemId) -> Rank {
+        self.rank_of[item as usize]
+    }
+
+    /// Item holding `rank`.
+    pub fn item(&self, rank: Rank) -> ItemId {
+        self.item_of[rank as usize]
+    }
+
+    /// Support of `item`.
+    pub fn support(&self, item: ItemId) -> u64 {
+        self.support[item as usize]
+    }
+
+    /// The largest rank (the least frequent item), i.e. `oN` in the RoI
+    /// definitions. Panics on an empty vocabulary.
+    pub fn max_rank(&self) -> Rank {
+        assert!(!self.rank_of.is_empty(), "empty vocabulary");
+        (self.rank_of.len() - 1) as Rank
+    }
+
+    /// Map a sorted-by-item-id set to sorted ranks (ascending = `<D`
+    /// order, most frequent first).
+    pub fn ranks_of(&self, items: &[ItemId]) -> Vec<Rank> {
+        let mut ranks: Vec<Rank> = items.iter().map(|&i| self.rank(i)).collect();
+        ranks.sort_unstable();
+        ranks
+    }
+
+    /// `oi <D oj`?
+    pub fn lt(&self, oi: ItemId, oj: ItemId) -> bool {
+        self.rank(oi) < self.rank(oj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_order_is_a_b_c_d() {
+        // Fig. 1 supports: a=12, b=9, c=8, d=6 — so ranks a<b<c<d.
+        let d = Dataset::paper_fig1();
+        let ord = ItemOrder::from_dataset(&d);
+        assert_eq!(ord.rank(0), 0); // a
+        assert_eq!(ord.rank(1), 1); // b
+        assert_eq!(ord.rank(2), 2); // c
+        assert_eq!(ord.rank(3), 3); // d
+        assert_eq!(ord.item(0), 0);
+        assert!(ord.lt(0, 3));
+    }
+
+    #[test]
+    fn ties_break_by_item_id() {
+        let ord = ItemOrder::from_supports(vec![5, 7, 5, 7]);
+        // supports: item1=7, item3=7, item0=5, item2=5
+        assert_eq!(ord.rank(1), 0);
+        assert_eq!(ord.rank(3), 1);
+        assert_eq!(ord.rank(0), 2);
+        assert_eq!(ord.rank(2), 3);
+    }
+
+    #[test]
+    fn rank_item_are_inverse() {
+        let ord = ItemOrder::from_supports(vec![3, 1, 4, 1, 5, 9, 2, 6]);
+        for item in 0..8u32 {
+            assert_eq!(ord.item(ord.rank(item)), item);
+        }
+        for rank in 0..8u32 {
+            assert_eq!(ord.rank(ord.item(rank)), rank);
+        }
+    }
+
+    #[test]
+    fn ranks_of_sorts_by_frequency() {
+        let d = Dataset::paper_fig1();
+        let ord = ItemOrder::from_dataset(&d);
+        // {g, b, a, d} -> ranks of a, b, d, g in <D order.
+        let ranks = ord.ranks_of(&[6, 1, 0, 3]);
+        assert_eq!(ranks, vec![0, 1, 3, ord.rank(6)]);
+        assert!(ranks.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn max_rank() {
+        let ord = ItemOrder::from_supports(vec![1, 2, 3]);
+        assert_eq!(ord.max_rank(), 2);
+    }
+}

@@ -1,0 +1,519 @@
+//! Query evaluation over the OIF (§4, Algorithms 1 & 2).
+//!
+//! All three predicates follow the same two steps: (1) compute the Range
+//! of Interest from the query alone, (2) merge-join only the block
+//! sequences whose tags cover the RoI, reached through the B⁺-tree.
+//!
+//! Exactness never depends on RoI tightness: a candidate survives only if
+//! it is *verified* — by appearing in the lists (or metadata regions) of
+//! the required items, with the required length/occurrence count. Edge
+//! blocks may contribute postings just outside the RoI; they are filtered
+//! by the same verification.
+
+use crate::index::Oif;
+use crate::order::Rank;
+use crate::roi::{self, Roi};
+use codec::postings::{Posting, PostingsDecoder};
+use datagen::ItemId;
+use std::collections::HashMap;
+
+/// Last-record-id suffix of a stored block key.
+fn key_last_id(key: &[u8]) -> u64 {
+    u64::from_be_bytes(key[key.len() - 8..].try_into().unwrap())
+}
+
+/// Flow control for block scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scan {
+    Continue,
+    Stop,
+}
+
+impl Oif {
+    /// Subset query: original ids of records `t` with `qs ⊆ t.s`
+    /// (Algorithm 1). `qs` must be sorted by item id and duplicate-free.
+    pub fn subset(&self, qs: &[ItemId]) -> Vec<u64> {
+        debug_assert!(qs.windows(2).all(|w| w[0] < w[1]));
+        if qs.is_empty() || self.num_records == 0 {
+            return Vec::new();
+        }
+        let q = self.order.ranks_of(qs);
+        let n = q.len();
+        let roi = roi::subset(&q, self.order.max_rank());
+
+        if n == 1 {
+            // Everything containing the item: its (suffix-trimmed) list
+            // plus its metadata region.
+            let mut out = Vec::new();
+            self.scan_region(q[0], &roi, |p| {
+                out.push(p.id);
+                Scan::Continue
+            });
+            if let Some(r) = self.meta.region(q[0]) {
+                out.extend(r.l..=r.u);
+            }
+            return self.to_original_sorted(out);
+        }
+
+        // Line 2: candidates from the last (least frequent) item's list.
+        let mut candidates: Vec<u64> = Vec::new();
+        self.scan_region(q[n - 1], &roi, |p| {
+            candidates.push(p.id);
+            Scan::Continue
+        });
+
+        // Lines 3–15: intersect with the remaining lists in reverse rank
+        // order, progressively narrowing the candidate id range.
+        for idx in (0..n - 1).rev() {
+            if candidates.is_empty() {
+                return Vec::new();
+            }
+            candidates = self.intersect_with_item(&candidates, q[idx], &roi);
+        }
+        self.to_original_sorted(candidates)
+    }
+
+    /// Equality query: original ids of records with `t.s = qs` (§4.2).
+    pub fn equality(&self, qs: &[ItemId]) -> Vec<u64> {
+        debug_assert!(qs.windows(2).all(|w| w[0] < w[1]));
+        if qs.is_empty() || self.num_records == 0 {
+            return Vec::new();
+        }
+        let q = self.order.ranks_of(qs);
+        let n = q.len();
+        let want = n as u32;
+        let roi = roi::equality(&q);
+
+        if n == 1 {
+            if self.config.use_metadata {
+                // §4.3 footnote: [l, u1] of the item's region is exactly its
+                // length-1 records; no page access at all.
+                return match self.meta.region(q[0]) {
+                    Some(r) => self.to_original_sorted(r.singleton_range().collect()),
+                    None => Vec::new(),
+                };
+            }
+            let mut out = Vec::new();
+            self.scan_region(q[0], &roi, |p| {
+                if p.len == want {
+                    out.push(p.id);
+                }
+                Scan::Continue
+            });
+            return self.to_original_sorted(out);
+        }
+
+        // Candidates from the last list, filtered by length while
+        // traversing (§2's length filter).
+        let mut candidates: Vec<u64> = Vec::new();
+        self.scan_region(q[n - 1], &roi, |p| {
+            if p.len == want {
+                candidates.push(p.id);
+            }
+            Scan::Continue
+        });
+
+        // Intermediate lists (the smallest item's list "needs not be
+        // accessed at all" when the metadata table is available).
+        let last_idx = if self.config.use_metadata { 1 } else { 0 };
+        for idx in (last_idx..n - 1).rev() {
+            if candidates.is_empty() {
+                return Vec::new();
+            }
+            candidates = self.intersect_with_item(&candidates, q[idx], &roi);
+        }
+        if self.config.use_metadata {
+            // An equality answer's smallest item is q[0] by definition.
+            match self.meta.region(q[0]) {
+                Some(r) => candidates.retain(|&id| r.contains(id)),
+                None => candidates.clear(),
+            }
+        }
+        self.to_original_sorted(candidates)
+    }
+
+    /// Superset query: original ids of records with `t.s ⊆ qs`
+    /// (Algorithm 2).
+    pub fn superset(&self, qs: &[ItemId]) -> Vec<u64> {
+        debug_assert!(qs.windows(2).all(|w| w[0] < w[1]));
+        if qs.is_empty() || self.num_records == 0 {
+            return Vec::new();
+        }
+        let q = self.order.ranks_of(qs);
+        let n = q.len();
+        let cap = n as u32;
+
+        // id -> (record length, occurrences found across scanned lists).
+        let mut counts: HashMap<u64, (u32, u32)> = HashMap::new();
+        for i in (0..n).rev() {
+            let regions = roi::superset_regions(&q, i);
+            // With metadata on, the last region (records whose smallest item
+            // is q[i]) is not stored in the list at all — it *is* the
+            // metadata region, handled below.
+            let upto = if self.config.use_metadata {
+                regions.len() - 1
+            } else {
+                regions.len()
+            };
+            let mut last_seen: Option<u64> = None;
+            for region in &regions[..upto] {
+                self.scan_region(q[i], region, |p| {
+                    // Edge blocks of adjacent regions may overlap; ids
+                    // ascend across regions, so a monotonic watermark
+                    // deduplicates.
+                    if last_seen.is_none_or(|l| p.id > l) {
+                        last_seen = Some(p.id);
+                        if p.len <= cap {
+                            counts.entry(p.id).or_insert((p.len, 0)).1 += 1;
+                        }
+                    }
+                    Scan::Continue
+                });
+            }
+        }
+
+        let mut out = Vec::new();
+        if self.config.use_metadata {
+            // Lines 22–24: finish each list with its metadata region — the
+            // singleton prefix contributes answers directly, the rest
+            // contributes one found-count (the record's smallest item).
+            for &r in &q {
+                if let Some(reg) = self.meta.region(r) {
+                    out.extend(reg.singleton_range());
+                }
+            }
+            for (&id, &(len, found)) in &counts {
+                let meta_bonus = q.iter().any(|&r| self.meta.smallest_is(r, id)) as u32;
+                if len == found + meta_bonus {
+                    out.push(id);
+                }
+            }
+        } else {
+            for (&id, &(len, found)) in &counts {
+                if len == found {
+                    out.push(id);
+                }
+            }
+        }
+        self.to_original_sorted(out)
+    }
+
+    /// Intersect sorted `candidates` with the set of records containing the
+    /// item of `rank` — its list plus its metadata region.
+    ///
+    /// Exploits "the direct access to different blocks provided by the
+    /// B-tree" (§4): within one list, tag order equals new-id order, so the
+    /// first block that can contain the next candidate is found with an
+    /// order-consistent `(item, last-id)` partition seek. Blocks between
+    /// candidates are skipped entirely when the estimated skip exceeds the
+    /// cost of a fresh descent; otherwise the cursor walks sequentially
+    /// (Alg. 1 lines 5–15, with the `[lidc, uidc]` range narrowing).
+    fn intersect_with_item(&self, candidates: &[u64], rank: Rank, _roi: &Roi) -> Vec<u64> {
+        let mut kept = Vec::with_capacity(candidates.len());
+        let region = self.meta.region(rank).filter(|_| self.config.use_metadata);
+        if self.stored_postings_of_rank(rank) > 0 {
+            self.skip_intersect(candidates, rank, &mut kept);
+        }
+        if let Some(r) = region {
+            // Candidates inside the region contain the item as their
+            // smallest item (Theorem 1); merge them in.
+            let extra: Vec<u64> = candidates
+                .iter()
+                .copied()
+                .filter(|&id| r.contains(id))
+                .collect();
+            if !extra.is_empty() {
+                kept.extend(extra);
+                kept.sort_unstable();
+                kept.dedup();
+            }
+        }
+        kept
+    }
+
+    /// Core skip-scan merge of `candidates` against `rank`'s list.
+    fn skip_intersect(&self, candidates: &[u64], rank: Rank, kept: &mut Vec<u64>) {
+        // Estimated ids spanned per block, for the skip-vs-walk decision.
+        let blocks = self.blocks_per_rank[rank as usize].max(1) as u64;
+        let id_span = self
+            .meta
+            .region(rank)
+            .map(|r| r.l.saturating_sub(1))
+            .unwrap_or(self.num_records)
+            .max(1);
+        let ids_per_block = (id_span / blocks).max(1);
+        // A fresh descent costs ~height pages; a sequential block ~1/6 page.
+        // Re-seek when skipping more than this many blocks.
+        const RESEEK_BLOCKS: u64 = 16;
+
+        let mut ci = 0usize;
+        let mut cursor: Option<btree::Cursor<'_>> = None;
+        let mut current_last: Option<u64> = None;
+        while ci < candidates.len() {
+            let target = candidates[ci];
+            let need_seek = match current_last {
+                None => true,
+                Some(last) => {
+                    target > last
+                        && (target - last) / ids_per_block > RESEEK_BLOCKS
+                }
+            };
+            if need_seek {
+                cursor = Some(self.tree().seek_by(|key| {
+                    let kr = crate::block::key_rank(key);
+                    kr < rank || (kr == rank && key_last_id(key) < target)
+                }));
+            }
+            let cur = cursor.as_mut().expect("cursor set above");
+            let Some((key, value)) = cur.next() else {
+                return;
+            };
+            if crate::block::key_rank(&key) != rank {
+                return;
+            }
+            let block_last = key_last_id(&key);
+            if block_last >= target {
+                // Merge this block's postings with the candidates.
+                let mut dec = PostingsDecoder::with_mode(&value, self.config.compression);
+                while let Some(p) = dec.next_posting().expect("block must decode") {
+                    while ci < candidates.len() && candidates[ci] < p.id {
+                        ci += 1;
+                    }
+                    if ci < candidates.len() && candidates[ci] == p.id {
+                        kept.push(p.id);
+                        ci += 1;
+                    }
+                }
+                // Candidates at or below the block's last id that were not
+                // matched are absent from this list.
+                while ci < candidates.len() && candidates[ci] <= block_last {
+                    ci += 1;
+                }
+            }
+            current_last = Some(block_last);
+        }
+    }
+
+    /// Seek to the first block of `rank`'s list whose tag ≥ `roi.lower`,
+    /// then stream postings block by block until a block's tag exceeds
+    /// `roi.upper` (that block is still delivered — its records may start
+    /// inside the RoI) or the callback stops the scan.
+    fn scan_region(&self, rank: Rank, roi: &Roi, mut on_posting: impl FnMut(Posting) -> Scan) {
+        let effective = match self.config.block.tag_prefix {
+            Some(n) => roi.prefix(n),
+            None => roi.clone(),
+        };
+        let seek = crate::block::encode_seek(rank, &effective.lower);
+        let mut cursor = self.tree().seek(&seek);
+        while let Some((key, value)) = cursor.next() {
+            if crate::block::key_rank(&key) != rank {
+                break;
+            }
+            let (_, tag, _) = crate::block::decode_key(&key);
+            let past_upper = effective.tag_gt_upper(&tag);
+            let mut dec = PostingsDecoder::with_mode(&value, self.config.compression);
+            while let Some(p) = dec.next_posting().expect("index-owned block must decode") {
+                if on_posting(p) == Scan::Stop {
+                    return;
+                }
+            }
+            if past_upper {
+                break;
+            }
+        }
+    }
+
+    /// Map new ids to original record ids, sorted ascending.
+    #[allow(clippy::wrong_self_convention)]
+    fn to_original_sorted(&self, new_ids: Vec<u64>) -> Vec<u64> {
+        let mut out: Vec<u64> = new_ids.into_iter().map(|id| self.original_id(id)).collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::index::{Oif, OifConfig};
+    use crate::BlockConfig;
+    use datagen::{brute, Dataset, QueryKind, SyntheticSpec, WorkloadSpec};
+
+    fn configs() -> Vec<OifConfig> {
+        vec![
+            OifConfig::default(),
+            OifConfig {
+                use_metadata: false,
+                ..OifConfig::default()
+            },
+            OifConfig {
+                block: BlockConfig {
+                    target_bytes: 64,
+                    tag_prefix: None,
+                },
+                ..OifConfig::default()
+            },
+            OifConfig {
+                block: BlockConfig {
+                    target_bytes: 512,
+                    tag_prefix: Some(2),
+                },
+                ..OifConfig::default()
+            },
+            OifConfig {
+                compression: codec::postings::Compression::Raw,
+                ..OifConfig::default()
+            },
+        ]
+    }
+
+    #[test]
+    fn paper_worked_examples() {
+        let d = Dataset::paper_fig1();
+        for cfg in configs() {
+            let idx = Oif::build_with(&d, cfg.clone(), None);
+            assert_eq!(idx.subset(&[0, 3]), vec![101, 104, 114], "{cfg:?}");
+            assert_eq!(idx.superset(&[0, 2]), vec![106, 113], "{cfg:?}");
+            assert_eq!(idx.equality(&[0, 3]), vec![114], "{cfg:?}");
+            assert_eq!(idx.equality(&[0]), vec![113], "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn single_item_queries() {
+        let d = Dataset::paper_fig1();
+        for cfg in configs() {
+            let idx = Oif::build_with(&d, cfg.clone(), None);
+            let mut want = brute::subset(&d, &[2]);
+            want.sort_unstable();
+            assert_eq!(idx.subset(&[2]), want, "{cfg:?}");
+            assert_eq!(idx.equality(&[0]), vec![113], "{cfg:?}");
+            assert_eq!(idx.superset(&[0]), vec![113], "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn empty_query_and_empty_db() {
+        let d = Dataset::paper_fig1();
+        let idx = Oif::build(&d);
+        assert!(idx.subset(&[]).is_empty());
+        assert!(idx.equality(&[]).is_empty());
+        assert!(idx.superset(&[]).is_empty());
+        let empty = Oif::build(&Dataset::from_items(vec![], 4));
+        assert!(empty.subset(&[1]).is_empty());
+        assert!(empty.equality(&[1]).is_empty());
+        assert!(empty.superset(&[1]).is_empty());
+    }
+
+    #[test]
+    fn absent_item_queries() {
+        let d = Dataset::from_items(vec![vec![0, 1], vec![1, 2]], 10);
+        let idx = Oif::build(&d);
+        assert!(idx.subset(&[1, 7]).is_empty());
+        assert!(idx.equality(&[7]).is_empty());
+        assert_eq!(idx.superset(&[0, 1, 2, 7]), vec![0, 1]);
+    }
+
+    #[test]
+    fn matches_brute_force_across_configs() {
+        let d = SyntheticSpec {
+            num_records: 3000,
+            vocab_size: 120,
+            zipf: 0.8,
+            len_min: 1,
+            len_max: 14,
+            seed: 31,
+        }
+        .generate();
+        for cfg in configs() {
+            let idx = Oif::build_with(&d, cfg.clone(), None);
+            for kind in QueryKind::ALL {
+                for size in [1usize, 2, 4, 7] {
+                    let ws = WorkloadSpec {
+                        kind,
+                        qs_size: size,
+                        count: 4,
+                        seed: size as u64 * 7 + 1,
+                    }
+                    .generate(&d);
+                    for qs in &ws.queries {
+                        let (got, want) = match kind {
+                            QueryKind::Subset => (idx.subset(qs), brute::subset(&d, qs)),
+                            QueryKind::Equality => (idx.equality(qs), brute::equality(&d, qs)),
+                            QueryKind::Superset => (idx.superset(qs), brute::superset(&d, qs)),
+                        };
+                        assert_eq!(got, want, "{kind:?} {qs:?} under {cfg:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subset_uses_fewer_page_accesses_than_full_scan_of_lists() {
+        // The RoI should prune most blocks for a query on frequent items.
+        let d = SyntheticSpec {
+            num_records: 50_000,
+            vocab_size: 500,
+            zipf: 1.0,
+            len_min: 2,
+            len_max: 12,
+            seed: 8,
+        }
+        .generate();
+        let idx = Oif::build(&d);
+        let pager = idx.pager().clone();
+
+        // Total blocks of items 1 and 2 (ranks likely 1,2): a full-list scan
+        // touches ~every block; the RoI-driven subset query should touch a
+        // small fraction.
+        pager.clear_cache();
+        pager.reset_stats();
+        let _ = idx.subset(&[1, 2]);
+        let with_roi = pager.stats().misses();
+
+        let total_pages = idx.tree().pages();
+        assert!(
+            with_roi < total_pages / 2,
+            "RoI pruning ineffective: {with_roi} misses vs {total_pages} tree pages"
+        );
+    }
+
+    #[test]
+    fn equality_page_cost_is_logarithmic() {
+        // §4.2: equality touches O(|qs| log |D|) pages. Verify it stays tiny
+        // and roughly flat as |D| grows 8×.
+        let mut costs = Vec::new();
+        for n in [5_000usize, 40_000] {
+            let d = SyntheticSpec {
+                num_records: n,
+                vocab_size: 300,
+                zipf: 0.8,
+                len_min: 2,
+                len_max: 12,
+                seed: 77,
+            }
+            .generate();
+            let idx = Oif::build(&d);
+            let ws = WorkloadSpec {
+                kind: QueryKind::Equality,
+                qs_size: 4,
+                count: 8,
+                seed: 3,
+            }
+            .generate(&d);
+            let pager = idx.pager().clone();
+            let mut total = 0u64;
+            for qs in &ws.queries {
+                pager.clear_cache();
+                pager.reset_stats();
+                let _ = idx.equality(qs);
+                total += pager.stats().misses();
+            }
+            costs.push(total as f64 / ws.queries.len() as f64);
+        }
+        assert!(
+            costs[1] < costs[0] * 2.5,
+            "equality cost should grow at most logarithmically: {costs:?}"
+        );
+    }
+}

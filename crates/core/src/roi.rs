@@ -1,0 +1,238 @@
+//! Range-of-Interest computation (Defs. 2–4).
+//!
+//! A RoI is a closed interval of sequence forms `[lower, upper]`; only
+//! blocks whose tags intersect it can reference answers. Bounds are pure
+//! pruning: the query algorithms verify every candidate exactly, so a
+//! looser bound costs I/O but never correctness (Theorems 2–3 guarantee no
+//! answer lies outside).
+
+use crate::order::Rank;
+use crate::seqform::SeqForm;
+
+/// A closed interval of sequence forms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Roi {
+    pub lower: SeqForm,
+    pub upper: SeqForm,
+}
+
+impl Roi {
+    pub fn point(sf: SeqForm) -> Roi {
+        Roi {
+            lower: sf.clone(),
+            upper: sf,
+        }
+    }
+
+    /// Does a block tag fall at-or-after the lower bound?
+    pub fn tag_ge_lower(&self, tag: &SeqForm) -> bool {
+        *tag >= self.lower
+    }
+
+    /// Is a block tag beyond the upper bound (scan may stop *after*
+    /// consuming this block — its records may still start inside the RoI)?
+    pub fn tag_gt_upper(&self, tag: &SeqForm) -> bool {
+        *tag > self.upper
+    }
+
+    /// Truncate both bounds to tag prefixes of `n` ranks. Prefix-truncated
+    /// comparisons remain safe: `prefix(t) ≤ t` keeps seeks conservative,
+    /// and `prefix(a) > prefix(b) ⇒ a > b` keeps the stop rule exact.
+    pub fn prefix(&self, n: usize) -> Roi {
+        Roi {
+            lower: self.lower.prefix(n),
+            upper: self.upper.prefix(n),
+        }
+    }
+}
+
+/// `RoI_sub` (Def. 2): for a subset query with ranks `q = (q1 < … < qn)`
+/// over a vocabulary whose smallest rank is 0 and largest is `max_rank`:
+/// lower bound `(0, 1, …, qn)`, upper bound `(q1, …, qn, max_rank)`.
+pub fn subset(q: &[Rank], max_rank: Rank) -> Roi {
+    debug_assert!(!q.is_empty() && q.windows(2).all(|w| w[0] < w[1]));
+    let qn = *q.last().unwrap();
+    let lower = SeqForm::from_ranks((0..=qn).collect());
+    let mut up = q.to_vec();
+    if *q.last().unwrap() < max_rank {
+        up.push(max_rank);
+    }
+    Roi {
+        lower,
+        upper: SeqForm::from_ranks(up),
+    }
+}
+
+/// `RoI_eq` (Def. 3): the single point `qs` itself.
+pub fn equality(q: &[Rank]) -> Roi {
+    Roi::point(SeqForm::from_ranks(q.to_vec()))
+}
+
+/// `RoI_sup` (Def. 4): for the list of the query's `i`-th rank (0-based
+/// index into `q`), the regions of candidate records grouped by their
+/// smallest item `q[j]`, `j = 0..=i`.
+///
+/// Group `j` holds the subsets of `qs` that contain `q[i]` and whose
+/// smallest item is `q[j]`:
+/// * lower bound — the lexicographically smallest such sf, `(q[j], q[j+1],
+///   …, q[i])` (all query ranks between `j` and `i`);
+/// * upper bound — the largest, `(q[j], q[i], q[n-1])` (duplicates
+///   collapsed).
+///
+/// Regions come out in ascending order of their bounds.
+pub fn superset_regions(q: &[Rank], i: usize) -> Vec<Roi> {
+    debug_assert!(i < q.len());
+    let last = *q.last().unwrap();
+    (0..=i)
+        .map(|j| {
+            let lower = SeqForm::from_ranks(q[j..=i].to_vec());
+            let mut up = vec![q[j]];
+            if q[i] > q[j] {
+                up.push(q[i]);
+            }
+            if last > *up.last().unwrap() {
+                up.push(last);
+            }
+            Roi {
+                lower,
+                upper: SeqForm::from_ranks(up),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf(ranks: &[u32]) -> SeqForm {
+        SeqForm::from_ranks(ranks.to_vec())
+    }
+
+    #[test]
+    fn subset_roi_paper_example() {
+        // §4.1: I = {a..j} (ranks 0..9), qs = {b, c} (ranks 1, 2):
+        // RoI_sub = [(a,b,c), (b,c,j)].
+        let roi = subset(&[1, 2], 9);
+        assert_eq!(roi.lower, sf(&[0, 1, 2]));
+        assert_eq!(roi.upper, sf(&[1, 2, 9]));
+    }
+
+    #[test]
+    fn subset_roi_contains_all_answers() {
+        // Any sf containing both query ranks must lie inside the RoI.
+        let q = [2u32, 5];
+        let roi = subset(&q, 9);
+        let supersets = [
+            vec![0, 1, 2, 3, 4, 5],
+            vec![2, 5],
+            vec![2, 5, 9],
+            vec![0, 2, 5],
+            vec![1, 2, 4, 5, 8],
+        ];
+        for s in supersets {
+            let f = sf(&s);
+            assert!(
+                f >= roi.lower && f <= roi.upper,
+                "{f} escapes [{}, {}]",
+                roi.lower,
+                roi.upper
+            );
+        }
+    }
+
+    #[test]
+    fn subset_roi_last_rank_is_max() {
+        // qs ends at the max rank: upper must not duplicate it.
+        let roi = subset(&[3, 9], 9);
+        assert_eq!(roi.upper, sf(&[3, 9]));
+    }
+
+    #[test]
+    fn equality_roi_is_a_point() {
+        let roi = equality(&[1, 4, 6]);
+        assert_eq!(roi.lower, roi.upper);
+        assert_eq!(roi.lower, sf(&[1, 4, 6]));
+    }
+
+    #[test]
+    fn superset_regions_paper_shape() {
+        // qs = {a, c, f} with ranks (0, 2, 5), list of c (i = 1):
+        // region j=0: [(a,c), (a,c,f)]; region j=1: [(c), (c,f)].
+        let q = [0u32, 2, 5];
+        let regions = superset_regions(&q, 1);
+        assert_eq!(regions.len(), 2);
+        assert_eq!(regions[0].lower, sf(&[0, 2]));
+        assert_eq!(regions[0].upper, sf(&[0, 2, 5]));
+        assert_eq!(regions[1].lower, sf(&[2]));
+        assert_eq!(regions[1].upper, sf(&[2, 5]));
+        // For the last list (i = 2): first region [(a,c,f), (a,f)].
+        let regions = superset_regions(&q, 2);
+        assert_eq!(regions[0].lower, sf(&[0, 2, 5]));
+        assert_eq!(regions[0].upper, sf(&[0, 5]));
+        // Last region [(f), (f)].
+        assert_eq!(regions[2].lower, sf(&[5]));
+        assert_eq!(regions[2].upper, sf(&[5]));
+    }
+
+    #[test]
+    fn superset_regions_cover_all_candidate_sfs() {
+        // Every subset of qs containing q[i], grouped by smallest element,
+        // must fall inside region j of list i.
+        let q = [1u32, 3, 4, 7];
+        for i in 0..q.len() {
+            let regions = superset_regions(&q, i);
+            // Enumerate all subsets of q containing q[i].
+            for mask in 1u32..(1 << q.len()) {
+                let subset: Vec<u32> = (0..q.len())
+                    .filter(|&b| mask & (1 << b) != 0)
+                    .map(|b| q[b])
+                    .collect();
+                if !subset.contains(&q[i]) {
+                    continue;
+                }
+                let j = q.iter().position(|&r| r == subset[0]).unwrap();
+                if j > i {
+                    continue; // smallest item after q[i]: impossible since q[i] ∈ subset
+                }
+                let f = sf(&subset);
+                let r = &regions[j];
+                assert!(
+                    f >= r.lower && f <= r.upper,
+                    "list {i}: {f} escapes region {j} [{}, {}]",
+                    r.lower,
+                    r.upper
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn superset_regions_ascend() {
+        let q = [0u32, 2, 5, 6];
+        for i in 0..q.len() {
+            let regions = superset_regions(&q, i);
+            for w in regions.windows(2) {
+                assert!(w[0].lower < w[1].lower);
+            }
+        }
+    }
+
+    #[test]
+    fn roi_tag_checks() {
+        let roi = subset(&[1, 2], 9);
+        assert!(!roi.tag_ge_lower(&sf(&[0, 1])));
+        assert!(roi.tag_ge_lower(&sf(&[0, 1, 2])));
+        assert!(!roi.tag_gt_upper(&sf(&[1, 2, 9])));
+        assert!(roi.tag_gt_upper(&sf(&[1, 3])));
+    }
+
+    #[test]
+    fn prefix_truncation_is_conservative() {
+        let roi = subset(&[3, 5], 9);
+        let p = roi.prefix(1);
+        assert!(p.lower <= roi.lower);
+        // Truncated stop rule only fires when the full rule would.
+        assert!(p.upper <= roi.upper);
+    }
+}

@@ -1,0 +1,185 @@
+//! Sequence forms (Def. 1) and their lexicographic order.
+//!
+//! The sequence form of a set-value lists its items in `<D` order. Because
+//! we work in *rank space* (rank 0 = most frequent), a sequence form is a
+//! strictly increasing vector of ranks, and `Ord` on `Vec<u32>` is exactly
+//! the paper's lexicographic order — the empty set first, then sets led by
+//! the smallest (most frequent) item.
+
+use crate::order::{ItemOrder, Rank};
+use datagen::ItemId;
+
+/// A set-value in sequence form: strictly increasing ranks.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SeqForm(pub Vec<Rank>);
+
+impl SeqForm {
+    /// Sequence form of `items` under `order`.
+    pub fn of(items: &[ItemId], order: &ItemOrder) -> Self {
+        SeqForm(order.ranks_of(items))
+    }
+
+    /// Build from ranks already sorted ascending.
+    pub fn from_ranks(ranks: Vec<Rank>) -> Self {
+        debug_assert!(ranks.windows(2).all(|w| w[0] < w[1]), "ranks must ascend");
+        SeqForm(ranks)
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The smallest (most frequent) rank — the item that "plays the most
+    /// important role in the placement of the record" (§3).
+    pub fn smallest(&self) -> Option<Rank> {
+        self.0.first().copied()
+    }
+
+    pub fn ranks(&self) -> &[Rank] {
+        &self.0
+    }
+
+    /// Does this sequence form contain `rank`?
+    pub fn contains(&self, rank: Rank) -> bool {
+        self.0.binary_search(&rank).is_ok()
+    }
+
+    /// Map back to item ids (sorted by item id).
+    pub fn to_items(&self, order: &ItemOrder) -> Vec<ItemId> {
+        let mut items: Vec<ItemId> = self.0.iter().map(|&r| order.item(r)).collect();
+        items.sort_unstable();
+        items
+    }
+
+    /// Keep only the first `n` ranks (tag-prefix truncation, §3: "This size
+    /// can be reduced by … considering prefixes of the ordered set-values
+    /// used as tags").
+    pub fn prefix(&self, n: usize) -> SeqForm {
+        SeqForm(self.0.iter().take(n).copied().collect())
+    }
+
+    /// Encode as big-endian `u32`s so that byte order equals lexicographic
+    /// rank order (used in B⁺-tree keys).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        for &r in &self.0 {
+            out.extend_from_slice(&r.to_be_bytes());
+        }
+    }
+
+    /// Decode from the byte form produced by [`SeqForm::encode`].
+    pub fn decode(bytes: &[u8]) -> SeqForm {
+        assert!(bytes.len().is_multiple_of(4), "tag bytes must be 4-aligned");
+        SeqForm(
+            bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_be_bytes(c.try_into().unwrap()))
+                .collect(),
+        )
+    }
+}
+
+impl std::fmt::Display for SeqForm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, r) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::Dataset;
+
+    fn fig1_order() -> ItemOrder {
+        ItemOrder::from_dataset(&Dataset::paper_fig1())
+    }
+
+    #[test]
+    fn lexicographic_order_matches_paper_fig3() {
+        // Fig. 3 sorts the 18 records; spot-check a few adjacencies:
+        // {a} < {a,b,c} < {a,b,c,f} < {a,b,d} < ... < {d,h}
+        let ord = fig1_order();
+        let a = SeqForm::of(&[0], &ord);
+        let abc = SeqForm::of(&[0, 1, 2], &ord);
+        let abcf = SeqForm::of(&[0, 1, 2, 5], &ord);
+        let abd = SeqForm::of(&[0, 1, 3], &ord);
+        let dh = SeqForm::of(&[3, 7], &ord);
+        assert!(a < abc);
+        assert!(abc < abcf);
+        assert!(abcf < abd);
+        assert!(abd < dh);
+        // Empty set comes first (§3).
+        assert!(SeqForm::default() < a);
+    }
+
+    #[test]
+    fn encode_preserves_order() {
+        let cases = [
+            vec![],
+            vec![0],
+            vec![0, 1],
+            vec![0, 2],
+            vec![0, 2, 900],
+            vec![1],
+            vec![70000],
+        ];
+        let forms: Vec<SeqForm> = cases.into_iter().map(SeqForm::from_ranks).collect();
+        for i in 0..forms.len() {
+            for j in 0..forms.len() {
+                let mut bi = Vec::new();
+                let mut bj = Vec::new();
+                forms[i].encode(&mut bi);
+                forms[j].encode(&mut bj);
+                assert_eq!(
+                    forms[i].cmp(&forms[j]),
+                    bi.cmp(&bj),
+                    "{} vs {}",
+                    forms[i],
+                    forms[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let sf = SeqForm::from_ranks(vec![0, 5, 17, 4000]);
+        let mut bytes = Vec::new();
+        sf.encode(&mut bytes);
+        assert_eq!(SeqForm::decode(&bytes), sf);
+    }
+
+    #[test]
+    fn prefix_truncation() {
+        let sf = SeqForm::from_ranks(vec![1, 2, 3, 4]);
+        assert_eq!(sf.prefix(2), SeqForm::from_ranks(vec![1, 2]));
+        assert_eq!(sf.prefix(10), sf);
+        assert!(sf.prefix(2) <= sf, "a prefix never exceeds the full form");
+    }
+
+    #[test]
+    fn contains_and_smallest() {
+        let sf = SeqForm::from_ranks(vec![2, 5, 9]);
+        assert_eq!(sf.smallest(), Some(2));
+        assert!(sf.contains(5));
+        assert!(!sf.contains(3));
+    }
+
+    #[test]
+    fn to_items_round_trips() {
+        let ord = fig1_order();
+        let items = vec![0u32, 3, 6]; // {a, d, g}
+        let sf = SeqForm::of(&items, &ord);
+        assert_eq!(sf.to_items(&ord), items);
+    }
+}

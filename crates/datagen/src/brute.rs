@@ -1,0 +1,75 @@
+//! Reference evaluation of the three containment predicates by linear scan.
+//!
+//! Every index in the workspace is tested against these functions; they are
+//! the executable form of the query definitions in §2.
+
+use crate::dataset::{Dataset, ItemId};
+
+/// Records `t` with `qs ⊆ t.s`. `qs` must be sorted; returns record ids in
+/// database order.
+pub fn subset(d: &Dataset, qs: &[ItemId]) -> Vec<u64> {
+    d.records
+        .iter()
+        .filter(|r| r.contains_all(qs))
+        .map(|r| r.id)
+        .collect()
+}
+
+/// Records `t` with `t.s = qs` (as a set).
+pub fn equality(d: &Dataset, qs: &[ItemId]) -> Vec<u64> {
+    d.records
+        .iter()
+        .filter(|r| r.items.as_slice() == qs)
+        .map(|r| r.id)
+        .collect()
+}
+
+/// Records `t` with `t.s ⊆ qs`.
+pub fn superset(d: &Dataset, qs: &[ItemId]) -> Vec<u64> {
+    d.records
+        .iter()
+        .filter(|r| !r.is_empty() && r.within(qs))
+        .map(|r| r.id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §2's worked examples on the Fig. 1 database.
+    #[test]
+    fn paper_subset_example() {
+        let d = Dataset::paper_fig1();
+        // "applying the subset query qs = {a, d} returns {101, 104, 114}"
+        let mut got = subset(&d, &[0, 3]);
+        got.sort_unstable();
+        assert_eq!(got, vec![101, 104, 114]);
+    }
+
+    #[test]
+    fn paper_superset_example() {
+        let d = Dataset::paper_fig1();
+        // "the superset query qs = {a, c} returns records 106 and 113"
+        let mut got = superset(&d, &[0, 2]);
+        got.sort_unstable();
+        assert_eq!(got, vec![106, 113]);
+    }
+
+    #[test]
+    fn equality_exact_only() {
+        let d = Dataset::paper_fig1();
+        // record 114 = {a, d}
+        assert_eq!(equality(&d, &[0, 3]), vec![114]);
+        // {a} matches only record 113.
+        assert_eq!(equality(&d, &[0]), vec![113]);
+        // no record equals {a, b}.
+        assert!(equality(&d, &[0, 1]).is_empty());
+    }
+
+    #[test]
+    fn subset_of_everything_is_all_records_with_empty_query() {
+        let d = Dataset::paper_fig1();
+        assert_eq!(subset(&d, &[]).len(), 18);
+    }
+}

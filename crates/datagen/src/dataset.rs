@@ -1,0 +1,386 @@
+//! Databases of set-valued records.
+
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// An item of the vocabulary `I` (dense, `0..vocab_size`).
+pub type ItemId = u32;
+
+/// One database record: a unique id plus a set-valued attribute.
+///
+/// `items` is kept sorted by item id and duplicate-free — the canonical set
+/// representation used throughout the workspace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Record {
+    pub id: u64,
+    pub items: Vec<ItemId>,
+}
+
+impl Record {
+    /// Build a record, sorting and deduplicating `items`.
+    pub fn new(id: u64, mut items: Vec<ItemId>) -> Self {
+        items.sort_unstable();
+        items.dedup();
+        Record { id, items }
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Set-containment test: does this record contain every item of `qs`?
+    pub fn contains_all(&self, qs: &[ItemId]) -> bool {
+        qs.iter().all(|q| self.items.binary_search(q).is_ok())
+    }
+
+    /// Is this record's set a subset of `qs` (`qs` sorted)?
+    pub fn within(&self, qs: &[ItemId]) -> bool {
+        self.items.iter().all(|i| qs.binary_search(i).is_ok())
+    }
+}
+
+/// Parameters of a synthetic database (§5, "Data").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticSpec {
+    /// Number of records (`|D|`).
+    pub num_records: usize,
+    /// Vocabulary size (`|I|`).
+    pub vocab_size: usize,
+    /// Zipf order of item frequencies (paper default 0.8).
+    pub zipf: f64,
+    /// Record lengths are uniform in `[len_min, len_max]` (paper: 2..20).
+    pub len_min: usize,
+    pub len_max: usize,
+    /// RNG seed; same spec + seed = same database.
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// The paper's default synthetic dataset ("a domain of size 2K and 10M
+    /// records with a distribution of order 0.8"), scaled by `scale` (the
+    /// harness uses 50, i.e. 200 K records).
+    pub fn paper_default(scale: usize) -> Self {
+        SyntheticSpec {
+            num_records: 10_000_000 / scale.max(1),
+            vocab_size: 2000,
+            zipf: 0.8,
+            len_min: 2,
+            len_max: 20,
+            seed: 0xEDB7_2011,
+        }
+    }
+
+    /// Generate the database.
+    pub fn generate(&self) -> Dataset {
+        assert!(self.len_min >= 1 && self.len_min <= self.len_max);
+        assert!(
+            self.len_max <= self.vocab_size,
+            "records cannot be longer than the vocabulary"
+        );
+        let zipf = Zipf::new(self.vocab_size, self.zipf);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut records = Vec::with_capacity(self.num_records);
+        let mut scratch: Vec<ItemId> = Vec::new();
+        for id in 0..self.num_records {
+            let len = rng.random_range(self.len_min..=self.len_max);
+            sample_distinct(&zipf, len, &mut rng, &mut scratch);
+            records.push(Record::new(id as u64, scratch.clone()));
+        }
+        Dataset {
+            records,
+            vocab_size: self.vocab_size,
+        }
+    }
+}
+
+/// Draw `len` *distinct* items from `zipf` into `out` (sorted).
+fn sample_distinct(zipf: &Zipf, len: usize, rng: &mut StdRng, out: &mut Vec<ItemId>) {
+    out.clear();
+    // Rejection sampling; for small domains / long records fall back to a
+    // sweep so generation never stalls.
+    let mut attempts = 0usize;
+    while out.len() < len {
+        let item = zipf.sample(rng) as ItemId;
+        if !out.contains(&item) {
+            out.push(item);
+        }
+        attempts += 1;
+        if attempts > 50 * len + 200 {
+            // Fill the remainder with the most frequent missing items.
+            let mut next = 0 as ItemId;
+            while out.len() < len {
+                if !out.contains(&next) {
+                    out.push(next);
+                }
+                next += 1;
+            }
+            break;
+        }
+    }
+    out.sort_unstable();
+}
+
+/// A database of set-valued records over vocabulary `0..vocab_size`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    pub records: Vec<Record>,
+    pub vocab_size: usize,
+}
+
+impl Dataset {
+    /// Build directly from item vectors (ids assigned 0..n).
+    pub fn from_items(items: Vec<Vec<ItemId>>, vocab_size: usize) -> Self {
+        let records = items
+            .into_iter()
+            .enumerate()
+            .map(|(id, v)| Record::new(id as u64, v))
+            .collect();
+        Dataset {
+            records,
+            vocab_size,
+        }
+    }
+
+    /// The worked example of the paper's Fig. 1 (18 records, items a..j).
+    /// Item `a` is 0, `b` is 1, …, `j` is 9; record ids are 101..118 as in
+    /// the figure.
+    pub fn paper_fig1() -> Self {
+        const A: u32 = 0;
+        const B: u32 = 1;
+        const C: u32 = 2;
+        const D: u32 = 3;
+        const E: u32 = 4;
+        const F: u32 = 5;
+        const G: u32 = 6;
+        const H: u32 = 7;
+        const I: u32 = 8;
+        const J: u32 = 9;
+        let rows: Vec<(u64, Vec<u32>)> = vec![
+            (101, vec![G, B, A, D]),
+            (102, vec![A, E, B]),
+            (103, vec![F, E, A, B]),
+            (104, vec![D, B, A]),
+            (105, vec![A, B, F, C]),
+            (106, vec![C, A]),
+            (107, vec![D, H]),
+            (108, vec![B, A, F]),
+            (109, vec![B, C]),
+            (110, vec![J, B, G]),
+            (111, vec![A, C, B]),
+            (112, vec![I, D]),
+            (113, vec![A]),
+            (114, vec![A, D]),
+            (115, vec![J, C, A]),
+            (116, vec![I, C]),
+            (117, vec![A, C, H]),
+            (118, vec![D, C]),
+        ];
+        Dataset {
+            records: rows
+                .into_iter()
+                .map(|(id, items)| Record::new(id, items))
+                .collect(),
+            vocab_size: 10,
+        }
+    }
+
+    /// Synthetic clone of the UCI `msweb` portal log (§5): 294 items,
+    /// `32 K × replication` records, skewed item distribution, average
+    /// record length 3. The paper replicates 10× ("simulates a 10-week
+    /// log").
+    pub fn msweb_like(replication: usize, seed: u64) -> Self {
+        let base = 32_000;
+        let vocab = 294;
+        let zipf = Zipf::new(vocab, 1.1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut base_records: Vec<Vec<ItemId>> = Vec::with_capacity(base);
+        let mut scratch = Vec::new();
+        for _ in 0..base {
+            // Geometric-ish length with mean ≈ 3, clamped to [1, 12].
+            let len = sample_len_geometric(&mut rng, 3.0, 1, 12);
+            sample_distinct(&zipf, len, &mut rng, &mut scratch);
+            base_records.push(scratch.clone());
+        }
+        let mut items = Vec::with_capacity(base * replication.max(1));
+        for _ in 0..replication.max(1) {
+            items.extend(base_records.iter().cloned());
+        }
+        Dataset::from_items(items, vocab)
+    }
+
+    /// Synthetic clone of the UCI `msnbc` portal log (§5): 17 items,
+    /// 990 K records (scaled by `scale`), near-uniform item distribution,
+    /// average record length 5.7.
+    pub fn msnbc_like(scale: usize, seed: u64) -> Self {
+        let n = 990_000 / scale.max(1);
+        let vocab = 17;
+        let zipf = Zipf::new(vocab, 0.2); // "relatively uniform"
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut items = Vec::with_capacity(n);
+        let mut scratch = Vec::new();
+        for _ in 0..n {
+            let len = sample_len_geometric(&mut rng, 5.7, 1, vocab);
+            sample_distinct(&zipf, len, &mut rng, &mut scratch);
+            items.push(scratch.clone());
+        }
+        Dataset::from_items(items, vocab)
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Average record cardinality.
+    pub fn avg_len(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.len()).sum::<usize>() as f64 / self.records.len() as f64
+    }
+
+    /// Support (appearance count) of every item.
+    pub fn supports(&self) -> Vec<u64> {
+        let mut s = vec![0u64; self.vocab_size];
+        for r in &self.records {
+            for &i in &r.items {
+                s[i as usize] += 1;
+            }
+        }
+        s
+    }
+
+    /// Total number of postings (sum of record lengths).
+    pub fn total_postings(&self) -> u64 {
+        self.records.iter().map(|r| r.len() as u64).sum()
+    }
+
+    /// Raw size of the data itself (one u32 per item + one u64 id per
+    /// record) — the baseline against which the paper reports index space
+    /// ("the OIF occupies 35% of the space of the original data").
+    pub fn raw_bytes(&self) -> u64 {
+        self.total_postings() * 4 + self.records.len() as u64 * 8
+    }
+}
+
+/// Truncated geometric-like length with the given mean.
+fn sample_len_geometric(rng: &mut StdRng, mean: f64, min: usize, max: usize) -> usize {
+    debug_assert!(mean > min as f64);
+    let p = 1.0 / (mean - min as f64 + 1.0);
+    let mut len = min;
+    while len < max && rng.random::<f64>() > p {
+        len += 1;
+    }
+    len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_canonicalises() {
+        let r = Record::new(1, vec![5, 2, 5, 9, 2]);
+        assert_eq!(r.items, vec![2, 5, 9]);
+        assert!(r.contains_all(&[2, 9]));
+        assert!(!r.contains_all(&[2, 3]));
+        assert!(r.within(&[1, 2, 5, 9, 10]));
+        assert!(!r.within(&[2, 5]));
+    }
+
+    #[test]
+    fn fig1_matches_paper() {
+        let d = Dataset::paper_fig1();
+        assert_eq!(d.len(), 18);
+        assert_eq!(d.vocab_size, 10);
+        // Supports from Fig. 2: a appears in 12 records, b in 9, c in 8(7
+        // shown + 118? no — c's list is 105,106,109,111,115,116,117,118).
+        let s = d.supports();
+        assert_eq!(s[0], 12); // a
+        assert_eq!(s[1], 9); // b
+        assert_eq!(s[2], 8); // c
+        assert_eq!(s[3], 6); // d
+    }
+
+    #[test]
+    fn synthetic_respects_spec() {
+        let spec = SyntheticSpec {
+            num_records: 5000,
+            vocab_size: 300,
+            zipf: 0.8,
+            len_min: 2,
+            len_max: 20,
+            seed: 9,
+        };
+        let d = spec.generate();
+        assert_eq!(d.len(), 5000);
+        for r in &d.records {
+            assert!(r.len() >= 2 && r.len() <= 20);
+            assert!(r.items.windows(2).all(|w| w[0] < w[1]));
+            assert!(r.items.iter().all(|&i| (i as usize) < 300));
+        }
+        // Skew: item 0 must be much more frequent than item 250.
+        let s = d.supports();
+        assert!(s[0] > s[250] * 3, "s0={} s250={}", s[0], s[250]);
+    }
+
+    #[test]
+    fn synthetic_is_deterministic() {
+        let spec = SyntheticSpec::paper_default(1000);
+        assert_eq!(spec.generate(), spec.generate());
+    }
+
+    #[test]
+    fn msweb_like_statistics() {
+        let d = Dataset::msweb_like(1, 3);
+        assert_eq!(d.len(), 32_000);
+        assert_eq!(d.vocab_size, 294);
+        let avg = d.avg_len();
+        assert!((2.0..=4.0).contains(&avg), "avg len {avg}");
+        // Skewed: top item much more frequent than median item.
+        let s = d.supports();
+        assert!(s[0] > s[147] * 5);
+    }
+
+    #[test]
+    fn msweb_replication_replicates() {
+        let d1 = Dataset::msweb_like(1, 3);
+        let d2 = Dataset::msweb_like(2, 3);
+        assert_eq!(d2.len(), 2 * d1.len());
+        assert_eq!(d2.records[32_000].items, d1.records[0].items);
+    }
+
+    #[test]
+    fn msnbc_like_statistics() {
+        let d = Dataset::msnbc_like(10, 3);
+        assert_eq!(d.len(), 99_000);
+        assert_eq!(d.vocab_size, 17);
+        let avg = d.avg_len();
+        assert!((4.5..=7.0).contains(&avg), "avg len {avg}");
+    }
+
+    #[test]
+    fn len_sampler_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 50_000;
+        let total: usize = (0..n).map(|_| sample_len_geometric(&mut rng, 5.7, 1, 17)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((4.8..=6.2).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn raw_bytes_formula() {
+        let d = Dataset::from_items(vec![vec![1, 2, 3], vec![4]], 10);
+        assert_eq!(d.total_postings(), 4);
+        assert_eq!(d.raw_bytes(), 4 * 4 + 2 * 8);
+    }
+}

@@ -1,0 +1,30 @@
+//! Dataset and query-workload generation for the experiments of §5.
+//!
+//! Three data sources are reproduced:
+//!
+//! * **Synthetic** ([`SyntheticSpec`]) — "set-values with length varying
+//!   from 2 to 20 … items from vocabularies of sizes 500, 2K and 8K. The
+//!   frequency of items in the set-values is a moderately skewed Zipfian
+//!   distribution of order 0.8" (§5). Sizes default to the paper's divided
+//!   by a scale factor (see `EXPERIMENTS.md`).
+//! * **msweb-like** ([`Dataset::msweb_like`]) — clone of the UCI `msweb`
+//!   log: 294 items, 32 K records replicated 10×, skewed, average record
+//!   length 3.
+//! * **msnbc-like** ([`Dataset::msnbc_like`]) — clone of the UCI `msnbc`
+//!   log: 17 items, 990 K records, relatively uniform, average length 5.7.
+//!
+//! Query workloads follow the paper's protocol: "we evaluated our proposal
+//! using queries that always have an answer … by using existing set-values,
+//! selected uniformly from all D", ten queries per size and type.
+//!
+//! The [`brute`] module provides reference (linear-scan) evaluation of all
+//! three predicates, used as ground truth by every index test.
+
+pub mod brute;
+pub mod dataset;
+pub mod queries;
+pub mod zipf;
+
+pub use dataset::{Dataset, ItemId, Record, SyntheticSpec};
+pub use queries::{QueryKind, QuerySet, WorkloadSpec};
+pub use zipf::Zipf;

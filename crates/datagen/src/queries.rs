@@ -1,0 +1,195 @@
+//! Query workload generation (§5, "Queries").
+//!
+//! "We created such queries by using existing set-values, selected uniformly
+//! from all D. … we created 10 queries of each size and type."
+//!
+//! * **Subset** queries of size `k`: a random `k`-subset of a record with at
+//!   least `k` items — the source record is guaranteed to be an answer.
+//! * **Equality** queries of size `k`: the set-value of a record with
+//!   exactly `k` items.
+//! * **Superset** queries of size `k`: the set-value of a record with
+//!   exactly `k` items (that record is contained in the query set, so the
+//!   answer is non-empty).
+
+use crate::dataset::{Dataset, ItemId};
+use rand::prelude::IndexedRandom;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The three containment predicates of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryKind {
+    Subset,
+    Equality,
+    Superset,
+}
+
+impl QueryKind {
+    pub const ALL: [QueryKind; 3] = [QueryKind::Subset, QueryKind::Equality, QueryKind::Superset];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryKind::Subset => "subset",
+            QueryKind::Equality => "equality",
+            QueryKind::Superset => "superset",
+        }
+    }
+}
+
+/// Workload parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    pub kind: QueryKind,
+    /// Query-set size `|qs|`.
+    pub qs_size: usize,
+    /// Number of queries to draw (paper: 10 per size and type).
+    pub count: usize,
+    pub seed: u64,
+}
+
+/// A generated batch of query sets (each sorted by item id).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuerySet {
+    pub kind: QueryKind,
+    pub queries: Vec<Vec<ItemId>>,
+}
+
+impl WorkloadSpec {
+    /// Draw the workload from `d`. Queries are guaranteed to have at least
+    /// one answer whenever the dataset permits it; if no record supports the
+    /// requested size, fewer (possibly zero) queries are returned.
+    pub fn generate(&self, d: &Dataset) -> QuerySet {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let candidates: Vec<&crate::dataset::Record> = match self.kind {
+            QueryKind::Subset => d.records.iter().filter(|r| r.len() >= self.qs_size).collect(),
+            QueryKind::Equality | QueryKind::Superset => {
+                d.records.iter().filter(|r| r.len() == self.qs_size).collect()
+            }
+        };
+        let mut queries = Vec::with_capacity(self.count);
+        if candidates.is_empty() {
+            return QuerySet {
+                kind: self.kind,
+                queries,
+            };
+        }
+        for _ in 0..self.count {
+            let rec = candidates[rng.random_range(0..candidates.len())];
+            let qs = match self.kind {
+                QueryKind::Subset => {
+                    let mut picked: Vec<ItemId> = rec
+                        .items
+                        .sample(&mut rng, self.qs_size)
+                        .copied()
+                        .collect();
+                    picked.sort_unstable();
+                    picked
+                }
+                QueryKind::Equality | QueryKind::Superset => rec.items.clone(),
+            };
+            queries.push(qs);
+        }
+        QuerySet {
+            kind: self.kind,
+            queries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use crate::dataset::SyntheticSpec;
+
+    fn dataset() -> Dataset {
+        SyntheticSpec {
+            num_records: 3000,
+            vocab_size: 200,
+            zipf: 0.8,
+            len_min: 2,
+            len_max: 20,
+            seed: 11,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn subset_queries_always_have_answers() {
+        let d = dataset();
+        for k in [2, 3, 5, 7] {
+            let ws = WorkloadSpec {
+                kind: QueryKind::Subset,
+                qs_size: k,
+                count: 10,
+                seed: k as u64,
+            }
+            .generate(&d);
+            assert_eq!(ws.queries.len(), 10);
+            for q in &ws.queries {
+                assert_eq!(q.len(), k);
+                assert!(q.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+                assert!(!brute::subset(&d, q).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn equality_queries_always_have_answers() {
+        let d = dataset();
+        for k in [2, 4, 6] {
+            let ws = WorkloadSpec {
+                kind: QueryKind::Equality,
+                qs_size: k,
+                count: 10,
+                seed: 77,
+            }
+            .generate(&d);
+            for q in &ws.queries {
+                assert_eq!(q.len(), k);
+                assert!(!brute::equality(&d, q).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn superset_queries_always_have_answers() {
+        let d = dataset();
+        let ws = WorkloadSpec {
+            kind: QueryKind::Superset,
+            qs_size: 5,
+            count: 10,
+            seed: 5,
+        }
+        .generate(&d);
+        for q in &ws.queries {
+            assert!(!brute::superset(&d, q).is_empty());
+        }
+    }
+
+    #[test]
+    fn impossible_size_yields_empty_workload() {
+        let d = dataset();
+        let ws = WorkloadSpec {
+            kind: QueryKind::Equality,
+            qs_size: 150, // no record this long (len_max = 20)
+            count: 10,
+            seed: 1,
+        }
+        .generate(&d);
+        assert!(ws.queries.is_empty());
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let d = dataset();
+        let spec = WorkloadSpec {
+            kind: QueryKind::Subset,
+            qs_size: 4,
+            count: 10,
+            seed: 99,
+        };
+        assert_eq!(spec.generate(&d), spec.generate(&d));
+    }
+}

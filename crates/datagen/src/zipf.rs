@@ -1,0 +1,136 @@
+//! Zipfian sampling over a finite item domain.
+//!
+//! Item `k` (1-based rank) is drawn with probability proportional to
+//! `1 / k^s`. `s = 0` degenerates to the uniform distribution; the paper
+//! sweeps `s ∈ {0, 0.4, 0.8, 1}` with 0.8 as the default. Sampling uses an
+//! inverse-CDF table + binary search, so draws are O(log |I|) and exactly
+//! reproducible from a seed.
+
+use rand::{Rng, RngExt};
+
+/// A Zipf(s) distribution over `{0, 1, …, n-1}` (0 = most frequent).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities; `cdf[k]` = P(X <= k).
+    cdf: Vec<f64>,
+    s: f64,
+}
+
+impl Zipf {
+    /// Build the distribution table for `n` items with exponent `s >= 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "domain must be non-empty");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for p in &mut cdf {
+            *p /= total;
+        }
+        // Guard against floating-point shortfall at the top end.
+        *cdf.last_mut().unwrap() = 1.0;
+        Zipf { cdf, s }
+    }
+
+    /// Number of items in the domain.
+    pub fn domain_size(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The exponent this table was built with.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Probability of item `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Draw one item.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&p| p < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skew_orders_frequencies() {
+        let z = Zipf::new(100, 0.8);
+        for k in 1..100 {
+            assert!(z.pmf(k - 1) > z.pmf(k));
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for s in [0.0, 0.4, 0.8, 1.0, 1.5] {
+            let z = Zipf::new(500, s);
+            let total: f64 = (0..500).map(|k| z.pmf(k)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "s={s}: {total}");
+        }
+    }
+
+    #[test]
+    fn samples_match_pmf_roughly() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let mut counts = vec![0usize; 50];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Head item should be within 5% of its expectation.
+        let expected = z.pmf(0) * n as f64;
+        let got = counts[0] as f64;
+        assert!(
+            (got - expected).abs() / expected < 0.05,
+            "expected {expected}, got {got}"
+        );
+        // Monotone head.
+        assert!(counts[0] > counts[1] && counts[1] > counts[2]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let z = Zipf::new(1000, 0.8);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_item_domain() {
+        let z = Zipf::new(1, 0.8);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+}

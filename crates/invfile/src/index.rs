@@ -1,0 +1,182 @@
+//! The inverted-file structure and its bookkeeping.
+
+use codec::postings::{decode_postings_mode, Compression, Posting};
+use datagen::{Dataset, ItemId, Record};
+use heapfile::HeapFile;
+use pagestore::Pager;
+
+/// A disk-resident classic inverted file over a set-valued database.
+pub struct InvertedFile {
+    pub(crate) store: HeapFile,
+    /// Number of postings per item (memory-resident vocabulary statistics).
+    pub(crate) postings_per_item: Vec<u64>,
+    pub(crate) num_records: u64,
+    pub(crate) vocab_size: usize,
+    pub(crate) compression: Compression,
+    /// Highest record id seen, for append-style updates.
+    pub(crate) max_id: u64,
+}
+
+impl InvertedFile {
+    /// Build from a dataset with default settings (32 KiB cache, v-byte
+    /// d-gap compression).
+    pub fn build(dataset: &Dataset) -> Self {
+        crate::build::build(dataset, Pager::new(), Compression::VByteDGap)
+    }
+
+    /// Build with explicit pager and compression (for experiments).
+    pub fn build_with(dataset: &Dataset, pager: Pager, compression: Compression) -> Self {
+        crate::build::build(dataset, pager, compression)
+    }
+
+    /// The buffer pool (for I/O statistics).
+    pub fn pager(&self) -> &Pager {
+        self.store.pager()
+    }
+
+    pub fn num_records(&self) -> u64 {
+        self.num_records
+    }
+
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Support of `item` (length of its inverted list).
+    pub fn support(&self, item: ItemId) -> u64 {
+        self.postings_per_item
+            .get(item as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Bytes of live posting-list data (excluding page padding).
+    pub fn list_bytes(&self) -> u64 {
+        self.store.live_bytes()
+    }
+
+    /// Total on-disk footprint of the index.
+    pub fn bytes_on_disk(&self) -> u64 {
+        self.store.bytes_on_disk()
+    }
+
+    /// Fetch and decode the whole inverted list of `item`.
+    pub(crate) fn fetch_list(&self, item: ItemId) -> Vec<Posting> {
+        match self.store.get(item) {
+            Some(bytes) => decode_postings_mode(&bytes, self.compression)
+                .expect("index-owned list must decode"),
+            None => Vec::new(),
+        }
+    }
+
+    /// Append a batch of new records (§4.4-style maintenance). Each
+    /// affected list is decoded, extended and re-written into a fresh
+    /// contiguous run — the over-allocate-and-replace strategy of §6
+    /// ("Inverted files"); superseded runs are reclaimed only by an
+    /// explicit [`heapfile::HeapFile::rebuild`]-style compaction, which
+    /// batch maintenance schedules separately.
+    ///
+    /// Record ids must be fresh and larger than every indexed id.
+    pub fn batch_insert(&mut self, records: &[Record]) {
+        use std::collections::HashMap;
+        let mut additions: HashMap<ItemId, Vec<Posting>> = HashMap::new();
+        for r in records {
+            assert!(r.id > self.max_id, "batch ids must be fresh and increasing");
+            self.max_id = r.id;
+            for &item in &r.items {
+                assert!((item as usize) < self.vocab_size, "item out of vocabulary");
+                additions
+                    .entry(item)
+                    .or_default()
+                    .push(Posting::new(r.id, r.items.len() as u32));
+            }
+            self.num_records += 1;
+        }
+        let mut items: Vec<ItemId> = additions.keys().copied().collect();
+        items.sort_unstable();
+        for item in items {
+            let mut list = self.fetch_list(item);
+            let added = &additions[&item];
+            list.extend(added.iter().copied());
+            let bytes = codec::postings::encode_postings_mode(&list, self.compression);
+            self.store.put(item, &bytes);
+            self.postings_per_item[item as usize] += added.len() as u64;
+        }
+    }
+}
+
+impl std::fmt::Debug for InvertedFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InvertedFile")
+            .field("records", &self.num_records)
+            .field("vocab", &self.vocab_size)
+            .field("list_bytes", &self.list_bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::SyntheticSpec;
+
+    #[test]
+    fn supports_match_dataset() {
+        let d = Dataset::paper_fig1();
+        let idx = InvertedFile::build(&d);
+        let s = d.supports();
+        for (item, &support) in s.iter().enumerate() {
+            assert_eq!(idx.support(item as u32), support);
+        }
+        assert_eq!(idx.num_records(), 18);
+    }
+
+    #[test]
+    fn fetch_list_returns_sorted_ids_with_lengths() {
+        let d = Dataset::paper_fig1();
+        let idx = InvertedFile::build(&d);
+        // Item d (=3): records 101, 104, 107, 112, 114, 118 (Fig. 2).
+        let list = idx.fetch_list(3);
+        let ids: Vec<u64> = list.iter().map(|p| p.id).collect();
+        assert_eq!(ids, vec![101, 104, 107, 112, 114, 118]);
+        // Record 101 = {g,b,a,d} has length 4.
+        assert_eq!(list[0].len, 4);
+    }
+
+    #[test]
+    fn batch_insert_extends_lists() {
+        let d = Dataset::paper_fig1();
+        let mut idx = InvertedFile::build(&d);
+        idx.batch_insert(&[Record::new(200, vec![0, 3])]);
+        let ids: Vec<u64> = idx.fetch_list(3).iter().map(|p| p.id).collect();
+        assert_eq!(ids, vec![101, 104, 107, 112, 114, 118, 200]);
+        assert_eq!(idx.num_records(), 19);
+        assert_eq!(idx.support(3), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "fresh and increasing")]
+    fn stale_batch_id_panics() {
+        let d = Dataset::paper_fig1();
+        let mut idx = InvertedFile::build(&d);
+        idx.batch_insert(&[Record::new(5, vec![0])]);
+    }
+
+    #[test]
+    fn raw_mode_round_trips() {
+        let d = SyntheticSpec {
+            num_records: 500,
+            vocab_size: 50,
+            zipf: 0.8,
+            len_min: 2,
+            len_max: 10,
+            seed: 3,
+        }
+        .generate();
+        let idx = InvertedFile::build_with(&d, Pager::new(), Compression::Raw);
+        let s = d.supports();
+        for item in 0..50u32 {
+            assert_eq!(idx.fetch_list(item).len() as u64, s[item as usize]);
+        }
+    }
+}

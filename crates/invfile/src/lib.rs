@@ -1,0 +1,25 @@
+//! The classic inverted file (IF) — the paper's baseline (§2, §5).
+//!
+//! Implementation follows the scheme the paper credits as the most
+//! efficient reported for disk-resident inverted files [30]:
+//!
+//! * one contiguous blob per item holding the item's whole inverted list
+//!   (a [`heapfile::HeapFile`], standing in for the hash-organised Berkeley
+//!   DB relation);
+//! * postings are `(record id, record length)` pairs, v-byte compressed as
+//!   d-gaps;
+//! * the vocabulary (item → list location) is memory resident;
+//! * a query always fetches the *entire* list of each query item ("Berkeley
+//!   DB always retrieves the whole tuple, i.e. there is no way to retrieve
+//!   a part of the inverted list").
+//!
+//! Query evaluation is the textbook merge-join of §2: intersection for
+//! subset, intersection + length filter for equality, counting union for
+//! superset.
+
+mod build;
+mod index;
+mod query;
+
+pub use build::build;
+pub use index::InvertedFile;

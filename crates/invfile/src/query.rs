@@ -1,0 +1,216 @@
+//! Merge-join query evaluation over the classic inverted file (§2).
+
+use crate::index::InvertedFile;
+use codec::Posting;
+use datagen::ItemId;
+
+impl InvertedFile {
+    /// Subset query: ids of records `t` with `qs ⊆ t.s`.
+    ///
+    /// Fetches the whole list of every query item and intersects them,
+    /// starting from the shortest list (cheapest candidate set), exactly as
+    /// §2 describes. `qs` must be sorted and duplicate-free.
+    pub fn subset(&self, qs: &[ItemId]) -> Vec<u64> {
+        debug_assert!(qs.windows(2).all(|w| w[0] < w[1]));
+        if qs.is_empty() {
+            return Vec::new();
+        }
+        let mut items = qs.to_vec();
+        // Shortest list first.
+        items.sort_unstable_by_key(|&i| self.support(i));
+        let mut candidates = self.fetch_list(items[0]);
+        for &item in &items[1..] {
+            if candidates.is_empty() {
+                // Still fetch nothing further: the merge-join is over. The
+                // paper's IF likewise stops on an empty intermediate result.
+                return Vec::new();
+            }
+            let list = self.fetch_list(item);
+            candidates = intersect(&candidates, &list);
+        }
+        candidates.into_iter().map(|p| p.id).collect()
+    }
+
+    /// Equality query: ids of records whose set-value equals `qs`.
+    ///
+    /// Same plan as subset, but postings whose record length differs from
+    /// `|qs|` are pruned while traversing the lists (§2).
+    pub fn equality(&self, qs: &[ItemId]) -> Vec<u64> {
+        debug_assert!(qs.windows(2).all(|w| w[0] < w[1]));
+        if qs.is_empty() {
+            return Vec::new();
+        }
+        let want = qs.len() as u32;
+        let mut items = qs.to_vec();
+        items.sort_unstable_by_key(|&i| self.support(i));
+        let mut candidates: Vec<Posting> = self
+            .fetch_list(items[0])
+            .into_iter()
+            .filter(|p| p.len == want)
+            .collect();
+        for &item in &items[1..] {
+            if candidates.is_empty() {
+                return Vec::new();
+            }
+            let list = self.fetch_list(item);
+            candidates = intersect(&candidates, &list);
+        }
+        candidates.into_iter().map(|p| p.id).collect()
+    }
+
+    /// Superset query: ids of records whose items are all contained in
+    /// `qs`.
+    ///
+    /// Merges (unions) the query items' lists counting occurrences of each
+    /// record; a record whose count equals its stored length contains no
+    /// item outside `qs` (§2).
+    pub fn superset(&self, qs: &[ItemId]) -> Vec<u64> {
+        debug_assert!(qs.windows(2).all(|w| w[0] < w[1]));
+        // (id, len) -> occurrences, via a k-way merge accumulated in order.
+        let lists: Vec<Vec<Posting>> = qs.iter().map(|&i| self.fetch_list(i)).collect();
+        let mut counts: std::collections::HashMap<u64, (u32, u32)> = std::collections::HashMap::new();
+        for list in &lists {
+            for p in list {
+                let e = counts.entry(p.id).or_insert((p.len, 0));
+                debug_assert_eq!(e.0, p.len, "inconsistent stored lengths");
+                e.1 += 1;
+            }
+        }
+        let mut out: Vec<u64> = counts
+            .into_iter()
+            .filter(|&(_, (len, found))| len == found)
+            .map(|(id, _)| id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Sorted-list intersection keeping the left side's lengths.
+fn intersect(a: &[Posting], b: &[Posting]) -> Vec<Posting> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].id.cmp(&b[j].id) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{brute, Dataset, QueryKind, SyntheticSpec, WorkloadSpec};
+
+    #[test]
+    fn paper_worked_examples() {
+        let d = Dataset::paper_fig1();
+        let idx = InvertedFile::build(&d);
+        // Subset {a, d} -> {101, 104, 114} (§2).
+        assert_eq!(idx.subset(&[0, 3]), vec![101, 104, 114]);
+        // Superset {a, c} -> {106, 113} (§2).
+        assert_eq!(idx.superset(&[0, 2]), vec![106, 113]);
+        // Equality {a, d} -> {114}.
+        assert_eq!(idx.equality(&[0, 3]), vec![114]);
+    }
+
+    #[test]
+    fn empty_query_yields_nothing() {
+        let d = Dataset::paper_fig1();
+        let idx = InvertedFile::build(&d);
+        assert!(idx.subset(&[]).is_empty());
+        assert!(idx.equality(&[]).is_empty());
+        assert!(idx.superset(&[]).is_empty());
+    }
+
+    #[test]
+    fn query_with_absent_item() {
+        let d = Dataset::from_items(vec![vec![0, 1], vec![1, 2]], 10);
+        let idx = InvertedFile::build(&d);
+        assert!(idx.subset(&[1, 7]).is_empty());
+        assert!(idx.equality(&[7]).is_empty());
+        assert_eq!(idx.superset(&[0, 1, 2, 7]), vec![0, 1]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_synthetic_data() {
+        let d = SyntheticSpec {
+            num_records: 4000,
+            vocab_size: 150,
+            zipf: 0.8,
+            len_min: 2,
+            len_max: 15,
+            seed: 21,
+        }
+        .generate();
+        let idx = InvertedFile::build(&d);
+        for kind in QueryKind::ALL {
+            for size in [1usize, 2, 3, 5, 8] {
+                let ws = WorkloadSpec {
+                    kind,
+                    qs_size: size,
+                    count: 5,
+                    seed: size as u64 * 13,
+                }
+                .generate(&d);
+                for q in &ws.queries {
+                    let (mut got, want) = match kind {
+                        QueryKind::Subset => (idx.subset(q), brute::subset(&d, q)),
+                        QueryKind::Equality => (idx.equality(q), brute::equality(&d, q)),
+                        QueryKind::Superset => (idx.superset(q), brute::superset(&d, q)),
+                    };
+                    got.sort_unstable();
+                    assert_eq!(got, want, "{kind:?} {q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn after_batch_insert_queries_see_new_records() {
+        let d = Dataset::paper_fig1();
+        let mut idx = InvertedFile::build(&d);
+        idx.batch_insert(&[datagen::Record::new(300, vec![0, 3])]);
+        assert_eq!(idx.subset(&[0, 3]), vec![101, 104, 114, 300]);
+        assert_eq!(idx.equality(&[0, 3]), vec![114, 300]);
+    }
+
+    #[test]
+    fn io_cost_scales_with_list_sizes() {
+        let d = SyntheticSpec {
+            num_records: 30_000,
+            vocab_size: 200,
+            zipf: 1.0,
+            len_min: 2,
+            len_max: 10,
+            seed: 2,
+        }
+        .generate();
+        let idx = InvertedFile::build(&d);
+        let pager = idx.pager().clone();
+
+        // Query on the two most frequent items: long lists.
+        pager.clear_cache();
+        pager.reset_stats();
+        idx.subset(&[0, 1]);
+        let frequent = pager.stats().misses();
+
+        // Query on two rare items: short lists.
+        pager.clear_cache();
+        pager.reset_stats();
+        idx.subset(&[190, 195]);
+        let rare = pager.stats().misses();
+
+        assert!(
+            frequent > rare * 3,
+            "frequent-item query should cost much more I/O ({frequent} vs {rare})"
+        );
+    }
+}

@@ -1,0 +1,347 @@
+//! LRU buffer pool over the simulated disk.
+//!
+//! The pool is deliberately small by default (32 KiB — the paper's §5
+//! setting: "we set up the database cache to the minimum (32K)"), so that
+//! query evaluation is I/O-bound and the miss counters approximate the true
+//! disk page accesses an index incurs.
+
+use crate::cost::IoCostModel;
+use crate::disk::{Disk, FileId, PageId, PAGE_SIZE};
+use crate::stats::IoStats;
+use std::collections::HashMap;
+
+/// A cached page frame.
+struct Frame {
+    phys: u64,
+    data: Box<[u8; PAGE_SIZE]>,
+    dirty: bool,
+    /// Logical timestamp of last use, for LRU eviction.
+    last_used: u64,
+    /// Touched more than once since load. Eviction prefers cold frames, so
+    /// a long sequential scan (every page touched once) cannot flush hot
+    /// pages such as B-tree roots — the scan-resistant "midpoint" policy
+    /// real database caches (incl. Berkeley DB's priority buffers) use.
+    hot: bool,
+}
+
+/// An LRU page cache with miss classification and cost accounting.
+///
+/// Most callers use the [`Pager`](crate::Pager) wrapper; the pool itself is
+/// exposed for tests and custom configurations.
+pub struct BufferPool {
+    disk: Disk,
+    capacity: usize,
+    frames: Vec<Frame>,
+    /// phys page -> frame index
+    map: HashMap<u64, usize>,
+    clock: u64,
+    /// Physical page of the most recent *disk fetch* (not cache hit), used to
+    /// classify the next miss as sequential or random.
+    last_fetched: Option<u64>,
+    stats: IoStats,
+    cost: IoCostModel,
+}
+
+impl BufferPool {
+    /// Create a pool caching at most `cache_bytes / PAGE_SIZE` pages
+    /// (minimum 1).
+    pub fn new(disk: Disk, cache_bytes: usize, cost: IoCostModel) -> Self {
+        let capacity = (cache_bytes / PAGE_SIZE).max(1);
+        BufferPool {
+            disk,
+            capacity,
+            frames: Vec::new(),
+            map: HashMap::new(),
+            clock: 0,
+            last_fetched: None,
+            stats: IoStats::default(),
+            cost,
+        }
+    }
+
+    /// Number of page frames the pool may hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+
+    pub fn disk_mut(&mut self) -> &mut Disk {
+        &mut self.disk
+    }
+
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+        self.last_fetched = None;
+    }
+
+    pub fn set_cost_model(&mut self, cost: IoCostModel) {
+        self.cost = cost;
+    }
+
+    /// Append a zeroed page to `file` and install it in the cache as dirty
+    /// (it still needs a write-back, which is charged when evicted or
+    /// flushed).
+    pub fn allocate_page(&mut self, file: FileId) -> PageId {
+        let page = self.disk.allocate_page(file);
+        let phys = self.disk.phys(file, page);
+        let frame = Frame {
+            phys,
+            data: Box::new([0u8; PAGE_SIZE]),
+            dirty: true,
+            last_used: self.tick(),
+            hot: false,
+        };
+        self.install(frame);
+        page
+    }
+
+    /// Read a whole page into `buf`.
+    pub fn read_page(&mut self, file: FileId, page: PageId, buf: &mut [u8]) {
+        self.with_page(file, page, |data| buf.copy_from_slice(data))
+    }
+
+    /// Borrow a page's bytes without copying.
+    pub fn with_page<R>(&mut self, file: FileId, page: PageId, f: impl FnOnce(&[u8]) -> R) -> R {
+        let idx = self.fetch(file, page);
+        let tick = self.tick();
+        self.frames[idx].last_used = tick;
+        f(&self.frames[idx].data[..])
+    }
+
+    /// Mark a frame hot when it is touched again after its load.
+    fn touch(&mut self, idx: usize) {
+        let tick = self.tick();
+        let frame = &mut self.frames[idx];
+        frame.last_used = tick;
+        frame.hot = true;
+    }
+
+    /// Overwrite a whole page.
+    pub fn write_page(&mut self, file: FileId, page: PageId, data: &[u8]) {
+        assert_eq!(data.len(), PAGE_SIZE, "write_page requires a full page");
+        let idx = self.fetch(file, page);
+        let tick = self.tick();
+        let frame = &mut self.frames[idx];
+        frame.data.copy_from_slice(data);
+        frame.dirty = true;
+        frame.last_used = tick;
+    }
+
+    /// Write every dirty frame back to disk (charging write costs) and drop
+    /// all frames.
+    pub fn clear_cache(&mut self) {
+        let frames = std::mem::take(&mut self.frames);
+        self.map.clear();
+        for frame in frames {
+            self.write_back(frame);
+        }
+        // A cleared cache also forgets the head position: the next read pays
+        // a seek.
+        self.last_fetched = None;
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn write_back(&mut self, frame: Frame) {
+        if frame.dirty {
+            self.disk.write_phys(frame.phys, &frame.data[..]);
+            self.stats.writes += 1;
+            self.stats.io_time += self.cost.write;
+        }
+    }
+
+    /// Ensure the page is cached and return its frame index.
+    fn fetch(&mut self, file: FileId, page: PageId) -> usize {
+        let phys = self.disk.phys(file, page);
+        if let Some(&idx) = self.map.get(&phys) {
+            self.stats.hits += 1;
+            self.touch(idx);
+            return idx;
+        }
+        // Miss: classify, charge, load.
+        let sequential = self.last_fetched == Some(phys.wrapping_sub(1));
+        if sequential {
+            self.stats.seq_misses += 1;
+            self.stats.io_time += self.cost.seq_read;
+        } else {
+            self.stats.random_misses += 1;
+            self.stats.io_time += self.cost.random_read;
+        }
+        self.last_fetched = Some(phys);
+        let data = Box::new(*self.disk.read_phys(phys));
+        let frame = Frame {
+            phys,
+            data,
+            dirty: false,
+            last_used: self.tick(),
+            hot: false,
+        };
+        self.install(frame)
+    }
+
+    /// Install a frame, evicting the LRU frame if at capacity. Returns the
+    /// frame's index.
+    fn install(&mut self, frame: Frame) -> usize {
+        debug_assert!(!self.map.contains_key(&frame.phys));
+        if self.frames.len() < self.capacity {
+            let idx = self.frames.len();
+            self.map.insert(frame.phys, idx);
+            self.frames.push(frame);
+            return idx;
+        }
+        // Evict cold (touched-once) frames before hot ones, LRU within
+        // each class — see `Frame::hot`. If every frame has become hot,
+        // age the whole pool back to cold (CLOCK-style epoch reset) so
+        // stale hot pages cannot pin the cache forever.
+        if self.frames.iter().all(|fr| fr.hot) {
+            for fr in &mut self.frames {
+                fr.hot = false;
+            }
+        }
+        let (idx, _) = self
+            .frames
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, fr)| (fr.hot, fr.last_used))
+            .expect("capacity >= 1");
+        let old = std::mem::replace(&mut self.frames[idx], frame);
+        self.map.remove(&old.phys);
+        self.write_back(old);
+        self.map.insert(self.frames[idx].phys, idx);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn pool(pages: usize) -> (BufferPool, FileId) {
+        let mut disk = Disk::new();
+        let f = disk.create_file();
+        (
+            BufferPool::new(disk, pages * PAGE_SIZE, IoCostModel::free()),
+            f,
+        )
+    }
+
+    #[test]
+    fn hit_after_first_read() {
+        let (mut p, f) = pool(4);
+        p.allocate_page(f);
+        p.reset_stats();
+        p.clear_cache();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        p.read_page(f, 0, &mut buf);
+        p.read_page(f, 0, &mut buf);
+        assert_eq!(p.stats().misses(), 1);
+        assert_eq!(p.stats().hits, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let (mut p, f) = pool(2);
+        for _ in 0..3 {
+            p.allocate_page(f);
+        }
+        p.clear_cache();
+        p.reset_stats();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        p.read_page(f, 0, &mut buf); // cache: {0}
+        p.read_page(f, 1, &mut buf); // cache: {0,1}
+        p.read_page(f, 0, &mut buf); // touch 0
+        p.read_page(f, 2, &mut buf); // evicts 1
+        p.read_page(f, 0, &mut buf); // hit
+        p.read_page(f, 1, &mut buf); // miss again
+        assert_eq!(p.stats().misses(), 4);
+        assert_eq!(p.stats().hits, 2);
+    }
+
+    #[test]
+    fn dirty_pages_survive_eviction() {
+        let (mut p, f) = pool(1);
+        p.allocate_page(f);
+        p.allocate_page(f);
+        let mut page = vec![0u8; PAGE_SIZE];
+        page[5] = 55;
+        p.write_page(f, 0, &page);
+        // Force eviction of page 0 by touching page 1.
+        let mut buf = vec![0u8; PAGE_SIZE];
+        p.read_page(f, 1, &mut buf);
+        p.read_page(f, 0, &mut buf);
+        assert_eq!(buf[5], 55);
+    }
+
+    #[test]
+    fn sequential_vs_random_classification() {
+        let (mut p, f) = pool(1);
+        for _ in 0..6 {
+            p.allocate_page(f);
+        }
+        p.clear_cache();
+        p.reset_stats();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        // 0,1,2 sequential run; then jump to 5; then 4 (backwards = random).
+        for pg in [0u64, 1, 2, 5, 4] {
+            p.read_page(f, pg, &mut buf);
+        }
+        assert_eq!(p.stats().seq_misses, 2); // pages 1 and 2
+        assert_eq!(p.stats().random_misses, 3); // pages 0, 5, 4
+    }
+
+    #[test]
+    fn cost_model_charges_io_time() {
+        let mut disk = Disk::new();
+        let f = disk.create_file();
+        let mut p = BufferPool::new(
+            disk,
+            PAGE_SIZE,
+            IoCostModel {
+                random_read: Duration::from_millis(8),
+                seq_read: Duration::from_millis(1),
+                write: Duration::ZERO,
+            },
+        );
+        for _ in 0..3 {
+            p.allocate_page(f);
+        }
+        p.clear_cache();
+        p.reset_stats();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for pg in 0..3 {
+            p.read_page(f, pg, &mut buf);
+        }
+        // 1 random + 2 sequential.
+        assert_eq!(p.stats().io_time, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn capacity_minimum_is_one_page() {
+        let disk = Disk::new();
+        let p = BufferPool::new(disk, 10, IoCostModel::free());
+        assert_eq!(p.capacity(), 1);
+    }
+
+    #[test]
+    fn writes_counted_on_clear() {
+        let (mut p, f) = pool(4);
+        p.allocate_page(f);
+        p.reset_stats();
+        let mut page = vec![0u8; PAGE_SIZE];
+        page[0] = 1;
+        p.write_page(f, 0, &page);
+        p.clear_cache();
+        assert_eq!(p.stats().writes, 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! I/O counters mirroring what the paper reports from Berkeley DB.
+
+use std::time::Duration;
+
+/// Snapshot of the buffer pool's I/O activity.
+///
+/// The paper's primary metric is *disk page accesses*, i.e. cache misses
+/// ([`IoStats::misses`]); its time plots additionally split query latency
+/// into I/O time (here, simulated by the [`IoCostModel`](crate::IoCostModel))
+/// and CPU time (measured by the harness).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Page requests served from the cache.
+    pub hits: u64,
+    /// Cache misses whose physical page immediately follows the previously
+    /// fetched physical page — a sequential disk read.
+    pub seq_misses: u64,
+    /// All other cache misses — random disk reads (seeks).
+    pub random_misses: u64,
+    /// Pages written back to the disk.
+    pub writes: u64,
+    /// Simulated I/O time accumulated by the cost model.
+    pub io_time: Duration,
+}
+
+impl IoStats {
+    /// Total cache misses = the paper's "disk page accesses".
+    pub fn misses(&self) -> u64 {
+        self.seq_misses + self.random_misses
+    }
+
+    /// Total page requests.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses()
+    }
+
+    /// Difference between two snapshots (`self` taken after `earlier`).
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            hits: self.hits - earlier.hits,
+            seq_misses: self.seq_misses - earlier.seq_misses,
+            random_misses: self.random_misses - earlier.random_misses,
+            writes: self.writes - earlier.writes,
+            io_time: self.io_time - earlier.io_time,
+        }
+    }
+}
+
+impl std::ops::Add for IoStats {
+    type Output = IoStats;
+    fn add(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            hits: self.hits + rhs.hits,
+            seq_misses: self.seq_misses + rhs.seq_misses,
+            random_misses: self.random_misses + rhs.random_misses,
+            writes: self.writes + rhs.writes,
+            io_time: self.io_time + rhs.io_time,
+        }
+    }
+}
+
+impl std::fmt::Display for IoStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} misses ({} seq, {} rand), {} hits, {} writes, io {:?}",
+            self.misses(),
+            self.seq_misses,
+            self.random_misses,
+            self.hits,
+            self.writes,
+            self.io_time
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_fields() {
+        let a = IoStats {
+            hits: 10,
+            seq_misses: 5,
+            random_misses: 3,
+            writes: 2,
+            io_time: Duration::from_millis(40),
+        };
+        let b = IoStats {
+            hits: 4,
+            seq_misses: 1,
+            random_misses: 2,
+            writes: 0,
+            io_time: Duration::from_millis(16),
+        };
+        let d = a.since(&b);
+        assert_eq!(d.hits, 6);
+        assert_eq!(d.misses(), 5);
+        assert_eq!(d.io_time, Duration::from_millis(24));
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let a = IoStats {
+            hits: 1,
+            seq_misses: 2,
+            random_misses: 3,
+            writes: 4,
+            io_time: Duration::from_micros(5),
+        };
+        let s = a.clone() + a;
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses(), 10);
+        assert_eq!(s.accesses(), 12);
+    }
+}

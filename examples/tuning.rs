@@ -1,0 +1,93 @@
+//! Index-tuning walkthrough: how the OIF's design knobs (block size, tag
+//! prefixes, metadata table, compression) trade space against query I/O —
+//! the ablations DESIGN.md §6 calls out.
+//!
+//! Run with: `cargo run --release --example tuning`
+
+use set_containment::codec::postings::Compression;
+use set_containment::datagen::{QueryKind, SyntheticSpec, WorkloadSpec};
+use set_containment::oif::{BlockConfig, Oif, OifConfig};
+
+fn main() {
+    let data = SyntheticSpec {
+        num_records: 60_000,
+        vocab_size: 1_000,
+        zipf: 0.8,
+        len_min: 2,
+        len_max: 16,
+        seed: 1,
+    }
+    .generate();
+    let workload = WorkloadSpec {
+        kind: QueryKind::Subset,
+        qs_size: 4,
+        count: 10,
+        seed: 5,
+    }
+    .generate(&data);
+
+    let variants: Vec<(&str, OifConfig)> = vec![
+        ("default (512 B blocks)", OifConfig::default()),
+        (
+            "small blocks (128 B)",
+            OifConfig {
+                block: BlockConfig { target_bytes: 128, tag_prefix: None },
+                ..OifConfig::default()
+            },
+        ),
+        (
+            "large blocks (2 KiB)",
+            OifConfig {
+                block: BlockConfig { target_bytes: 2048, tag_prefix: None },
+                ..OifConfig::default()
+            },
+        ),
+        (
+            "tag prefix = 2 ranks",
+            OifConfig {
+                block: BlockConfig { target_bytes: 512, tag_prefix: Some(2) },
+                ..OifConfig::default()
+            },
+        ),
+        (
+            "no metadata table",
+            OifConfig { use_metadata: false, ..OifConfig::default() },
+        ),
+        (
+            "no compression",
+            OifConfig { compression: Compression::Raw, ..OifConfig::default() },
+        ),
+    ];
+
+    println!(
+        "{:<24} {:>10} {:>10} {:>12} {:>14}",
+        "variant", "blocks", "pages", "index bytes", "avg qry pages"
+    );
+    let mut baseline_answers = None;
+    for (label, cfg) in variants {
+        let idx = Oif::build_with(&data, cfg, None);
+        let pager = idx.pager().clone();
+        let mut total_pages = 0u64;
+        let mut answers = Vec::new();
+        for qs in &workload.queries {
+            pager.clear_cache();
+            pager.reset_stats();
+            answers.push(idx.subset(qs));
+            total_pages += pager.stats().misses();
+        }
+        // Every variant must return identical answers.
+        match &baseline_answers {
+            None => baseline_answers = Some(answers),
+            Some(base) => assert_eq!(base, &answers, "variant {label} disagrees"),
+        }
+        println!(
+            "{:<24} {:>10} {:>10} {:>12} {:>14.1}",
+            label,
+            idx.tree_blocks(),
+            idx.tree_pages(),
+            idx.space().tree_bytes,
+            total_pages as f64 / workload.queries.len() as f64,
+        );
+    }
+    println!("\nAll variants returned identical answers; only cost differs.");
+}

@@ -1,0 +1,88 @@
+//! Web-log session analysis — the paper's running example (§2): records are
+//! user sessions, items are portal areas, and superset queries answer
+//! questions like "which users limited their visit to the main and
+//! downloads sections?".
+//!
+//! Also demonstrates batch maintenance with [`DeltaOif`]: a new day of
+//! sessions is staged in the memory-resident delta (instantly queryable)
+//! and later merged into the disk index, as §4.4 prescribes.
+//!
+//! Run with: `cargo run --release --example weblog_sessions`
+
+use set_containment::datagen::{Dataset, Record};
+use set_containment::oif::{DeltaOif, OifConfig};
+
+fn main() {
+    // One week of portal sessions, msweb-like statistics (294 areas,
+    // skewed popularity, ~3 areas per session).
+    println!("simulating one week of portal sessions ...");
+    let week = Dataset::msweb_like(1, 7);
+    println!(
+        "  {} sessions over {} portal areas, avg {:.1} areas/session",
+        week.len(),
+        week.vocab_size,
+        week.avg_len()
+    );
+    let vocab = week.vocab_size;
+    let next_id = week.records.last().map_or(0, |r| r.id) + 1;
+
+    let mut index = DeltaOif::build(week, OifConfig::default());
+
+    // Items 0 and 1 are the two most visited areas ("main" and
+    // "downloads", say).
+    let main_dl = [0u32, 1];
+    let only_main_dl = index.superset(&main_dl);
+    println!(
+        "\nsuperset {{main, downloads}}: {} sessions never left those areas",
+        only_main_dl.len()
+    );
+
+    let visited_both = index.subset(&main_dl);
+    println!(
+        "subset {{main, downloads}}: {} sessions visited both areas",
+        visited_both.len()
+    );
+
+    let exactly_main = index.equality(&[0]);
+    println!("equality {{main}}: {} sessions saw only the main page and left", exactly_main.len());
+
+    // A new day of traffic arrives: stage it in the memory-resident delta.
+    println!("\nstaging a new day of sessions in the delta ...");
+    let new_day: Vec<Record> = (0..1000)
+        .map(|i| {
+            let areas = match i % 4 {
+                0 => vec![0],
+                1 => vec![0, 1],
+                2 => vec![0, 1, 2],
+                _ => vec![5, 9],
+            };
+            Record::new(next_id + i, areas)
+        })
+        .collect();
+    index.batch_insert(new_day);
+    println!("  {} sessions pending in the delta", index.pending());
+
+    let with_delta = index.superset(&main_dl);
+    println!(
+        "superset {{main, downloads}} now: {} sessions ({} new)",
+        with_delta.len(),
+        with_delta.len() - only_main_dl.len()
+    );
+    assert!(with_delta.len() > only_main_dl.len());
+
+    // Nightly batch job: merge the delta into the disk index.
+    println!("\nmerging the delta (sort + rebuild, the paper's batch update) ...");
+    let t0 = std::time::Instant::now();
+    index.merge();
+    println!(
+        "  merged in {:?}; index now covers {} sessions",
+        t0.elapsed(),
+        index.main().num_records()
+    );
+    let after_merge = index.superset(&main_dl);
+    assert_eq!(after_merge, with_delta, "answers must survive the merge");
+    println!("  answers identical before and after the merge ✓");
+
+    // Over vocab items guard (silence unused warning politely).
+    let _ = vocab;
+}

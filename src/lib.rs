@@ -1,0 +1,17 @@
+//! Umbrella crate for the OIF set-containment suite.
+//!
+//! This crate re-exports the public API of every crate in the workspace so
+//! that downstream users (and the `examples/` and `tests/` at the repository
+//! root) can depend on a single package.
+//!
+//! See the workspace `README.md` for a tour and `DESIGN.md` for the full
+//! system inventory of this EDBT 2011 reproduction.
+
+pub use btree;
+pub use codec;
+pub use datagen;
+pub use heapfile;
+pub use invfile;
+pub use oif;
+pub use pagestore;
+pub use ubtree;

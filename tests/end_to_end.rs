@@ -1,0 +1,364 @@
+//! Cross-index integration tests: the classic IF, the OIF (all
+//! configurations) and the unordered B-tree must return identical answers
+//! to the brute-force reference on every dataset family of §5, and the OIF
+//! must actually deliver the I/O advantage the paper claims.
+
+use set_containment::codec::postings::Compression;
+use set_containment::datagen::{brute, Dataset, QueryKind, SyntheticSpec, WorkloadSpec};
+use set_containment::invfile::InvertedFile;
+use set_containment::oif::{BlockConfig, Oif, OifConfig};
+use set_containment::ubtree::UnorderedBTree;
+
+fn check_all_indexes(d: &Dataset, sizes: &[usize], seed: u64) {
+    let ifile = InvertedFile::build(d);
+    let oif = Oif::build(d);
+    let oif_nometa = Oif::build_with(
+        d,
+        OifConfig {
+            use_metadata: false,
+            ..OifConfig::default()
+        },
+        None,
+    );
+    let ub = UnorderedBTree::build(d);
+    for kind in QueryKind::ALL {
+        for &size in sizes {
+            let ws = WorkloadSpec {
+                kind,
+                qs_size: size,
+                count: 3,
+                seed: seed + size as u64,
+            }
+            .generate(d);
+            for qs in &ws.queries {
+                let want = match kind {
+                    QueryKind::Subset => brute::subset(d, qs),
+                    QueryKind::Equality => brute::equality(d, qs),
+                    QueryKind::Superset => brute::superset(d, qs),
+                };
+                let mut results = vec![
+                    ("IF", run(&ifile, kind, qs)),
+                    ("OIF", run_oif(&oif, kind, qs)),
+                    ("OIF/nometa", run_oif(&oif_nometa, kind, qs)),
+                    ("UBTree", run_ub(&ub, kind, qs)),
+                ];
+                for (name, got) in &mut results {
+                    got.sort_unstable();
+                    assert_eq!(got, &want, "{name} disagrees on {kind:?} {qs:?}");
+                }
+            }
+        }
+    }
+}
+
+fn run(ix: &InvertedFile, kind: QueryKind, qs: &[u32]) -> Vec<u64> {
+    match kind {
+        QueryKind::Subset => ix.subset(qs),
+        QueryKind::Equality => ix.equality(qs),
+        QueryKind::Superset => ix.superset(qs),
+    }
+}
+
+fn run_oif(ix: &Oif, kind: QueryKind, qs: &[u32]) -> Vec<u64> {
+    match kind {
+        QueryKind::Subset => ix.subset(qs),
+        QueryKind::Equality => ix.equality(qs),
+        QueryKind::Superset => ix.superset(qs),
+    }
+}
+
+fn run_ub(ix: &UnorderedBTree, kind: QueryKind, qs: &[u32]) -> Vec<u64> {
+    match kind {
+        QueryKind::Subset => ix.subset(qs),
+        QueryKind::Equality => ix.equality(qs),
+        QueryKind::Superset => ix.superset(qs),
+    }
+}
+
+#[test]
+fn all_indexes_agree_on_synthetic_default() {
+    let d = SyntheticSpec {
+        num_records: 5_000,
+        vocab_size: 300,
+        zipf: 0.8,
+        len_min: 2,
+        len_max: 20,
+        seed: 1,
+    }
+    .generate();
+    check_all_indexes(&d, &[2, 3, 5, 8], 100);
+}
+
+#[test]
+fn all_indexes_agree_on_uniform_distribution() {
+    let d = SyntheticSpec {
+        num_records: 4_000,
+        vocab_size: 100,
+        zipf: 0.0,
+        len_min: 1,
+        len_max: 12,
+        seed: 2,
+    }
+    .generate();
+    check_all_indexes(&d, &[1, 2, 4], 200);
+}
+
+#[test]
+fn all_indexes_agree_on_heavy_skew() {
+    let d = SyntheticSpec {
+        num_records: 4_000,
+        vocab_size: 500,
+        zipf: 1.2,
+        len_min: 1,
+        len_max: 15,
+        seed: 3,
+    }
+    .generate();
+    check_all_indexes(&d, &[1, 2, 4, 6], 300);
+}
+
+#[test]
+fn all_indexes_agree_on_msweb_like() {
+    let mut d = Dataset::msweb_like(1, 4);
+    d.records.truncate(6_000);
+    check_all_indexes(&d, &[1, 2, 3], 400);
+}
+
+#[test]
+fn all_indexes_agree_on_msnbc_like() {
+    let mut d = Dataset::msnbc_like(100, 5);
+    d.records.truncate(6_000);
+    check_all_indexes(&d, &[2, 4, 6], 500);
+}
+
+#[test]
+fn paper_fig1_examples_on_every_index() {
+    let d = Dataset::paper_fig1();
+    let ifile = InvertedFile::build(&d);
+    let oif = Oif::build(&d);
+    let ub = UnorderedBTree::build(&d);
+    // §2's worked answers.
+    assert_eq!(ifile.subset(&[0, 3]), vec![101, 104, 114]);
+    assert_eq!(oif.subset(&[0, 3]), vec![101, 104, 114]);
+    assert_eq!(ub.subset(&[0, 3]), vec![101, 104, 114]);
+    assert_eq!(oif.superset(&[0, 2]), vec![106, 113]);
+    assert_eq!(ifile.superset(&[0, 2]), vec![106, 113]);
+    assert_eq!(ub.superset(&[0, 2]), vec![106, 113]);
+}
+
+#[test]
+fn oif_subset_advantage_grows_with_query_size() {
+    // §5, "Subset": "As the length of the query set grows ... [the OIF's]
+    // cost drops, unlike the case of the IF, which suffers when it has to
+    // examine many inverted lists". At small |qs| and small |D| the paper
+    // itself reports parity ("the random access I/O nullifies the
+    // advantages of the OIF ... for the smallest dataset"); the robust,
+    // scale-independent claim is the trend — which must also end with the
+    // OIF clearly ahead at large |qs|.
+    let d = SyntheticSpec {
+        num_records: 60_000,
+        vocab_size: 600,
+        zipf: 0.8,
+        len_min: 2,
+        len_max: 20,
+        seed: 6,
+    }
+    .generate();
+    let ifile = InvertedFile::build(&d);
+    let oif = Oif::build(&d);
+    let mut ratios = Vec::new();
+    let mut last = (0u64, 0u64);
+    for qs_size in [2usize, 10] {
+        let ws = WorkloadSpec {
+            kind: QueryKind::Subset,
+            qs_size,
+            count: 10,
+            seed: 9,
+        }
+        .generate(&d);
+        let (mut if_pages, mut oif_pages) = (0u64, 0u64);
+        for qs in &ws.queries {
+            let p = ifile.pager();
+            p.clear_cache();
+            p.reset_stats();
+            let a = ifile.subset(qs);
+            if_pages += p.stats().misses();
+
+            let p = oif.pager();
+            p.clear_cache();
+            p.reset_stats();
+            let b = oif.subset(qs);
+            oif_pages += p.stats().misses();
+            assert_eq!(a, b);
+        }
+        ratios.push(oif_pages as f64 / if_pages as f64);
+        last = (oif_pages, if_pages);
+    }
+    assert!(
+        ratios[1] < ratios[0],
+        "OIF/IF page ratio must improve with |qs|: {ratios:?}"
+    );
+    assert!(
+        last.0 * 3 < last.1 * 2,
+        "OIF should be clearly ahead at |qs|=10: OIF {} vs IF {}",
+        last.0,
+        last.1
+    );
+}
+
+#[test]
+fn oif_equality_cost_is_flat_while_if_grows() {
+    // §4.2/§5: OIF equality cost is ~constant in |D|; the IF's grows
+    // linearly with the lists.
+    let mut if_costs = Vec::new();
+    let mut oif_costs = Vec::new();
+    for n in [10_000usize, 80_000] {
+        let d = SyntheticSpec {
+            num_records: n,
+            vocab_size: 400,
+            zipf: 0.8,
+            len_min: 2,
+            len_max: 12,
+            seed: 8,
+        }
+        .generate();
+        let ifile = InvertedFile::build(&d);
+        let oif = Oif::build(&d);
+        let ws = WorkloadSpec {
+            kind: QueryKind::Equality,
+            qs_size: 3,
+            count: 8,
+            seed: 3,
+        }
+        .generate(&d);
+        let (mut fi, mut fo) = (0u64, 0u64);
+        for qs in &ws.queries {
+            let p = ifile.pager();
+            p.clear_cache();
+            p.reset_stats();
+            ifile.equality(qs);
+            fi += p.stats().misses();
+            let p = oif.pager();
+            p.clear_cache();
+            p.reset_stats();
+            oif.equality(qs);
+            fo += p.stats().misses();
+        }
+        if_costs.push(fi);
+        oif_costs.push(fo);
+    }
+    assert!(
+        if_costs[1] > if_costs[0] * 3,
+        "IF equality cost should grow with |D|: {if_costs:?}"
+    );
+    assert!(
+        oif_costs[1] < oif_costs[0] * 2,
+        "OIF equality cost should stay near-flat: {oif_costs:?}"
+    );
+}
+
+#[test]
+fn unordered_btree_is_more_compact_than_oif() {
+    // §5: "we ended up with a more compact structure compared to the OIF".
+    let d = SyntheticSpec {
+        num_records: 20_000,
+        vocab_size: 300,
+        zipf: 0.8,
+        len_min: 2,
+        len_max: 12,
+        seed: 10,
+    }
+    .generate();
+    let oif = Oif::build(&d);
+    // The paper's compactness claim is about key overhead: id-only keys vs
+    // whole-record tags. Compare at equal posting counts (OIF without its
+    // metadata table, which would otherwise strip one posting per record).
+    let oif_nometa = Oif::build_with(
+        &d,
+        OifConfig {
+            use_metadata: false,
+            ..OifConfig::default()
+        },
+        None,
+    );
+    let ub = UnorderedBTree::build_with(
+        &d,
+        512,
+        set_containment::pagestore::Pager::new(),
+        Compression::VByteDGap,
+    );
+    assert!(
+        ub.bytes_on_disk() <= oif_nometa.space().tree_bytes,
+        "ubtree {} vs OIF(no meta) tree {}",
+        ub.bytes_on_disk(),
+        oif_nometa.space().tree_bytes
+    );
+    // But the OIF still prunes better on subset queries.
+    let ws = WorkloadSpec {
+        kind: QueryKind::Subset,
+        qs_size: 2,
+        count: 10,
+        seed: 4,
+    }
+    .generate(&d);
+    let (mut ub_pages, mut oif_pages) = (0u64, 0u64);
+    for qs in &ws.queries {
+        let p = ub.pager();
+        p.clear_cache();
+        p.reset_stats();
+        ub.subset(qs);
+        ub_pages += p.stats().misses();
+        let p = oif.pager();
+        p.clear_cache();
+        p.reset_stats();
+        oif.subset(qs);
+        oif_pages += p.stats().misses();
+    }
+    assert!(
+        oif_pages < ub_pages,
+        "OIF ordering should beat the unordered B-tree: OIF {oif_pages} vs UB {ub_pages}"
+    );
+}
+
+#[test]
+fn block_config_sweep_preserves_answers() {
+    let d = SyntheticSpec {
+        num_records: 3_000,
+        vocab_size: 150,
+        zipf: 0.8,
+        len_min: 1,
+        len_max: 12,
+        seed: 11,
+    }
+    .generate();
+    let ws = WorkloadSpec {
+        kind: QueryKind::Subset,
+        qs_size: 3,
+        count: 5,
+        seed: 12,
+    }
+    .generate(&d);
+    let reference: Vec<Vec<u64>> = ws.queries.iter().map(|q| brute::subset(&d, q)).collect();
+    for target in [64usize, 256, 1024, 4096] {
+        for prefix in [None, Some(1), Some(3)] {
+            let idx = Oif::build_with(
+                &d,
+                OifConfig {
+                    block: BlockConfig {
+                        target_bytes: target,
+                        tag_prefix: prefix,
+                    },
+                    ..OifConfig::default()
+                },
+                None,
+            );
+            for (q, want) in ws.queries.iter().zip(&reference) {
+                assert_eq!(
+                    &idx.subset(q),
+                    want,
+                    "target={target} prefix={prefix:?} q={q:?}"
+                );
+            }
+        }
+    }
+}

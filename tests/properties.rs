@@ -1,0 +1,143 @@
+//! Property-based tests over *arbitrary* databases and queries.
+//!
+//! The per-crate tests draw queries from existing records (the paper's
+//! protocol); these properties additionally exercise queries with empty
+//! answers, items that appear nowhere, duplicate set-values and length-1
+//! records — everything a fuzzer can reach — across every index.
+
+use proptest::prelude::*;
+use set_containment::datagen::{brute, Dataset};
+use set_containment::invfile::InvertedFile;
+use set_containment::oif::{BlockConfig, DeltaOif, Oif, OifConfig};
+use set_containment::ubtree::UnorderedBTree;
+
+const VOCAB: u32 = 24;
+
+fn arb_dataset(max_records: usize) -> impl Strategy<Value = Dataset> {
+    proptest::collection::vec(
+        proptest::collection::btree_set(0..VOCAB, 1..8),
+        1..max_records,
+    )
+    .prop_map(|sets| {
+        Dataset::from_items(
+            sets.into_iter().map(|s| s.into_iter().collect()).collect(),
+            VOCAB as usize,
+        )
+    })
+}
+
+fn arb_query() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::btree_set(0..VOCAB, 1..6).prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn oif_matches_brute_force_on_arbitrary_queries(
+        d in arb_dataset(120),
+        queries in proptest::collection::vec(arb_query(), 1..8),
+    ) {
+        let idx = Oif::build(&d);
+        for q in &queries {
+            prop_assert_eq!(idx.subset(q), brute::subset(&d, q), "subset {:?}", q);
+            prop_assert_eq!(idx.equality(q), brute::equality(&d, q), "equality {:?}", q);
+            prop_assert_eq!(idx.superset(q), brute::superset(&d, q), "superset {:?}", q);
+        }
+    }
+
+    #[test]
+    fn all_indexes_agree_on_arbitrary_input(
+        d in arb_dataset(80),
+        q in arb_query(),
+    ) {
+        let oif = Oif::build(&d);
+        let ifile = InvertedFile::build(&d);
+        let ub = UnorderedBTree::build(&d);
+        let want = brute::subset(&d, &q);
+        prop_assert_eq!(oif.subset(&q), want.clone());
+        let mut got = ifile.subset(&q);
+        got.sort_unstable();
+        prop_assert_eq!(got, want.clone());
+        prop_assert_eq!(ub.subset(&q), want);
+
+        let want = brute::superset(&d, &q);
+        prop_assert_eq!(oif.superset(&q), want.clone());
+        let mut got = ifile.superset(&q);
+        got.sort_unstable();
+        prop_assert_eq!(got, want.clone());
+        prop_assert_eq!(ub.superset(&q), want);
+    }
+
+    #[test]
+    fn oif_configs_are_equivalent(
+        d in arb_dataset(80),
+        q in arb_query(),
+        target in 32usize..1024,
+        prefix in proptest::option::of(1usize..4),
+        use_metadata in any::<bool>(),
+    ) {
+        let cfg = OifConfig {
+            block: BlockConfig { target_bytes: target, tag_prefix: prefix },
+            use_metadata,
+            ..OifConfig::default()
+        };
+        let idx = Oif::build_with(&d, cfg, None);
+        prop_assert_eq!(idx.subset(&q), brute::subset(&d, &q));
+        prop_assert_eq!(idx.equality(&q), brute::equality(&d, &q));
+        prop_assert_eq!(idx.superset(&q), brute::superset(&d, &q));
+    }
+
+    #[test]
+    fn metadata_regions_partition_the_id_space(d in arb_dataset(120)) {
+        // Theorem 1: regions are disjoint, contiguous, and cover all
+        // non-empty records.
+        let idx = Oif::build(&d);
+        let mut covered = 0u64;
+        let mut prev_end = 0u64;
+        for rank in 0..idx.vocab_size() as u32 {
+            if let Some(r) = idx.meta().region(rank) {
+                prop_assert!(r.l > prev_end, "regions must not overlap");
+                prop_assert!(r.u >= r.l);
+                prop_assert!(r.u1 <= r.u && r.u1 + 1 >= r.l);
+                prev_end = r.u;
+                covered += r.len();
+            }
+        }
+        prop_assert_eq!(covered, d.records.len() as u64);
+    }
+
+    #[test]
+    fn delta_then_merge_equals_direct_build(
+        base in arb_dataset(60),
+        extra in proptest::collection::vec(
+            proptest::collection::btree_set(0..VOCAB, 1..8), 1..20),
+        q in arb_query(),
+    ) {
+        let base_len = base.records.len() as u64;
+        let mut delta = DeltaOif::build(base.clone(), OifConfig::default());
+        let new_records: Vec<_> = extra
+            .iter()
+            .enumerate()
+            .map(|(i, s)| set_containment::datagen::Record::new(
+                base_len + i as u64,
+                s.iter().copied().collect(),
+            ))
+            .collect();
+        delta.batch_insert(new_records.clone());
+
+        // Combined ground truth.
+        let mut combined = base;
+        combined.records.extend(new_records);
+        let want_sub = brute::subset(&combined, &q);
+        let want_sup = brute::superset(&combined, &q);
+
+        // Before merge (memory-resident delta) ...
+        prop_assert_eq!(delta.subset(&q), want_sub.clone());
+        prop_assert_eq!(delta.superset(&q), want_sup.clone());
+        // ... and after.
+        delta.merge();
+        prop_assert_eq!(delta.subset(&q), want_sub);
+        prop_assert_eq!(delta.superset(&q), want_sup);
+    }
+}
