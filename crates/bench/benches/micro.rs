@@ -104,6 +104,14 @@ fn bench_oif_internals(c: &mut Criterion) {
             idx.equality(black_box(&eq_queries[i]))
         })
     });
+    let sup_queries = bench::workload(&d, datagen::QueryKind::Superset, 4, 97);
+    g.bench_function("superset_query_warm_cache", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % sup_queries.len();
+            idx.superset(black_box(&sup_queries[i]))
+        })
+    });
     g.finish();
 }
 

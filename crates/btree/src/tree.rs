@@ -1,7 +1,7 @@
 //! The B⁺-tree proper: lookups, inserts with split propagation, deletes.
 
-use crate::node::{InternalEntry, LeafEntry, Node, MAX_ENTRY_BYTES};
-use pagestore::{FileId, PageId, Pager};
+use crate::node::{InternalEntry, LeafEntry, Node, NodeRef, OffsetTable, MAX_ENTRY_BYTES};
+use pagestore::{FileId, PageGuard, PageId, Pager};
 
 /// Errors returned by tree operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,6 +94,7 @@ impl BTree {
         self.root
     }
 
+    /// Owned decode of one node — the write path's view.
     fn read_node(&self, page: PageId) -> Node {
         self.pager.with_page(self.file, page, Node::decode)
     }
@@ -102,17 +103,51 @@ impl BTree {
         self.pager.write_page(self.file, page, &node.encode());
     }
 
+    /// Pin one node's page for zero-copy reading (the read path's view).
+    pub(crate) fn pin_node(&self, page: PageId) -> PageGuard {
+        self.pager.pin_page(self.file, page)
+    }
+
+    /// Re-touch a cached node page (a counted cache hit). Used to replay
+    /// the historical read path's access pattern exactly — see
+    /// [`crate::Cursor`].
+    pub(crate) fn touch_node(&self, page: PageId) {
+        self.pager.with_page(self.file, page, |_| ());
+    }
+
     /// Exact-match lookup.
+    ///
+    /// The descent reads borrowed [`NodeRef`] views straight out of pinned
+    /// pages; only the returned value is copied. The leaf is read twice
+    /// (descend + lookup) exactly like the historical owned-decode path, so
+    /// buffer-pool state and page-access counts are unchanged.
     pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
-        let leaf_page = self.descend_to_leaf(key);
-        let node = self.read_node(leaf_page);
-        match node {
-            Node::Leaf { entries, .. } => entries
-                .binary_search_by(|e| e.key.as_slice().cmp(key))
-                .ok()
-                .map(|i| entries[i].value.clone()),
-            Node::Internal { .. } => unreachable!("descend_to_leaf returns a leaf"),
+        let mut table = OffsetTable::new();
+        let mut page = self.root;
+        let leaf_page = loop {
+            let guard = self.pin_node(page);
+            let node = NodeRef::new(guard.bytes());
+            if node.is_leaf() {
+                break page;
+            }
+            node.fill_offsets(&mut table);
+            let idx = node
+                .partition_point(&table, |sep| sep < key)
+                .min(node.count() - 1);
+            page = node.child(&table, idx);
+            // Guard drops here, before the child fetch.
+        };
+        let guard = self.pin_node(leaf_page);
+        let node = NodeRef::new(guard.bytes());
+        node.fill_offsets(&mut table);
+        let idx = node.partition_point(&table, |k| k < key);
+        if idx < node.count() {
+            let (k, v) = node.leaf_entry(&table, idx);
+            if k == key {
+                return Some(v.to_vec());
+            }
         }
+        None
     }
 
     /// True if `key` is present.
@@ -282,21 +317,6 @@ impl BTree {
     /// Cursor over the whole tree from the first entry.
     pub fn scan(&self) -> crate::Cursor<'_> {
         crate::Cursor::seek(self, &[])
-    }
-
-    /// Walk down the leftmost spine (used by full scans).
-    pub(crate) fn leftmost_leaf(&self) -> PageId {
-        let mut page = self.root;
-        loop {
-            match self.read_node(page) {
-                Node::Leaf { .. } => return page,
-                Node::Internal { entries } => page = entries[0].child,
-            }
-        }
-    }
-
-    pub(crate) fn node_for_cursor(&self, page: PageId) -> Node {
-        self.read_node(page)
     }
 
     /// Structural invariant check used by tests and debug assertions: key

@@ -11,10 +11,12 @@
 //! `(record id, record length)` posting-list encoding shared by the classic
 //! inverted file and the OIF.
 
+pub mod accum;
 pub mod dgap;
 pub mod postings;
 pub mod vbyte;
 
+pub use accum::CountAccumulator;
 pub use postings::{Posting, PostingsDecoder, PostingsEncoder};
 pub use vbyte::{decode_u64, encode_u64, encoded_len};
 

@@ -9,13 +9,21 @@
 //! the required items, with the required length/occurrence count. Edge
 //! blocks may contribute postings just outside the RoI; they are filtered
 //! by the same verification.
+//!
+//! The block walks are zero-copy end to end: the B⁺-tree cursor yields
+//! `(&[u8], &[u8])` entries borrowed from pinned buffer-pool pages
+//! ([`btree::Cursor::peek`]), the [`PostingsDecoder`] streams straight out
+//! of the borrowed block payload, and the RoI stop rule compares the raw
+//! tag bytes of the key (big-endian ranks, whose byte order equals the
+//! sequence-form order) against the pre-encoded upper bound. No block key,
+//! block payload or tag is materialised per visited block.
 
 use crate::index::Oif;
 use crate::order::Rank;
 use crate::roi::{self, Roi};
+use codec::accum::CountAccumulator;
 use codec::postings::{Posting, PostingsDecoder};
 use datagen::ItemId;
-use std::collections::HashMap;
 
 /// Last-record-id suffix of a stored block key.
 fn key_last_id(key: &[u8]) -> u64 {
@@ -144,7 +152,7 @@ impl Oif {
         let cap = n as u32;
 
         // id -> (record length, occurrences found across scanned lists).
-        let mut counts: HashMap<u64, (u32, u32)> = HashMap::new();
+        let mut counts = CountAccumulator::new();
         for i in (0..n).rev() {
             let regions = roi::superset_regions(&q, i);
             // With metadata on, the last region (records whose smallest item
@@ -164,7 +172,7 @@ impl Oif {
                     if last_seen.is_none_or(|l| p.id > l) {
                         last_seen = Some(p.id);
                         if p.len <= cap {
-                            counts.entry(p.id).or_insert((p.len, 0)).1 += 1;
+                            counts.add(p.id, p.len);
                         }
                     }
                     Scan::Continue
@@ -182,14 +190,14 @@ impl Oif {
                     out.extend(reg.singleton_range());
                 }
             }
-            for (&id, &(len, found)) in &counts {
+            for (id, len, found) in counts.iter() {
                 let meta_bonus = q.iter().any(|&r| self.meta.smallest_is(r, id)) as u32;
                 if len == found + meta_bonus {
                     out.push(id);
                 }
             }
         } else {
-            for (&id, &(len, found)) in &counts {
+            for (id, len, found) in counts.iter() {
                 if len == found {
                     out.push(id);
                 }
@@ -259,38 +267,57 @@ impl Oif {
                 }
             };
             if need_seek {
+                // Release the previous cursor's page pin *before* the
+                // fresh descent so the buffer pool never evicts around it
+                // (keeps page-access counts identical to the owned-decode
+                // era).
+                drop(cursor.take());
                 cursor = Some(self.tree().seek_by(|key| {
                     let kr = crate::block::key_rank(key);
                     kr < rank || (kr == rank && key_last_id(key) < target)
                 }));
             }
             let cur = cursor.as_mut().expect("cursor set above");
-            let Some((key, value)) = cur.next() else {
-                return;
-            };
-            if crate::block::key_rank(&key) != rank {
+            let mut list_over = false;
+            {
+                let Some((key, value)) = cur.peek() else {
+                    return;
+                };
+                if crate::block::key_rank(key) != rank {
+                    list_over = true;
+                } else {
+                    let block_last = key_last_id(key);
+                    if block_last >= target {
+                        // Merge this block's postings with the candidates,
+                        // decoding straight out of the pinned page.
+                        let mut dec =
+                            PostingsDecoder::with_mode(value, self.config.compression);
+                        while let Some(p) = dec.next_posting().expect("block must decode") {
+                            while ci < candidates.len() && candidates[ci] < p.id {
+                                ci += 1;
+                            }
+                            if ci < candidates.len() && candidates[ci] == p.id {
+                                kept.push(p.id);
+                                ci += 1;
+                            }
+                        }
+                        // Candidates at or below the block's last id that
+                        // were not matched are absent from this list.
+                        while ci < candidates.len() && candidates[ci] <= block_last {
+                            ci += 1;
+                        }
+                    }
+                    current_last = Some(block_last);
+                }
+            }
+            // Step past the entry even when it ends the list: the
+            // historical owned cursor consumed it (possibly loading the
+            // next leaf) before the stop check, and replaying that keeps
+            // page-access counts identical.
+            cur.advance();
+            if list_over {
                 return;
             }
-            let block_last = key_last_id(&key);
-            if block_last >= target {
-                // Merge this block's postings with the candidates.
-                let mut dec = PostingsDecoder::with_mode(&value, self.config.compression);
-                while let Some(p) = dec.next_posting().expect("block must decode") {
-                    while ci < candidates.len() && candidates[ci] < p.id {
-                        ci += 1;
-                    }
-                    if ci < candidates.len() && candidates[ci] == p.id {
-                        kept.push(p.id);
-                        ci += 1;
-                    }
-                }
-                // Candidates at or below the block's last id that were not
-                // matched are absent from this list.
-                while ci < candidates.len() && candidates[ci] <= block_last {
-                    ci += 1;
-                }
-            }
-            current_last = Some(block_last);
         }
     }
 
@@ -304,21 +331,43 @@ impl Oif {
             None => roi.clone(),
         };
         let seek = crate::block::encode_seek(rank, &effective.lower);
+        // The stop rule compares raw tag bytes: tags are big-endian ranks,
+        // so byte order over the key's tag section equals sequence-form
+        // order (asserted by `seqform::tests::encode_preserves_order`) and
+        // no per-block tag decode is needed.
+        let mut upper_bytes = Vec::with_capacity(effective.upper.len() * 4);
+        effective.upper.encode(&mut upper_bytes);
         let mut cursor = self.tree().seek(&seek);
-        while let Some((key, value)) = cursor.next() {
-            if crate::block::key_rank(&key) != rank {
-                break;
-            }
-            let (_, tag, _) = crate::block::decode_key(&key);
-            let past_upper = effective.tag_gt_upper(&tag);
-            let mut dec = PostingsDecoder::with_mode(&value, self.config.compression);
-            while let Some(p) = dec.next_posting().expect("index-owned block must decode") {
-                if on_posting(p) == Scan::Stop {
-                    return;
+        loop {
+            let done = {
+                let Some((key, value)) = cursor.peek() else {
+                    break;
+                };
+                if crate::block::key_rank(key) != rank {
+                    true
+                } else {
+                    let tag_bytes = &key[4..key.len() - 8];
+                    let past_upper = tag_bytes > upper_bytes.as_slice();
+                    let mut dec = PostingsDecoder::with_mode(value, self.config.compression);
+                    let mut stopped = false;
+                    while let Some(p) =
+                        dec.next_posting().expect("index-owned block must decode")
+                    {
+                        if on_posting(p) == Scan::Stop {
+                            stopped = true;
+                            break;
+                        }
+                    }
+                    past_upper || stopped
                 }
-            }
-            if past_upper {
-                break;
+            };
+            // Step past the entry before acting on the stop conditions:
+            // the historical owned cursor consumed each entry (possibly
+            // loading the next leaf) before the loop body examined it, and
+            // replaying that keeps page-access counts identical.
+            cursor.advance();
+            if done {
+                return;
             }
         }
     }
@@ -445,6 +494,36 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn zero_copy_block_walk_matches_owned_decode_across_configs() {
+        // The borrowed peek/advance walk over the block B⁺-tree must agree
+        // entry-for-entry with the owned Node-decode iteration (the
+        // `Iterator` impl), for every block sizing / tagging / compression
+        // configuration. Together with `matches_brute_force_across_configs`
+        // this pins the zero-copy read path to the owned-decode semantics.
+        let d = SyntheticSpec {
+            num_records: 2000,
+            vocab_size: 80,
+            zipf: 0.8,
+            len_min: 1,
+            len_max: 12,
+            seed: 5,
+        }
+        .generate();
+        for cfg in configs() {
+            let idx = Oif::build_with(&d, cfg.clone(), None);
+            let owned: Vec<(Vec<u8>, Vec<u8>)> = idx.tree().scan().collect();
+            let mut borrowed = Vec::new();
+            let mut c = idx.tree().scan();
+            while let Some((k, v)) = c.peek() {
+                borrowed.push((k.to_vec(), v.to_vec()));
+                c.advance();
+            }
+            assert_eq!(owned, borrowed, "{cfg:?}");
+            assert_eq!(owned.len() as u64, idx.tree_blocks(), "{cfg:?}");
         }
     }
 

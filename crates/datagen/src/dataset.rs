@@ -3,7 +3,6 @@
 use crate::zipf::Zipf;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// An item of the vocabulary `I` (dense, `0..vocab_size`).
 pub type ItemId = u32;
@@ -12,7 +11,7 @@ pub type ItemId = u32;
 ///
 /// `items` is kept sorted by item id and duplicate-free — the canonical set
 /// representation used throughout the workspace.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Record {
     pub id: u64,
     pub items: Vec<ItemId>,
@@ -46,7 +45,7 @@ impl Record {
 }
 
 /// Parameters of a synthetic database (§5, "Data").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SyntheticSpec {
     /// Number of records (`|D|`).
     pub num_records: usize,
@@ -127,7 +126,7 @@ fn sample_distinct(zipf: &Zipf, len: usize, rng: &mut StdRng, out: &mut Vec<Item
 }
 
 /// A database of set-valued records over vocabulary `0..vocab_size`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     pub records: Vec<Record>,
     pub vocab_size: usize,

@@ -15,10 +15,9 @@ use crate::dataset::{Dataset, ItemId};
 use rand::prelude::IndexedRandom;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// The three containment predicates of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QueryKind {
     Subset,
     Equality,
@@ -38,7 +37,7 @@ impl QueryKind {
 }
 
 /// Workload parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadSpec {
     pub kind: QueryKind,
     /// Query-set size `|qs|`.
@@ -49,7 +48,7 @@ pub struct WorkloadSpec {
 }
 
 /// A generated batch of query sets (each sorted by item id).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QuerySet {
     pub kind: QueryKind,
     pub queries: Vec<Vec<ItemId>>,

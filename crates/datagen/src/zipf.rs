@@ -6,7 +6,7 @@
 //! inverse-CDF table + binary search, so draws are O(log |I|) and exactly
 //! reproducible from a seed.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A Zipf(s) distribution over `{0, 1, …, n-1}` (0 = most frequent).
 #[derive(Debug, Clone)]

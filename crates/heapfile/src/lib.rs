@@ -75,18 +75,33 @@ impl HeapFile {
 
     /// Read the whole blob stored under `key`.
     pub fn get(&self, key: u32) -> Option<Vec<u8>> {
-        let loc = *self.directory.get(&key)?;
-        let mut out = vec![0u8; loc.byte_len as usize];
+        let mut out = Vec::new();
+        self.read_into(key, &mut out).then_some(out)
+    }
+
+    /// Read the whole blob stored under `key` into `out` (cleared first),
+    /// reusing `out`'s allocation. Returns false when the key is absent.
+    ///
+    /// Query evaluation calls this with one scratch buffer per query, so a
+    /// multi-list merge performs no per-list allocation; each cached page
+    /// is copied out exactly once (no intermediate page buffer).
+    pub fn read_into(&self, key: u32, out: &mut Vec<u8>) -> bool {
+        let Some(loc) = self.directory.get(&key).copied() else {
+            return false;
+        };
+        out.clear();
+        out.reserve(loc.byte_len as usize);
         let n_pages = (loc.byte_len as usize).div_ceil(PAGE_SIZE).max(1);
-        let mut page_buf = vec![0u8; PAGE_SIZE];
+        let mut remaining = loc.byte_len as usize;
         for i in 0..n_pages {
             self.pager
-                .read_page(self.file, loc.first_page + i as u64, &mut page_buf);
-            let start = i * PAGE_SIZE;
-            let end = ((i + 1) * PAGE_SIZE).min(loc.byte_len as usize);
-            out[start..end].copy_from_slice(&page_buf[..end - start]);
+                .with_page(self.file, loc.first_page + i as u64, |page| {
+                    let take = remaining.min(PAGE_SIZE);
+                    out.extend_from_slice(&page[..take]);
+                    remaining -= take;
+                });
         }
-        Some(out)
+        true
     }
 
     /// Byte length of the blob under `key` without touching the disk.

@@ -1,6 +1,6 @@
 //! The inverted-file structure and its bookkeeping.
 
-use codec::postings::{decode_postings_mode, Compression, Posting};
+use codec::postings::{Compression, Posting, PostingsDecoder};
 use datagen::{Dataset, ItemId, Record};
 use heapfile::HeapFile;
 use pagestore::Pager;
@@ -62,11 +62,37 @@ impl InvertedFile {
 
     /// Fetch and decode the whole inverted list of `item`.
     pub(crate) fn fetch_list(&self, item: ItemId) -> Vec<Posting> {
-        match self.store.get(item) {
-            Some(bytes) => decode_postings_mode(&bytes, self.compression)
-                .expect("index-owned list must decode"),
-            None => Vec::new(),
+        let mut bytes = Vec::new();
+        let mut out = Vec::new();
+        self.fetch_list_into(item, &mut bytes, &mut out);
+        out
+    }
+
+    /// Fetch `item`'s list into `out` (cleared first), reusing both the
+    /// byte scratch buffer and the postings buffer. The query paths call
+    /// this with per-query scratch space so a multi-list merge performs no
+    /// per-list allocation.
+    pub(crate) fn fetch_list_into(
+        &self,
+        item: ItemId,
+        bytes: &mut Vec<u8>,
+        out: &mut Vec<Posting>,
+    ) {
+        out.clear();
+        if !self.store.read_into(item, bytes) {
+            return;
         }
+        let mut dec = PostingsDecoder::with_mode(bytes, self.compression);
+        while let Some(p) = dec.next_posting().expect("index-owned list must decode") {
+            out.push(p);
+        }
+    }
+
+    /// Fetch `item`'s raw encoded list into `bytes` (cleared first);
+    /// returns false when the item has no list. Lets callers stream-decode
+    /// without materialising a postings vector at all.
+    pub(crate) fn fetch_bytes_into(&self, item: ItemId, bytes: &mut Vec<u8>) -> bool {
+        self.store.read_into(item, bytes)
     }
 
     /// Append a batch of new records (§4.4-style maintenance). Each

@@ -1,6 +1,14 @@
 //! Merge-join query evaluation over the classic inverted file (§2).
+//!
+//! Each query reuses a fixed set of scratch buffers (one byte buffer for
+//! the fetched list, ping-pong postings buffers for the merge), so a
+//! multi-list query performs no per-list allocation; the superset merge
+//! additionally stream-decodes each list straight out of the byte buffer
+//! without materialising postings at all.
 
 use crate::index::InvertedFile;
+use codec::accum::CountAccumulator;
+use codec::postings::PostingsDecoder;
 use codec::Posting;
 use datagen::ItemId;
 
@@ -18,17 +26,10 @@ impl InvertedFile {
         let mut items = qs.to_vec();
         // Shortest list first.
         items.sort_unstable_by_key(|&i| self.support(i));
-        let mut candidates = self.fetch_list(items[0]);
-        for &item in &items[1..] {
-            if candidates.is_empty() {
-                // Still fetch nothing further: the merge-join is over. The
-                // paper's IF likewise stops on an empty intermediate result.
-                return Vec::new();
-            }
-            let list = self.fetch_list(item);
-            candidates = intersect(&candidates, &list);
-        }
-        candidates.into_iter().map(|p| p.id).collect()
+        let mut bytes = Vec::new();
+        let mut candidates = Vec::new();
+        self.fetch_list_into(items[0], &mut bytes, &mut candidates);
+        self.intersect_rest(&items[1..], candidates, bytes)
     }
 
     /// Equality query: ids of records whose set-value equals `qs`.
@@ -43,17 +44,32 @@ impl InvertedFile {
         let want = qs.len() as u32;
         let mut items = qs.to_vec();
         items.sort_unstable_by_key(|&i| self.support(i));
-        let mut candidates: Vec<Posting> = self
-            .fetch_list(items[0])
-            .into_iter()
-            .filter(|p| p.len == want)
-            .collect();
-        for &item in &items[1..] {
+        let mut bytes = Vec::new();
+        let mut candidates = Vec::new();
+        self.fetch_list_into(items[0], &mut bytes, &mut candidates);
+        candidates.retain(|p| p.len == want);
+        self.intersect_rest(&items[1..], candidates, bytes)
+    }
+
+    /// Shared tail of subset/equality: intersect `candidates` with the
+    /// lists of `items`, reusing the two scratch buffers throughout.
+    fn intersect_rest(
+        &self,
+        items: &[ItemId],
+        mut candidates: Vec<Posting>,
+        mut bytes: Vec<u8>,
+    ) -> Vec<u64> {
+        let mut list = Vec::new();
+        let mut merged = Vec::new();
+        for &item in items {
             if candidates.is_empty() {
+                // Still fetch nothing further: the merge-join is over. The
+                // paper's IF likewise stops on an empty intermediate result.
                 return Vec::new();
             }
-            let list = self.fetch_list(item);
-            candidates = intersect(&candidates, &list);
+            self.fetch_list_into(item, &mut bytes, &mut list);
+            intersect_into(&candidates, &list, &mut merged);
+            std::mem::swap(&mut candidates, &mut merged);
         }
         candidates.into_iter().map(|p| p.id).collect()
     }
@@ -66,29 +82,34 @@ impl InvertedFile {
     /// item outside `qs` (§2).
     pub fn superset(&self, qs: &[ItemId]) -> Vec<u64> {
         debug_assert!(qs.windows(2).all(|w| w[0] < w[1]));
-        // (id, len) -> occurrences, via a k-way merge accumulated in order.
-        let lists: Vec<Vec<Posting>> = qs.iter().map(|&i| self.fetch_list(i)).collect();
-        let mut counts: std::collections::HashMap<u64, (u32, u32)> = std::collections::HashMap::new();
-        for list in &lists {
-            for p in list {
-                let e = counts.entry(p.id).or_insert((p.len, 0));
-                debug_assert_eq!(e.0, p.len, "inconsistent stored lengths");
-                e.1 += 1;
+        // (id, len) -> occurrences, streamed list by list. Record ids are
+        // the original (0-based) ids here, so they are stored shifted by
+        // +1 to satisfy the accumulator's non-zero key requirement.
+        let mut bytes = Vec::new();
+        let mut counts = CountAccumulator::new();
+        for &item in qs {
+            if !self.fetch_bytes_into(item, &mut bytes) {
+                continue;
+            }
+            let mut dec = PostingsDecoder::with_mode(&bytes, self.compression);
+            while let Some(p) = dec.next_posting().expect("index-owned list must decode") {
+                counts.add(p.id + 1, p.len);
             }
         }
         let mut out: Vec<u64> = counts
-            .into_iter()
-            .filter(|&(_, (len, found))| len == found)
-            .map(|(id, _)| id)
+            .iter()
+            .filter(|&(_, len, found)| len == found)
+            .map(|(id, _, _)| id - 1)
             .collect();
         out.sort_unstable();
         out
     }
 }
 
-/// Sorted-list intersection keeping the left side's lengths.
-fn intersect(a: &[Posting], b: &[Posting]) -> Vec<Posting> {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
+/// Sorted-list intersection into `out` (cleared first), keeping the left
+/// side's lengths.
+fn intersect_into(a: &[Posting], b: &[Posting], out: &mut Vec<Posting>) {
+    out.clear();
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         match a[i].id.cmp(&b[j].id) {
@@ -101,7 +122,6 @@ fn intersect(a: &[Posting], b: &[Posting]) -> Vec<Posting> {
             }
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -1,46 +1,106 @@
-//! LRU buffer pool over the simulated disk.
+//! Buffer pool over the simulated disk: scan-resistant cold/hot eviction,
+//! pin-counted frames, and miss classification.
 //!
 //! The pool is deliberately small by default (32 KiB — the paper's §5
 //! setting: "we set up the database cache to the minimum (32K)"), so that
 //! query evaluation is I/O-bound and the miss counters approximate the true
 //! disk page accesses an index incurs.
+//!
+//! ## Eviction policy
+//!
+//! Eviction prefers *cold* frames (touched only once since load) over *hot*
+//! ones, oldest first, so a long sequential scan cannot flush hot pages such
+//! as B-tree roots — the scan-resistant "midpoint" policy real database
+//! caches (incl. Berkeley DB's priority buffers) use. When every frame is
+//! hot, the whole pool ages back to cold (epoch reset) so stale hot pages
+//! cannot monopolise the cache.
+//!
+//! The policy is realised as two intrusive lists (cold, FIFO by load order;
+//! hot, LRU by last touch) instead of the historical O(capacity) scan for a
+//! minimum `(hot, last_used)` pair. Both pick the **same victim**: the cold
+//! list is only ever appended to in load order (and the epoch splice
+//! preserves the hot list's LRU order), so its head is exactly the
+//! least-recently-used cold frame. Eviction is O(1) amortized, and page
+//! access counts are reproducible across the policy's two implementations.
+//!
+//! ## Pinned frames
+//!
+//! [`BufferPool::pin`] increments a frame's pin count; pinned frames are
+//! exempt from eviction and from [`BufferPool::clear_cache`], and writing to
+//! a pinned page panics. Frame buffers live in stable heap allocations that
+//! are never moved or freed while pinned, which is what lets
+//! [`PageGuard`](crate::PageGuard) hand out `&[u8]` page bytes without
+//! copying while the pool keeps serving other pages. If every frame is
+//! pinned, the pool grows past its capacity rather than deadlocking (the
+//! overflow drains again as pins are released and frames are evicted).
 
 use crate::cost::IoCostModel;
 use crate::disk::{Disk, FileId, PageId, PAGE_SIZE};
 use crate::stats::IoStats;
 use std::collections::HashMap;
+use std::ptr::NonNull;
 
-/// A cached page frame.
+/// Sentinel for "no frame" in the intrusive lists.
+const NIL: u32 = u32::MAX;
+
+/// A cached page frame. The page bytes live in a stable heap allocation
+/// owned by the pool (`data` is a `Box` turned raw), so frames can be moved
+/// between slots and lists without invalidating outstanding page guards.
 struct Frame {
     phys: u64,
-    data: Box<[u8; PAGE_SIZE]>,
+    data: NonNull<[u8; PAGE_SIZE]>,
     dirty: bool,
-    /// Logical timestamp of last use, for LRU eviction.
-    last_used: u64,
-    /// Touched more than once since load. Eviction prefers cold frames, so
-    /// a long sequential scan (every page touched once) cannot flush hot
-    /// pages such as B-tree roots — the scan-resistant "midpoint" policy
-    /// real database caches (incl. Berkeley DB's priority buffers) use.
+    /// Touched more than once since load; hot frames live in the hot list.
     hot: bool,
+    /// Outstanding [`PageGuard`](crate::PageGuard)s on this frame.
+    pin_count: u32,
+    /// Intrusive cold/hot list links (slot indices).
+    prev: u32,
+    next: u32,
 }
 
-/// An LRU page cache with miss classification and cost accounting.
+/// Head/tail of one intrusive frame list.
+#[derive(Clone, Copy)]
+struct FrameList {
+    head: u32,
+    tail: u32,
+}
+
+impl FrameList {
+    const EMPTY: FrameList = FrameList {
+        head: NIL,
+        tail: NIL,
+    };
+}
+
+/// A page cache with scan-resistant eviction, pin-counted frames, miss
+/// classification and cost accounting.
 ///
 /// Most callers use the [`Pager`](crate::Pager) wrapper; the pool itself is
 /// exposed for tests and custom configurations.
 pub struct BufferPool {
     disk: Disk,
     capacity: usize,
+    /// Frame slots; indices are stable (freed slots are reused, never
+    /// compacted) so list links and the `map` stay valid.
     frames: Vec<Frame>,
-    /// phys page -> frame index
-    map: HashMap<u64, usize>,
-    clock: u64,
+    /// Free slot indices (page buffer allocations are kept for reuse).
+    free: Vec<u32>,
+    /// phys page -> slot index of the cached frame.
+    map: HashMap<u64, u32>,
+    cold: FrameList,
+    hot: FrameList,
     /// Physical page of the most recent *disk fetch* (not cache hit), used to
     /// classify the next miss as sequential or random.
     last_fetched: Option<u64>,
     stats: IoStats,
     cost: IoCostModel,
 }
+
+// SAFETY: the raw frame buffers are owned exclusively by the pool (guards
+// only read them, and only while the pool enforces their pin); nothing is
+// tied to a particular thread.
+unsafe impl Send for BufferPool {}
 
 impl BufferPool {
     /// Create a pool caching at most `cache_bytes / PAGE_SIZE` pages
@@ -51,17 +111,25 @@ impl BufferPool {
             disk,
             capacity,
             frames: Vec::new(),
+            free: Vec::new(),
             map: HashMap::new(),
-            clock: 0,
+            cold: FrameList::EMPTY,
+            hot: FrameList::EMPTY,
             last_fetched: None,
             stats: IoStats::default(),
             cost,
         }
     }
 
-    /// Number of page frames the pool may hold.
+    /// Number of page frames the pool may hold (pins may transiently push it
+    /// above this).
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Number of frames currently cached.
+    pub fn cached_frames(&self) -> usize {
+        self.map.len()
     }
 
     pub fn disk(&self) -> &Disk {
@@ -91,14 +159,8 @@ impl BufferPool {
     pub fn allocate_page(&mut self, file: FileId) -> PageId {
         let page = self.disk.allocate_page(file);
         let phys = self.disk.phys(file, page);
-        let frame = Frame {
-            phys,
-            data: Box::new([0u8; PAGE_SIZE]),
-            dirty: true,
-            last_used: self.tick(),
-            hot: false,
-        };
-        self.install(frame);
+        let data = Box::new([0u8; PAGE_SIZE]);
+        self.install(phys, data, true);
         page
     }
 
@@ -110,58 +172,108 @@ impl BufferPool {
     /// Borrow a page's bytes without copying.
     pub fn with_page<R>(&mut self, file: FileId, page: PageId, f: impl FnOnce(&[u8]) -> R) -> R {
         let idx = self.fetch(file, page);
-        let tick = self.tick();
-        self.frames[idx].last_used = tick;
-        f(&self.frames[idx].data[..])
+        // SAFETY: `idx` is a live frame; the shared borrow lasts only for
+        // `f`, and the pool is exclusively borrowed meanwhile.
+        f(unsafe { &self.frames[idx as usize].data.as_ref()[..] })
     }
 
-    /// Mark a frame hot when it is touched again after its load.
-    fn touch(&mut self, idx: usize) {
-        let tick = self.tick();
+    /// Pin a page, returning a pointer to its (stable) bytes and its
+    /// physical page number for [`BufferPool::unpin`]. While the pin is
+    /// held the frame is exempt from eviction and `clear_cache`, and writes
+    /// to the page panic.
+    ///
+    /// The caller (normally [`Pager::pin_page`](crate::Pager::pin_page))
+    /// must guarantee the pool outlives the pin and must not mutate the
+    /// page while any pin is outstanding.
+    pub fn pin(&mut self, file: FileId, page: PageId) -> (NonNull<[u8; PAGE_SIZE]>, u64) {
+        let idx = self.fetch(file, page) as usize;
         let frame = &mut self.frames[idx];
-        frame.last_used = tick;
-        frame.hot = true;
+        frame.pin_count = frame
+            .pin_count
+            .checked_add(1)
+            .expect("pin count overflow");
+        (frame.data, frame.phys)
     }
 
-    /// Overwrite a whole page.
+    /// Add a pin to the already-pinned frame holding physical page `phys`
+    /// (guard cloning). Unlike [`BufferPool::pin`] this is not a page
+    /// access: no fetch happens and no counter moves.
+    pub fn repin(&mut self, phys: u64) {
+        let idx = *self.map.get(&phys).expect("repin of uncached page") as usize;
+        let frame = &mut self.frames[idx];
+        assert!(frame.pin_count > 0, "repin requires an existing pin");
+        frame.pin_count += 1;
+    }
+
+    /// Release one pin on the frame holding physical page `phys`.
+    pub fn unpin(&mut self, phys: u64) {
+        let idx = *self.map.get(&phys).expect("unpin of uncached page") as usize;
+        let frame = &mut self.frames[idx];
+        assert!(frame.pin_count > 0, "unpin without pin");
+        frame.pin_count -= 1;
+    }
+
+    /// Pin count of the frame caching `(file, page)`, if cached.
+    pub fn pin_count(&self, file: FileId, page: PageId) -> Option<u32> {
+        let phys = self.disk.phys(file, page);
+        self.map
+            .get(&phys)
+            .map(|&idx| self.frames[idx as usize].pin_count)
+    }
+
+    /// Overwrite a whole page. Panics if the page is pinned: a pinned
+    /// frame's bytes are borrowed by [`PageGuard`](crate::PageGuard)s.
     pub fn write_page(&mut self, file: FileId, page: PageId, data: &[u8]) {
         assert_eq!(data.len(), PAGE_SIZE, "write_page requires a full page");
-        let idx = self.fetch(file, page);
-        let tick = self.tick();
+        let idx = self.fetch(file, page) as usize;
         let frame = &mut self.frames[idx];
-        frame.data.copy_from_slice(data);
+        assert_eq!(
+            frame.pin_count, 0,
+            "cannot write page {page} of {file:?}: page is pinned"
+        );
+        // SAFETY: the frame is live and unpinned, so no shared borrows of
+        // its bytes exist outside this exclusive borrow of the pool.
+        unsafe { frame.data.as_mut().copy_from_slice(data) };
         frame.dirty = true;
-        frame.last_used = tick;
     }
 
-    /// Write every dirty frame back to disk (charging write costs) and drop
-    /// all frames.
+    /// Write every dirty unpinned frame back to disk (charging write costs)
+    /// and drop those frames. Pinned frames stay cached — their bytes are
+    /// still borrowed — and keep their dirty flag for a later write-back.
     pub fn clear_cache(&mut self) {
-        let frames = std::mem::take(&mut self.frames);
-        self.map.clear();
-        for frame in frames {
-            self.write_back(frame);
+        let indices: Vec<u32> = self.map.values().copied().collect();
+        for idx in indices {
+            if self.frames[idx as usize].pin_count == 0 {
+                self.drop_frame(idx);
+            }
         }
         // A cleared cache also forgets the head position: the next read pays
         // a seek.
         self.last_fetched = None;
     }
 
-    fn tick(&mut self) -> u64 {
-        self.clock += 1;
-        self.clock
-    }
-
-    fn write_back(&mut self, frame: Frame) {
+    /// Write back (if dirty), unlink and free one frame slot.
+    fn drop_frame(&mut self, idx: u32) {
+        let frame = &mut self.frames[idx as usize];
+        debug_assert_eq!(frame.pin_count, 0, "cannot drop a pinned frame");
         if frame.dirty {
-            self.disk.write_phys(frame.phys, &frame.data[..]);
+            frame.dirty = false;
+            let phys = frame.phys;
+            // SAFETY: frame is live; borrow ends before any other access.
+            let bytes = unsafe { &frame.data.as_ref()[..] };
+            self.disk.write_phys(phys, bytes);
             self.stats.writes += 1;
             self.stats.io_time += self.cost.write;
         }
+        let frame = &self.frames[idx as usize];
+        let (hot, phys) = (frame.hot, frame.phys);
+        self.unlink(hot, idx);
+        self.map.remove(&phys);
+        self.free.push(idx);
     }
 
-    /// Ensure the page is cached and return its frame index.
-    fn fetch(&mut self, file: FileId, page: PageId) -> usize {
+    /// Ensure the page is cached and return its frame slot.
+    fn fetch(&mut self, file: FileId, page: PageId) -> u32 {
         let phys = self.disk.phys(file, page);
         if let Some(&idx) = self.map.get(&phys) {
             self.stats.hits += 1;
@@ -179,46 +291,166 @@ impl BufferPool {
         }
         self.last_fetched = Some(phys);
         let data = Box::new(*self.disk.read_phys(phys));
-        let frame = Frame {
-            phys,
-            data,
-            dirty: false,
-            last_used: self.tick(),
-            hot: false,
-        };
-        self.install(frame)
+        self.install(phys, data, false)
     }
 
-    /// Install a frame, evicting the LRU frame if at capacity. Returns the
-    /// frame's index.
-    fn install(&mut self, frame: Frame) -> usize {
-        debug_assert!(!self.map.contains_key(&frame.phys));
-        if self.frames.len() < self.capacity {
-            let idx = self.frames.len();
-            self.map.insert(frame.phys, idx);
-            self.frames.push(frame);
-            return idx;
-        }
-        // Evict cold (touched-once) frames before hot ones, LRU within
-        // each class — see `Frame::hot`. If every frame has become hot,
-        // age the whole pool back to cold (CLOCK-style epoch reset) so
-        // stale hot pages cannot pin the cache forever.
-        if self.frames.iter().all(|fr| fr.hot) {
-            for fr in &mut self.frames {
-                fr.hot = false;
+    /// Mark a frame hot when it is touched again after its load, moving it
+    /// to the back of the hot LRU list.
+    fn touch(&mut self, idx: u32) {
+        let hot = self.frames[idx as usize].hot;
+        self.unlink(hot, idx);
+        self.frames[idx as usize].hot = true;
+        self.push_tail(true, idx);
+    }
+
+    /// Install a page in a (possibly recycled) frame slot, evicting first
+    /// if the pool is full. Returns the slot index.
+    fn install(&mut self, phys: u64, data: Box<[u8; PAGE_SIZE]>, dirty: bool) -> u32 {
+        debug_assert!(!self.map.contains_key(&phys));
+        while self.map.len() >= self.capacity {
+            if !self.evict_one() {
+                // Every frame is pinned: grow past capacity instead of
+                // deadlocking; the overflow drains as pins are released.
+                break;
             }
         }
-        let (idx, _) = self
-            .frames
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, fr)| (fr.hot, fr.last_used))
-            .expect("capacity >= 1");
-        let old = std::mem::replace(&mut self.frames[idx], frame);
-        self.map.remove(&old.phys);
-        self.write_back(old);
-        self.map.insert(self.frames[idx].phys, idx);
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                let slot = &mut self.frames[idx as usize];
+                // Reuse the slot's buffer allocation.
+                // SAFETY: the slot is free, so its buffer is unreferenced.
+                unsafe { *slot.data.as_mut() = *data };
+                slot.phys = phys;
+                slot.dirty = dirty;
+                slot.hot = false;
+                slot.pin_count = 0;
+                idx
+            }
+            None => {
+                let idx = self.frames.len() as u32;
+                self.frames.push(Frame {
+                    phys,
+                    // Stable heap allocation; freed in `Drop` (or reused).
+                    data: NonNull::from(Box::leak(data)),
+                    dirty,
+                    hot: false,
+                    pin_count: 0,
+                    prev: NIL,
+                    next: NIL,
+                });
+                idx
+            }
+        };
+        self.map.insert(phys, idx);
+        self.push_tail(false, idx);
         idx
+    }
+
+    /// Evict the preferred victim (oldest unpinned cold frame, with an
+    /// epoch reset to cold when no cold frame is evictable). Returns false
+    /// when every frame is pinned.
+    fn evict_one(&mut self) -> bool {
+        if let Some(idx) = self.first_unpinned_cold() {
+            self.drop_frame(idx);
+            return true;
+        }
+        // Epoch reset: age the whole hot list back to cold, preserving LRU
+        // order, so stale hot pages cannot pin the cache forever. Without
+        // pins this only fires when the cold list is empty (every frame
+        // hot) — the historical policy. With pins it also fires when every
+        // cold frame is pinned, so an unpinned hot frame is still found
+        // rather than growing the pool.
+        if self.hot.head != NIL {
+            let mut idx = self.hot.head;
+            while idx != NIL {
+                self.frames[idx as usize].hot = false;
+                idx = self.frames[idx as usize].next;
+            }
+            // Splice the (LRU-ordered) hot list onto the cold tail.
+            if self.cold.head == NIL {
+                self.cold = self.hot;
+            } else {
+                self.frames[self.cold.tail as usize].next = self.hot.head;
+                self.frames[self.hot.head as usize].prev = self.cold.tail;
+                self.cold.tail = self.hot.tail;
+            }
+            self.hot = FrameList::EMPTY;
+            if let Some(idx) = self.first_unpinned_cold() {
+                self.drop_frame(idx);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn first_unpinned_cold(&self) -> Option<u32> {
+        let mut idx = self.cold.head;
+        while idx != NIL {
+            let frame = &self.frames[idx as usize];
+            if frame.pin_count == 0 {
+                return Some(idx);
+            }
+            idx = frame.next;
+        }
+        None
+    }
+
+    fn list(&mut self, hot: bool) -> &mut FrameList {
+        if hot {
+            &mut self.hot
+        } else {
+            &mut self.cold
+        }
+    }
+
+    fn push_tail(&mut self, hot: bool, idx: u32) {
+        let tail = self.list(hot).tail;
+        {
+            let frame = &mut self.frames[idx as usize];
+            frame.prev = tail;
+            frame.next = NIL;
+        }
+        if tail != NIL {
+            self.frames[tail as usize].next = idx;
+        }
+        let list = self.list(hot);
+        if list.head == NIL {
+            list.head = idx;
+        }
+        list.tail = idx;
+    }
+
+    fn unlink(&mut self, hot: bool, idx: u32) {
+        let (prev, next) = {
+            let frame = &mut self.frames[idx as usize];
+            let links = (frame.prev, frame.next);
+            frame.prev = NIL;
+            frame.next = NIL;
+            links
+        };
+        if prev != NIL {
+            self.frames[prev as usize].next = next;
+        }
+        if next != NIL {
+            self.frames[next as usize].prev = prev;
+        }
+        let list = self.list(hot);
+        if list.head == idx {
+            list.head = next;
+        }
+        if list.tail == idx {
+            list.tail = prev;
+        }
+    }
+}
+
+impl Drop for BufferPool {
+    fn drop(&mut self) {
+        for frame in &self.frames {
+            // SAFETY: each slot's buffer came from `Box::leak` in `install`
+            // and is dropped exactly once, here.
+            drop(unsafe { Box::from_raw(frame.data.as_ptr()) });
+        }
     }
 }
 
@@ -343,5 +575,241 @@ mod tests {
         p.write_page(f, 0, &page);
         p.clear_cache();
         assert_eq!(p.stats().writes, 1);
+    }
+
+    #[test]
+    fn scan_does_not_flush_hot_pages() {
+        // A frame touched twice (hot) survives a long touched-once scan
+        // that exceeds capacity — the scan-resistance the cold/hot split
+        // exists for.
+        let (mut p, f) = pool(4);
+        for _ in 0..12 {
+            p.allocate_page(f);
+        }
+        p.clear_cache();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        p.read_page(f, 0, &mut buf);
+        p.read_page(f, 0, &mut buf); // page 0 is now hot
+        for pg in 1..12 {
+            p.read_page(f, pg, &mut buf);
+        }
+        p.reset_stats();
+        p.read_page(f, 0, &mut buf);
+        assert_eq!(p.stats().hits, 1, "hot page 0 must survive the scan");
+    }
+
+    #[test]
+    fn epoch_reset_when_all_frames_hot() {
+        let (mut p, f) = pool(2);
+        for _ in 0..3 {
+            p.allocate_page(f);
+        }
+        p.clear_cache();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        // Make pages 0 and 1 hot.
+        for pg in [0u64, 1, 0, 1] {
+            p.read_page(f, pg, &mut buf);
+        }
+        // All frames hot: loading 2 must still evict someone (page 0, the
+        // LRU after the epoch reset) rather than grow or panic.
+        p.read_page(f, 2, &mut buf);
+        p.reset_stats();
+        p.read_page(f, 1, &mut buf);
+        assert_eq!(p.stats().hits, 1, "page 1 (recently used) must survive");
+        p.read_page(f, 0, &mut buf);
+        assert_eq!(p.stats().misses(), 1, "page 0 was the epoch-reset victim");
+    }
+
+    #[test]
+    fn eviction_matches_historical_min_scan_policy() {
+        // Drive a pool with a mixed access pattern and mirror the policy
+        // the linked lists replaced: victim = min (hot, last_used), with an
+        // epoch reset when every frame is hot. The miss sequence must be
+        // identical — this is what keeps the paper's page-access counts
+        // reproducible across the O(capacity) and O(1) implementations.
+        #[derive(Clone)]
+        struct Model {
+            cap: usize,
+            // (phys, hot, last_used)
+            frames: Vec<(u64, bool, u64)>,
+            clock: u64,
+        }
+        impl Model {
+            fn access(&mut self, phys: u64) -> bool {
+                self.clock += 1;
+                if let Some(fr) = self.frames.iter_mut().find(|fr| fr.0 == phys) {
+                    fr.1 = true;
+                    fr.2 = self.clock;
+                    return true; // hit
+                }
+                if self.frames.len() >= self.cap {
+                    if self.frames.iter().all(|fr| fr.1) {
+                        for fr in &mut self.frames {
+                            fr.1 = false;
+                        }
+                    }
+                    let (i, _) = self
+                        .frames
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, fr)| (fr.1, fr.2))
+                        .unwrap();
+                    self.frames.remove(i);
+                }
+                self.frames.push((phys, false, self.clock));
+                false // miss
+            }
+        }
+
+        let (mut p, f) = pool(4);
+        for _ in 0..16 {
+            p.allocate_page(f);
+        }
+        p.clear_cache();
+        p.reset_stats();
+        let mut model = Model {
+            cap: 4,
+            frames: Vec::new(),
+            clock: 0,
+        };
+        // Deterministic pseudo-random walk mixing scans and re-touches.
+        let mut x = 7u64;
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for step in 0..400 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pg = if step % 3 == 0 { step as u64 % 16 } else { x % 16 };
+            let before = p.stats().hits;
+            p.read_page(f, pg, &mut buf);
+            let hit = p.stats().hits > before;
+            assert_eq!(
+                hit,
+                model.access(pg),
+                "divergence from reference policy at step {step} (page {pg})"
+            );
+        }
+    }
+
+    #[test]
+    fn pinned_page_survives_cache_full_of_misses() {
+        let (mut p, f) = pool(2);
+        for _ in 0..10 {
+            p.allocate_page(f);
+        }
+        p.clear_cache();
+        let (ptr, phys) = p.pin(f, 0);
+        // SAFETY: the pin keeps the buffer alive and un-mutated.
+        let bytes = unsafe { &ptr.as_ref()[..] };
+        let before: Vec<u8> = bytes.to_vec();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for pg in 1..10 {
+            p.read_page(f, pg, &mut buf);
+        }
+        p.reset_stats();
+        p.read_page(f, 0, &mut buf);
+        assert_eq!(p.stats().hits, 1, "pinned page must not be evicted");
+        assert_eq!(bytes, &before[..], "pinned bytes must be stable");
+        p.unpin(phys);
+    }
+
+    #[test]
+    fn unpinned_hot_frame_evicted_when_all_cold_frames_pinned() {
+        let (mut p, f) = pool(2);
+        for _ in 0..3 {
+            p.allocate_page(f);
+        }
+        p.clear_cache();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        p.read_page(f, 0, &mut buf);
+        p.read_page(f, 0, &mut buf); // page 0: hot, unpinned
+        let (_, phys) = p.pin(f, 1); // page 1: cold, pinned
+        // Loading page 2 must evict hot-but-unpinned page 0, not grow.
+        p.read_page(f, 2, &mut buf);
+        assert_eq!(p.cached_frames(), p.capacity(), "pool must not grow");
+        p.reset_stats();
+        p.read_page(f, 0, &mut buf);
+        assert_eq!(p.stats().misses(), 1, "page 0 must have been evicted");
+        p.unpin(phys);
+    }
+
+    #[test]
+    fn all_pinned_overflows_capacity_then_drains() {
+        let (mut p, f) = pool(2);
+        for _ in 0..4 {
+            p.allocate_page(f);
+        }
+        p.clear_cache();
+        let pins: Vec<_> = (0..2).map(|pg| p.pin(f, pg).1).collect();
+        // Both frames pinned: further reads must still succeed (overflow).
+        let mut buf = vec![0u8; PAGE_SIZE];
+        p.read_page(f, 2, &mut buf);
+        p.read_page(f, 3, &mut buf);
+        assert!(p.cached_frames() > p.capacity());
+        for phys in pins {
+            p.unpin(phys);
+        }
+        // With pins released the pool drains back to capacity.
+        p.read_page(f, 2, &mut buf);
+        p.allocate_page(f);
+        assert!(p.cached_frames() <= p.capacity());
+    }
+
+    #[test]
+    fn double_pin_and_unpin_balance() {
+        let (mut p, f) = pool(2);
+        p.allocate_page(f);
+        let (_, phys_a) = p.pin(f, 0);
+        let (_, phys_b) = p.pin(f, 0);
+        assert_eq!(phys_a, phys_b);
+        assert_eq!(p.pin_count(f, 0), Some(2));
+        p.unpin(phys_a);
+        assert_eq!(p.pin_count(f, 0), Some(1));
+        p.unpin(phys_b);
+        assert_eq!(p.pin_count(f, 0), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned")]
+    fn write_to_pinned_page_panics() {
+        let (mut p, f) = pool(2);
+        p.allocate_page(f);
+        let _pin = p.pin(f, 0);
+        p.write_page(f, 0, &[0u8; PAGE_SIZE]);
+    }
+
+    #[test]
+    fn clear_cache_keeps_pinned_frames() {
+        let (mut p, f) = pool(4);
+        for _ in 0..2 {
+            p.allocate_page(f);
+        }
+        let (_, phys) = p.pin(f, 0);
+        p.clear_cache();
+        p.reset_stats();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        p.read_page(f, 0, &mut buf);
+        assert_eq!(p.stats().hits, 1, "pinned frame must survive clear_cache");
+        p.read_page(f, 1, &mut buf);
+        assert_eq!(p.stats().misses(), 1, "unpinned frame must be dropped");
+        p.unpin(phys);
+    }
+
+    #[test]
+    fn unpinned_eviction_still_writes_back_dirty_frames() {
+        let (mut p, f) = pool(1);
+        p.allocate_page(f);
+        p.allocate_page(f);
+        let mut page = vec![0u8; PAGE_SIZE];
+        page[9] = 99;
+        p.write_page(f, 0, &page);
+        let (_, phys) = p.pin(f, 0);
+        p.unpin(phys);
+        p.reset_stats();
+        // Eviction by loading page 1: the previously pinned, now unpinned
+        // dirty frame must be written back, not dropped.
+        let mut buf = vec![0u8; PAGE_SIZE];
+        p.read_page(f, 1, &mut buf);
+        assert_eq!(p.stats().writes, 1);
+        p.read_page(f, 0, &mut buf);
+        assert_eq!(buf[9], 99);
     }
 }

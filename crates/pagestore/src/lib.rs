@@ -33,6 +33,7 @@ pub use disk::{Disk, FileId, PageId, PAGE_SIZE};
 pub use stats::IoStats;
 
 use parking_lot::Mutex;
+use std::ptr::NonNull;
 use std::sync::Arc;
 
 /// Shared handle to a buffer pool over a simulated disk.
@@ -92,6 +93,29 @@ impl Pager {
         self.inner.lock().with_page(file, page, f)
     }
 
+    /// Pin page `page` of `file` in the cache and return a guard borrowing
+    /// its bytes without copying.
+    ///
+    /// While the guard lives the frame is exempt from eviction and
+    /// [`Pager::clear_cache`], and any [`Pager::write_page`] to it panics,
+    /// so the guard's `&[u8]` view is stable. Pinning the same page again
+    /// (same or cloned guard) is safe — frames are pin-*counted*.
+    ///
+    /// The first `pin_page` of an uncached page costs one (counted) page
+    /// access like any other read; re-pinning a cached page is a cache hit.
+    /// Holding a guard across *other* page accesses can change which frame
+    /// the pool evicts, so callers that must keep the paper's page-access
+    /// counts reproducible (the B⁺-tree read path) drop the guard before
+    /// fetching the next page.
+    pub fn pin_page(&self, file: FileId, page: PageId) -> PageGuard {
+        let (ptr, phys) = self.inner.lock().pin(file, page);
+        PageGuard {
+            pager: self.clone(),
+            ptr,
+            phys,
+        }
+    }
+
     /// Overwrite page `page` of `file` with `data` (must be `PAGE_SIZE`
     /// long).
     pub fn write_page(&self, file: FileId, page: PageId, data: &[u8]) {
@@ -129,6 +153,61 @@ impl Pager {
 impl Default for Pager {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// A pin on one cached page, borrowing its bytes without copying.
+///
+/// Obtained from [`Pager::pin_page`]. The guard keeps the pool alive (it
+/// holds a `Pager` clone) and the frame pinned; [`PageGuard::bytes`] —
+/// or the `Deref` impl — yields the page contents directly out of the
+/// buffer pool's frame. Dropping the guard releases the pin.
+pub struct PageGuard {
+    pager: Pager,
+    ptr: NonNull<[u8; PAGE_SIZE]>,
+    phys: u64,
+}
+
+impl PageGuard {
+    /// The pinned page's bytes (always `PAGE_SIZE` long).
+    pub fn bytes(&self) -> &[u8] {
+        // SAFETY: the pool guarantees a pinned frame's buffer is neither
+        // freed, recycled nor written while its pin count is non-zero, and
+        // the pool itself outlives `self.pager`.
+        unsafe { &self.ptr.as_ref()[..] }
+    }
+}
+
+impl Clone for PageGuard {
+    fn clone(&self) -> Self {
+        let mut pool = self.pager.inner.lock();
+        // Re-pin through the pool so the frame's pin count matches the
+        // number of live guards.
+        pool.repin(self.phys);
+        PageGuard {
+            pager: self.pager.clone(),
+            ptr: self.ptr,
+            phys: self.phys,
+        }
+    }
+}
+
+impl Drop for PageGuard {
+    fn drop(&mut self) {
+        self.pager.inner.lock().unpin(self.phys);
+    }
+}
+
+impl std::ops::Deref for PageGuard {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+impl std::fmt::Debug for PageGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageGuard").field("phys", &self.phys).finish()
     }
 }
 

@@ -1,0 +1,289 @@
+//! Offline stand-in for the `criterion` crate (see `crates/shims/`).
+//!
+//! Implements the subset of the API the micro bench uses: `Criterion`
+//! with `measurement_time`/`warm_up_time`, benchmark groups with
+//! `throughput`/`sample_size`/`bench_function`, and a `Bencher` with
+//! `iter`/`iter_batched`. Timing is a simple warm-up + fixed-duration
+//! measurement loop reporting the mean ns/iteration (no statistical
+//! analysis or outlier rejection).
+//!
+//! Extras this workspace relies on:
+//! * results print as `<name> ... <mean> ns/iter (<n> iters)`;
+//! * when the `BENCH_JSON` environment variable names a file, every result
+//!   is appended to a JSON array written there at `criterion_main!` exit —
+//!   the CI workflow uses this to emit `BENCH_micro.json`.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One finished measurement, kept for the JSON report.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub name: String,
+    pub ns_per_iter: f64,
+    pub iters: u64,
+    pub throughput_elements: Option<u64>,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Per-element / per-byte throughput annotation.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup; the shim runs one setup per
+/// routine call regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(self, name, None, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    prefix: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, name);
+        run_bench(self.criterion, &full, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    /// Filled by `iter`/`iter_batched`.
+    result: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        let deadline = start + self.measure;
+        while Instant::now() < deadline {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        let elapsed = start.elapsed();
+        self.result = Some((elapsed.as_nanos() as f64 / iters.max(1) as f64, iters));
+    }
+
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        // Setup runs outside the timed span; one input per routine call.
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        let deadline = Instant::now() + self.measure;
+        let mut iters = 0u64;
+        let mut busy = Duration::ZERO;
+        while Instant::now() < deadline {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            busy += t0.elapsed();
+            iters += 1;
+        }
+        self.result = Some((busy.as_nanos() as f64 / iters.max(1) as f64, iters));
+    }
+}
+
+fn run_bench(
+    c: &Criterion,
+    name: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        warm_up: c.warm_up_time,
+        measure: c.measurement_time,
+        result: None,
+    };
+    f(&mut b);
+    let (ns_per_iter, iters) = b.result.expect("bench closure must call iter/iter_batched");
+    let mut line = format!("{name:<40} {ns_per_iter:>14.1} ns/iter ({iters} iters)");
+    if let Some(Throughput::Elements(n)) = throughput {
+        let per_elem = ns_per_iter / n.max(1) as f64;
+        line.push_str(&format!("  [{per_elem:.2} ns/elem]"));
+    }
+    println!("{line}");
+    RESULTS.lock().unwrap().push(BenchResult {
+        name: name.to_string(),
+        ns_per_iter,
+        iters,
+        throughput_elements: match throughput {
+            Some(Throughput::Elements(n)) => Some(n),
+            _ => None,
+        },
+    });
+}
+
+/// Write every recorded result as a JSON array to `$BENCH_JSON`, if set.
+/// Called by `criterion_main!` after all groups have run.
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().unwrap();
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"name\": {:?}, \"ns_per_iter\": {:.1}, \"iters\": {}",
+            r.name, r.ns_per_iter, r.iters
+        ));
+        if let Some(n) = r.throughput_elements {
+            out.push_str(&format!(", \"elements\": {n}"));
+        }
+        out.push('}');
+    }
+    out.push_str("\n]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("bench report written to {path}");
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                {
+                    let mut c: $crate::Criterion = $config;
+                    $target(&mut c);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::write_json_report();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        c.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        let results = RESULTS.lock().unwrap();
+        let r = results.iter().find(|r| r.name == "spin").unwrap();
+        assert!(r.iters > 0);
+        assert!(r.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("inner", |b| b.iter(|| 1 + 1));
+        g.finish();
+        let results = RESULTS.lock().unwrap();
+        assert!(results.iter().any(|r| r.name == "grp/inner"));
+    }
+}

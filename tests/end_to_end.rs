@@ -215,7 +215,7 @@ fn oif_equality_cost_is_flat_while_if_grows() {
     for n in [10_000usize, 80_000] {
         let d = SyntheticSpec {
             num_records: n,
-            vocab_size: 400,
+            vocab_size: 100,
             zipf: 0.8,
             len_min: 2,
             len_max: 12,
