@@ -6,11 +6,16 @@
 //! the OIF are not as drastic ... the databases and the vocabularies are
 //! rather small").
 
-use bench::{header, measure, row_pages, workload, scale};
+use bench::{header, measure, row_pages, scale, workload};
 use datagen::{Dataset, QueryKind};
 
 fn run_dataset(name: &str, d: &Dataset) {
-    println!("\n##### {name}: {} records, {} items, avg len {:.1} #####", d.len(), d.vocab_size, d.avg_len());
+    println!(
+        "\n##### {name}: {} records, {} items, avg len {:.1} #####",
+        d.len(),
+        d.vocab_size,
+        d.avg_len()
+    );
     let ifile = invfile::InvertedFile::build(d);
     let oifx = oif::Oif::build(d);
     for kind in QueryKind::ALL {

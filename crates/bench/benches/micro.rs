@@ -37,7 +37,8 @@ fn bench_btree(c: &mut Criterion) {
         b.iter_batched(
             || (),
             |_| {
-                let mut loader = btree::BulkLoader::new(pagestore::Pager::with_cache_bytes(1 << 20));
+                let mut loader =
+                    btree::BulkLoader::new(pagestore::Pager::with_cache_bytes(1 << 20));
                 for i in 0..10_000u32 {
                     loader.push(&i.to_be_bytes(), &[0u8; 32]).unwrap();
                 }
@@ -115,6 +116,58 @@ fn bench_oif_internals(c: &mut Criterion) {
     g.finish();
 }
 
+/// Thread-count scaling of parallel batch evaluation over one shared
+/// index. The t1/t2/t4/t8 rows land in `BENCH_micro.json` (via the
+/// criterion shim's `BENCH_JSON` hook), so the CI artifact records the
+/// speedup trajectory commit by commit. The shape is machine-dependent:
+/// on a single-core box the t>1 rows can only show the coordination
+/// overhead (expect flat-to-negative scaling there); the interesting
+/// signal is the multi-core CI runner's trend over time.
+fn bench_parallel(c: &mut Criterion) {
+    let d = datagen::SyntheticSpec {
+        num_records: 20_000,
+        vocab_size: 500,
+        zipf: 0.8,
+        len_min: 2,
+        len_max: 16,
+        seed: 1,
+    }
+    .generate();
+    // A generous cache so the batch is CPU-bound: scaling, not thrashing,
+    // is what these rows track.
+    let idx = oif::Oif::build_with(
+        &d,
+        oif::OifConfig {
+            cache_bytes: 1 << 20,
+            ..oif::OifConfig::default()
+        },
+        None,
+    );
+    // A batch large enough (~320 queries, several ms of work) that the
+    // scoped-thread spawn cost per par_eval call is noise, not the
+    // measurement: individual queries are ~15 µs, so small batches would
+    // only benchmark thread startup.
+    let batch = |kind, seed0: u64| -> Vec<Vec<u32>> {
+        (0..32)
+            .flat_map(|i| bench::workload(&d, kind, 4, seed0 + i))
+            .collect()
+    };
+    let sub = batch(datagen::QueryKind::Subset, 1000);
+    let sup = batch(datagen::QueryKind::Superset, 2000);
+
+    let mut g = c.benchmark_group("par");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_function(&format!("par_subset_t{threads}"), |b| {
+            b.iter(|| idx.par_eval(datagen::QueryKind::Subset, black_box(&sub), threads))
+        });
+        g.bench_function(&format!("par_superset_t{threads}"), |b| {
+            b.iter(|| idx.par_eval(datagen::QueryKind::Superset, black_box(&sup), threads))
+        });
+    }
+    g.finish();
+}
+
 fn bench_zipf(c: &mut Criterion) {
     use rand::SeedableRng;
     let z = datagen::Zipf::new(8000, 0.8);
@@ -125,6 +178,6 @@ fn bench_zipf(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_codec, bench_btree, bench_oif_internals, bench_zipf
+    targets = bench_codec, bench_btree, bench_oif_internals, bench_parallel, bench_zipf
 }
 criterion_main!(benches);

@@ -40,7 +40,10 @@ fn main() {
     println!("\n{:<38} {:>12} {:>10}", "structure", "bytes", "% of data");
     let rows: Vec<(String, u64)> = vec![
         ("IF posting lists (payload)".into(), ifile.list_bytes()),
-        ("IF on disk (contiguous pages)".into(), ifile.bytes_on_disk()),
+        (
+            "IF on disk (contiguous pages)".into(),
+            ifile.bytes_on_disk(),
+        ),
         ("OIF posting payload".into(), space.list_bytes),
         ("OIF block B+-tree on disk".into(), space.tree_bytes),
         ("OIF metadata table (memory)".into(), space.meta_bytes),

@@ -64,12 +64,8 @@ fn main() {
             points += 1;
         }
     }
-    let avg = |m: &Measurement| -> (f64, Duration) {
-        (
-            m.pages / points as f64,
-            (m.io + m.cpu) / points,
-        )
-    };
+    let avg =
+        |m: &Measurement| -> (f64, Duration) { (m.pages / points as f64, (m.io + m.cpu) / points) };
     let (ifp, ift) = avg(&if_total);
     let (oifp, oift) = avg(&oif_total);
     println!(

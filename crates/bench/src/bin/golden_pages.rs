@@ -1,0 +1,9 @@
+//! Emit the deterministic per-query page-access counts of the fig8/9/10
+//! harness (small fixed scale) for the CI regression gate. See
+//! [`bench::golden`].
+
+fn main() {
+    for row in bench::golden::golden_rows() {
+        println!("{row}");
+    }
+}

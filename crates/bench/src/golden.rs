@@ -1,0 +1,146 @@
+//! Deterministic per-query page-access counts for the CI regression gate.
+//!
+//! The paper's primary metric — disk page accesses per query — is a pure
+//! function of the dataset, the index layout and the buffer-pool policy:
+//! no wall-clock time enters it, so the counts are reproducible bit for
+//! bit across machines, build profiles and (crucially) refactors of the
+//! pool. This module replays the fig8/9/10 measurement protocol at a
+//! small fixed scale and emits one line per `(figure, sweep point, index,
+//! query)` with that query's sequential/random miss counts.
+//!
+//! The committed snapshot lives at `ci/golden_pages.txt`; CI (and the
+//! `golden_gate` integration test) regenerates the rows and fails on any
+//! drift. Regenerate after an *intentional* policy or layout change with:
+//!
+//! ```text
+//! cargo run --release -p bench --bin golden_pages > ci/golden_pages.txt
+//! ```
+
+use crate::workload;
+use datagen::{Dataset, QueryKind, SyntheticSpec};
+use pagestore::Pager;
+
+/// Fixed scale divisor of the golden run (|D| = 10M/500 = 20 K records).
+/// Deliberately *not* read from `OIF_SCALE`: the gate only works if every
+/// run uses the same inputs.
+pub const GOLDEN_SCALE: usize = 500;
+
+/// Sweep of vocabulary sizes (fig *.a) — paper: 500..8000.
+const VOCABS: [usize; 3] = [500, 2000, 8000];
+/// Sweep of query sizes (fig *.c) on the default |I| = 2000 dataset.
+const QS_SIZES: [usize; 3] = [2, 4, 8];
+/// Default query size outside the |qs| sweep (paper figures use 4).
+const DEFAULT_QS: usize = 4;
+
+/// Per-query misses, replaying [`crate::measure`]'s protocol exactly: the
+/// cache is dropped once before the batch, stats reset before each query.
+fn per_query_misses(
+    pager: &Pager,
+    queries: &[Vec<u32>],
+    mut eval: impl FnMut(&[u32]) -> Vec<u64>,
+) -> Vec<(u64, u64)> {
+    pager.clear_cache();
+    queries
+        .iter()
+        .map(|q| {
+            pager.reset_stats();
+            let _ = eval(q);
+            let s = pager.stats();
+            (s.seq_misses, s.random_misses)
+        })
+        .collect()
+}
+
+struct Point<'a> {
+    ifile: &'a invfile::InvertedFile,
+    oifx: &'a oif::Oif,
+}
+
+impl Point<'_> {
+    fn rows(
+        &self,
+        out: &mut Vec<String>,
+        fig: &str,
+        label: &str,
+        kind: QueryKind,
+        qs: &[Vec<u32>],
+    ) {
+        let if_counts = per_query_misses(self.ifile.pager(), qs, |q| match kind {
+            QueryKind::Subset => self.ifile.subset(q),
+            QueryKind::Equality => self.ifile.equality(q),
+            QueryKind::Superset => self.ifile.superset(q),
+        });
+        let oif_counts = per_query_misses(self.oifx.pager(), qs, |q| match kind {
+            QueryKind::Subset => self.oifx.subset(q),
+            QueryKind::Equality => self.oifx.equality(q),
+            QueryKind::Superset => self.oifx.superset(q),
+        });
+        for (i, ((is, ir), (os, or))) in if_counts.iter().zip(&oif_counts).enumerate() {
+            out.push(format!(
+                "{fig} {name} {label} q{i:02} IF seq={is} rnd={ir} OIF seq={os} rnd={or}",
+                name = kind.name(),
+            ));
+        }
+    }
+}
+
+/// All golden rows, in a fixed order. Header comment lines included, so the
+/// binary's stdout byte-compares against the committed file.
+pub fn golden_rows() -> Vec<String> {
+    let mut out = vec![
+        "# Per-query disk page accesses (cache misses) of the fig8/9/10 harness".to_string(),
+        format!("# at OIF_SCALE={GOLDEN_SCALE}. Deterministic: any drift means the"),
+        "# buffer-pool policy, index layout or query access pattern changed.".to_string(),
+        "# Regenerate intentionally with:".to_string(),
+        "#   cargo run --release -p bench --bin golden_pages > ci/golden_pages.txt".to_string(),
+    ];
+
+    // Datasets (and their indexes) are shared across the three figures.
+    let datasets: Vec<(usize, Dataset)> = VOCABS
+        .iter()
+        .map(|&v| {
+            (
+                v,
+                SyntheticSpec {
+                    vocab_size: v,
+                    ..SyntheticSpec::paper_default(GOLDEN_SCALE)
+                }
+                .generate(),
+            )
+        })
+        .collect();
+    let indexes: Vec<(usize, &Dataset, invfile::InvertedFile, oif::Oif)> = datasets
+        .iter()
+        .map(|(v, d)| (*v, d, invfile::InvertedFile::build(d), oif::Oif::build(d)))
+        .collect();
+
+    for (fig, kind) in [
+        ("fig8", QueryKind::Subset),
+        ("fig9", QueryKind::Equality),
+        ("fig10", QueryKind::Superset),
+    ] {
+        // fig *.a — vocabulary sweep at |qs| = 4 (same seed as the bench).
+        for (v, d, ifile, oifx) in &indexes {
+            let qs = workload(d, kind, DEFAULT_QS, 42);
+            let p = Point { ifile, oifx };
+            p.rows(
+                &mut out,
+                fig,
+                &format!("vocab={v} qs={DEFAULT_QS}"),
+                kind,
+                &qs,
+            );
+        }
+        // fig *.c — |qs| sweep on the default |I| = 2000 dataset.
+        let (v, d, ifile, oifx) = indexes.iter().find(|(v, ..)| *v == 2000).unwrap();
+        for &size in &QS_SIZES {
+            let qs = workload(d, kind, size, 44 + size as u64);
+            if qs.is_empty() {
+                continue;
+            }
+            let p = Point { ifile, oifx };
+            p.rows(&mut out, fig, &format!("vocab={v} qs={size}"), kind, &qs);
+        }
+    }
+    out
+}

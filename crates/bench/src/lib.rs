@@ -15,6 +15,8 @@
 //! `FULL_SCALE=1` for paper-size runs or `OIF_SCALE=<n>` for a custom
 //! divisor.
 
+pub mod golden;
+
 use datagen::{Dataset, QueryKind, WorkloadSpec};
 use pagestore::Pager;
 use std::time::{Duration, Instant};
@@ -99,6 +101,58 @@ pub fn measure(
     m
 }
 
+/// Aggregate measurement of a parallel batch evaluation.
+///
+/// Unlike [`Measurement`], page counts cannot be attributed to individual
+/// queries (all workers share one set of pool counters), so the batch is
+/// reported in aggregate: total misses averaged per query, plus the
+/// batch's wall-clock time — the number that should shrink as threads are
+/// added on a read-mostly workload.
+#[derive(Debug, Clone)]
+pub struct ParMeasurement {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Disk page accesses (cache misses) across the batch, per query.
+    pub pages: f64,
+    /// Simulated I/O time across the batch, per query.
+    pub io: Duration,
+    /// Wall-clock time of the whole batch (workers run concurrently, so
+    /// this is *not* a per-query sum).
+    pub wall: Duration,
+    /// Per-query answers, in input order.
+    pub results: Vec<Vec<u64>>,
+}
+
+/// Evaluate `queries` across `threads` workers sharing `pager`'s cache,
+/// mirroring [`measure`]'s protocol at batch granularity: the cache is
+/// dropped once at the start, then persists across the batch.
+///
+/// `eval` must answer one query; it runs concurrently on worker threads
+/// (hence `Fn + Sync`). Answers are returned in input order and — queries
+/// being read-only — are identical to evaluating the batch serially.
+pub fn par_measure(
+    pager: &Pager,
+    queries: &[Vec<u32>],
+    threads: usize,
+    eval: impl Fn(&[u32]) -> Vec<u64> + Sync,
+) -> ParMeasurement {
+    let threads = threads.max(1).min(queries.len().max(1));
+    pager.clear_cache();
+    pager.reset_stats();
+    let t0 = Instant::now();
+    let results = pagestore::par_map(queries.len(), threads, |i| eval(&queries[i]));
+    let wall = t0.elapsed();
+    let s = pager.stats();
+    let n = queries.len().max(1) as u32;
+    ParMeasurement {
+        threads,
+        pages: s.misses() as f64 / n as f64,
+        io: s.io_time / n,
+        wall,
+        results,
+    }
+}
+
 /// Generate the paper's query workload for one (kind, size) point.
 pub fn workload(d: &Dataset, kind: QueryKind, qs_size: usize, seed: u64) -> Vec<Vec<u32>> {
     WorkloadSpec {
@@ -140,7 +194,12 @@ pub fn row_time(x: impl std::fmt::Display, if_m: &Measurement, oif_m: &Measureme
 
 /// Run one synthetic sweep point: build both indexes over `d`, measure the
 /// given predicate at `qs_size`, and return `(IF, OIF)` measurements.
-pub fn run_point(d: &Dataset, kind: QueryKind, qs_size: usize, seed: u64) -> (Measurement, Measurement) {
+pub fn run_point(
+    d: &Dataset,
+    kind: QueryKind,
+    qs_size: usize,
+    seed: u64,
+) -> (Measurement, Measurement) {
     let ifile = invfile::InvertedFile::build(d);
     let oifx = oif::Oif::build(d);
     let qs = workload(d, kind, qs_size, seed);
@@ -197,7 +256,10 @@ pub fn run_synthetic_figure(kind: QueryKind, fig: &str) {
             ..SyntheticSpec::paper_default(s)
         }
         .generate();
-        rows.push((format!("{millions}M/{s}"), run_point(&d, kind, default_qs, 43)));
+        rows.push((
+            format!("{millions}M/{s}"),
+            run_point(&d, kind, default_qs, 43),
+        ));
     }
     for (x, (a, b)) in &rows {
         row_pages(x, a, b);
@@ -283,6 +345,27 @@ mod tests {
         let m = measure(idx.pager(), &qs, |q| idx.subset(q));
         assert!(m.pages > 0.0);
         assert!(m.io > Duration::ZERO);
+    }
+
+    #[test]
+    fn par_measure_matches_serial_answers() {
+        let d = SyntheticSpec {
+            num_records: 3000,
+            vocab_size: 120,
+            zipf: 0.8,
+            len_min: 2,
+            len_max: 10,
+            seed: 4,
+        }
+        .generate();
+        let idx = oif::Oif::build(&d);
+        let qs = workload(&d, QueryKind::Subset, 3, 8);
+        let serial: Vec<Vec<u64>> = qs.iter().map(|q| idx.subset(q)).collect();
+        for threads in [1usize, 4] {
+            let m = par_measure(idx.pager(), &qs, threads, |q| idx.subset(q));
+            assert_eq!(m.results, serial, "{threads} threads");
+            assert!(m.pages > 0.0);
+        }
     }
 
     #[test]

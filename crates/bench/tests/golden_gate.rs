@@ -1,0 +1,38 @@
+//! The page-access regression gate, runnable locally: regenerate the
+//! fig8/9/10 per-query page counts at the golden scale and compare them
+//! with the committed snapshot (`ci/golden_pages.txt`). CI runs the same
+//! check via `cargo run -p bench --bin golden_pages | diff`.
+//!
+//! Page counts are pure simulation (no wall-clock input), so this must
+//! pass identically in debug and release, on any machine. A failure means
+//! the buffer-pool policy, index layout or query access pattern changed —
+//! regenerate the snapshot only for *intentional* changes.
+
+#[test]
+fn per_query_page_counts_match_committed_golden_file() {
+    let got = bench::golden::golden_rows().join("\n") + "\n";
+    let want = include_str!("../../../ci/golden_pages.txt");
+    if got != want {
+        // Produce a readable first-divergence report rather than a dump.
+        let (mut line, mut shown) = (0usize, 0usize);
+        let mut diff = String::new();
+        for (g, w) in got.lines().zip(want.lines()) {
+            line += 1;
+            if g != w {
+                diff.push_str(&format!("  line {line}:\n    got:  {g}\n    want: {w}\n"));
+                shown += 1;
+                if shown >= 5 {
+                    break;
+                }
+            }
+        }
+        let (gl, wl) = (got.lines().count(), want.lines().count());
+        panic!(
+            "page-access counts drifted from ci/golden_pages.txt \
+             ({gl} rows generated vs {wl} committed).\n\
+             First diverging lines:\n{diff}\
+             If the change is intentional, regenerate with:\n  \
+             cargo run --release -p bench --bin golden_pages > ci/golden_pages.txt"
+        );
+    }
+}

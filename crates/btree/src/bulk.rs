@@ -163,7 +163,9 @@ mod tests {
         let pager = Pager::with_cache_bytes(1 << 20);
         let mut loader = BulkLoader::new(pager);
         for i in 0..n {
-            loader.push(&i.to_be_bytes(), &(i * 3).to_be_bytes()).unwrap();
+            loader
+                .push(&i.to_be_bytes(), &(i * 3).to_be_bytes())
+                .unwrap();
         }
         loader.finish()
     }

@@ -16,6 +16,11 @@
 //!
 //! The `Iterator` impl (owned `(Vec<u8>, Vec<u8>)` pairs) remains for
 //! consumers that want to hold entries across page hops.
+//!
+//! Cursors are `Send`: the [`PageGuard`] pin they hold is an atomic
+//! per-frame latch (no thread affinity), and the tree itself is `Sync`, so
+//! a thread pool can run one cursor per worker over a single shared tree —
+//! the basis of parallel query evaluation in the index crates.
 
 use crate::node::{NodeRef, OffsetTable};
 use crate::tree::BTree;
@@ -146,6 +151,15 @@ impl Iterator for Cursor<'_> {
         Cursor::next(self)
     }
 }
+
+// Compile-time proof of the threading contract: a shared tree can hand
+// independent cursors to worker threads.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
+    assert_send::<Cursor<'static>>();
+    assert_sync::<BTree>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -279,8 +279,7 @@ impl<'a> NodeRef<'a> {
         let mut pos = NODE_HEADER;
         for slot in table.offs.iter_mut().take(count) {
             *slot = pos as u16;
-            let klen =
-                u16::from_le_bytes(self.data[pos..pos + 2].try_into().unwrap()) as usize;
+            let klen = u16::from_le_bytes(self.data[pos..pos + 2].try_into().unwrap()) as usize;
             if leaf {
                 let vlen =
                     u16::from_le_bytes(self.data[pos + 2..pos + 4].try_into().unwrap()) as usize;

@@ -47,7 +47,13 @@ impl BTree {
         }
     }
 
-    pub(crate) fn from_parts(pager: Pager, file: FileId, root: PageId, height: usize, len: u64) -> Self {
+    pub(crate) fn from_parts(
+        pager: Pager,
+        file: FileId,
+        root: PageId,
+        height: usize,
+        len: u64,
+    ) -> Self {
         BTree {
             pager,
             file,
@@ -344,7 +350,10 @@ impl BTree {
                 assert!(!entries.is_empty(), "internal node may not be empty");
                 for e in &entries {
                     if let Some(u) = upper {
-                        assert!(e.separator.as_slice() <= u, "separator exceeds parent bound");
+                        assert!(
+                            e.separator.as_slice() <= u,
+                            "separator exceeds parent bound"
+                        );
                     }
                     self.check_rec(e.child, Some(&e.separator), out);
                 }

@@ -136,7 +136,9 @@ mod tests {
         // initial 64 slots.
         let mut x = 1u64;
         for _ in 0..5000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let id = (x % 700) + 1;
             let len = (id % 19 + 1) as u32;
             acc.add(id, len);

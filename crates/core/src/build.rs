@@ -71,14 +71,7 @@ pub(crate) fn build(dataset: &Dataset, config: OifConfig, pager: Pager) -> Oif {
                 }
                 j += 1;
             }
-            meta.set(
-                rank,
-                MetaRegion {
-                    l,
-                    u: j as u64,
-                    u1,
-                },
-            );
+            meta.set(rank, MetaRegion { l, u: j as u64, u1 });
             i = j;
         }
     }
@@ -143,10 +136,8 @@ pub(crate) fn build(dataset: &Dataset, config: OifConfig, pager: Pager) -> Oif {
         for &(_, new_id, len) in &triples[i..run_end] {
             let p = Posting::new(new_id, len);
             if !enc.is_empty() && enc.len_bytes() + enc.cost_of(p) > target_bytes {
-                let full = std::mem::replace(
-                    &mut enc,
-                    PostingsEncoder::with_mode(config.compression),
-                );
+                let full =
+                    std::mem::replace(&mut enc, PostingsEncoder::with_mode(config.compression));
                 flush(
                     full,
                     block_last.unwrap(),
@@ -209,12 +200,12 @@ mod tests {
         let sorted = sort_records(&d);
         assert_eq!(sorted.id_map[0], 113); // {a}
         assert_eq!(sorted.id_map[11], 114); // {a,d}
-        // Fig. 3 prints {d,i} at 17 and {d,h} at 18, but h and i both have
-        // support 2, and Eq. 1 breaks ties alphabetically: h <D i, so
-        // {d,h} must sort first. We follow Eq. 1 (the figure has a typo).
+                                            // Fig. 3 prints {d,i} at 17 and {d,h} at 18, but h and i both have
+                                            // support 2, and Eq. 1 breaks ties alphabetically: h <D i, so
+                                            // {d,h} must sort first. We follow Eq. 1 (the figure has a typo).
         assert_eq!(sorted.id_map[16], 107); // {d,h}
         assert_eq!(sorted.id_map[17], 112); // {d,i}
-        // Record 2 in Fig. 3 is {a,b,c} = orig 111.
+                                            // Record 2 in Fig. 3 is {a,b,c} = orig 111.
         assert_eq!(sorted.id_map[1], 111);
         // Record 13 = {b,c} = orig 109; record 14 = {b,g,j} = orig 110.
         assert_eq!(sorted.id_map[12], 109);
@@ -247,7 +238,7 @@ mod tests {
         assert_eq!(idx.stored_postings_of(1), 7); // b
         assert_eq!(idx.stored_postings_of(2), 6); // c
         assert_eq!(idx.stored_postings_of(3), 4); // d
-        // a's list is fully replaced by metadata.
+                                                  // a's list is fully replaced by metadata.
         assert_eq!(idx.stored_postings_of(0), 0);
     }
 
@@ -330,10 +321,7 @@ mod tests {
 
     #[test]
     fn duplicate_records_are_handled() {
-        let d = Dataset::from_items(
-            vec![vec![0, 1], vec![0, 1], vec![0, 1], vec![2]],
-            3,
-        );
+        let d = Dataset::from_items(vec![vec![0, 1], vec![0, 1], vec![0, 1], vec![2]], 3);
         let idx = Oif::build(&d);
         assert_eq!(idx.num_records(), 4);
         // All three duplicates keep distinct new ids.

@@ -47,6 +47,7 @@ pub mod delta;
 pub mod index;
 pub mod meta;
 pub mod order;
+pub mod par;
 pub mod query;
 pub mod roi;
 pub mod seqform;
@@ -55,4 +56,5 @@ pub use block::BlockConfig;
 pub use delta::DeltaOif;
 pub use index::{Oif, OifConfig, SpaceBreakdown};
 pub use order::{ItemOrder, Rank};
+pub use query::QueryScratch;
 pub use seqform::SeqForm;

@@ -84,11 +84,7 @@ impl MetaTable {
 
     /// Total number of postings the table replaces (one per record).
     pub fn postings_saved(&self) -> u64 {
-        self.regions
-            .iter()
-            .flatten()
-            .map(|r| r.u - r.l + 1)
-            .sum()
+        self.regions.iter().flatten().map(|r| r.u - r.l + 1).sum()
     }
 
     /// In-memory footprint: three u64 per present region plus the slot
@@ -123,7 +119,14 @@ mod tests {
     fn table_lookup() {
         let mut t = MetaTable::new(4);
         t.set(1, MetaRegion { l: 1, u: 12, u1: 1 });
-        t.set(3, MetaRegion { l: 17, u: 18, u1: 16 });
+        t.set(
+            3,
+            MetaRegion {
+                l: 17,
+                u: 18,
+                u1: 16,
+            },
+        );
         assert!(t.smallest_is(1, 12));
         assert!(!t.smallest_is(1, 13));
         assert!(t.region(0).is_none());

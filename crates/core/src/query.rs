@@ -25,6 +25,25 @@ use codec::accum::CountAccumulator;
 use codec::postings::{Posting, PostingsDecoder};
 use datagen::ItemId;
 
+/// Reusable per-thread scratch state for query evaluation.
+///
+/// The superset predicate accumulates `(record length, found count)` pairs
+/// in an open-addressed table; reusing one table across a query batch
+/// ([`CountAccumulator::clear`] keeps the allocation) removes the dominant
+/// per-query allocation. The scratch is plain owned data — `Send` — so a
+/// thread pool gives each worker its own instance while all workers share
+/// one index ([`Oif::par_eval`]).
+#[derive(Default)]
+pub struct QueryScratch {
+    pub(crate) counts: CountAccumulator,
+}
+
+impl QueryScratch {
+    pub fn new() -> QueryScratch {
+        QueryScratch::default()
+    }
+}
+
 /// Last-record-id suffix of a stored block key.
 fn key_last_id(key: &[u8]) -> u64 {
     u64::from_be_bytes(key[key.len() - 8..].try_into().unwrap())
@@ -143,6 +162,13 @@ impl Oif {
     /// Superset query: original ids of records with `t.s ⊆ qs`
     /// (Algorithm 2).
     pub fn superset(&self, qs: &[ItemId]) -> Vec<u64> {
+        self.superset_with(qs, &mut QueryScratch::new())
+    }
+
+    /// [`Oif::superset`] with caller-provided scratch state, so a query
+    /// batch reuses one accumulator allocation (see [`QueryScratch`]).
+    /// Results are identical to the scratch-free form.
+    pub fn superset_with(&self, qs: &[ItemId], scratch: &mut QueryScratch) -> Vec<u64> {
         debug_assert!(qs.windows(2).all(|w| w[0] < w[1]));
         if qs.is_empty() || self.num_records == 0 {
             return Vec::new();
@@ -152,7 +178,8 @@ impl Oif {
         let cap = n as u32;
 
         // id -> (record length, occurrences found across scanned lists).
-        let mut counts = CountAccumulator::new();
+        scratch.counts.clear();
+        let counts = &mut scratch.counts;
         for i in (0..n).rev() {
             let regions = roi::superset_regions(&q, i);
             // With metadata on, the last region (records whose smallest item
@@ -261,10 +288,7 @@ impl Oif {
             let target = candidates[ci];
             let need_seek = match current_last {
                 None => true,
-                Some(last) => {
-                    target > last
-                        && (target - last) / ids_per_block > RESEEK_BLOCKS
-                }
+                Some(last) => target > last && (target - last) / ids_per_block > RESEEK_BLOCKS,
             };
             if need_seek {
                 // Release the previous cursor's page pin *before* the
@@ -290,8 +314,7 @@ impl Oif {
                     if block_last >= target {
                         // Merge this block's postings with the candidates,
                         // decoding straight out of the pinned page.
-                        let mut dec =
-                            PostingsDecoder::with_mode(value, self.config.compression);
+                        let mut dec = PostingsDecoder::with_mode(value, self.config.compression);
                         while let Some(p) = dec.next_posting().expect("block must decode") {
                             while ci < candidates.len() && candidates[ci] < p.id {
                                 ci += 1;
@@ -350,9 +373,7 @@ impl Oif {
                     let past_upper = tag_bytes > upper_bytes.as_slice();
                     let mut dec = PostingsDecoder::with_mode(value, self.config.compression);
                     let mut stopped = false;
-                    while let Some(p) =
-                        dec.next_posting().expect("index-owned block must decode")
-                    {
+                    while let Some(p) = dec.next_posting().expect("index-owned block must decode") {
                         if on_posting(p) == Scan::Stop {
                             stopped = true;
                             break;

@@ -371,7 +371,9 @@ mod tests {
     fn len_sampler_mean_is_close() {
         let mut rng = StdRng::seed_from_u64(5);
         let n = 50_000;
-        let total: usize = (0..n).map(|_| sample_len_geometric(&mut rng, 5.7, 1, 17)).sum();
+        let total: usize = (0..n)
+            .map(|_| sample_len_geometric(&mut rng, 5.7, 1, 17))
+            .sum();
         let mean = total as f64 / n as f64;
         assert!((4.8..=6.2).contains(&mean), "mean {mean}");
     }

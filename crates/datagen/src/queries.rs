@@ -61,10 +61,16 @@ impl WorkloadSpec {
     pub fn generate(&self, d: &Dataset) -> QuerySet {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let candidates: Vec<&crate::dataset::Record> = match self.kind {
-            QueryKind::Subset => d.records.iter().filter(|r| r.len() >= self.qs_size).collect(),
-            QueryKind::Equality | QueryKind::Superset => {
-                d.records.iter().filter(|r| r.len() == self.qs_size).collect()
-            }
+            QueryKind::Subset => d
+                .records
+                .iter()
+                .filter(|r| r.len() >= self.qs_size)
+                .collect(),
+            QueryKind::Equality | QueryKind::Superset => d
+                .records
+                .iter()
+                .filter(|r| r.len() == self.qs_size)
+                .collect(),
         };
         let mut queries = Vec::with_capacity(self.count);
         if candidates.is_empty() {
@@ -77,11 +83,8 @@ impl WorkloadSpec {
             let rec = candidates[rng.random_range(0..candidates.len())];
             let qs = match self.kind {
                 QueryKind::Subset => {
-                    let mut picked: Vec<ItemId> = rec
-                        .items
-                        .sample(&mut rng, self.qs_size)
-                        .copied()
-                        .collect();
+                    let mut picked: Vec<ItemId> =
+                        rec.items.sample(&mut rng, self.qs_size).copied().collect();
                     picked.sort_unstable();
                     picked
                 }

@@ -19,7 +19,9 @@
 
 mod build;
 mod index;
+mod par;
 mod query;
 
 pub use build::build;
 pub use index::InvertedFile;
+pub use query::EvalScratch;

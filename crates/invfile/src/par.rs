@@ -1,0 +1,89 @@
+//! Parallel batch query evaluation over one shared [`InvertedFile`].
+//!
+//! Same harness as `oif::par_eval` (see `core/src/par.rs` for the design
+//! discussion): [`pagestore::par_map_with`] fans the batch out over an
+//! atomic work cursor, one [`EvalScratch`] per worker, all workers
+//! sharing the index and its buffer pool. Queries are read-only, so
+//! parallel results are identical to serial evaluation; the workspace
+//! `parallel_matches_serial` suite asserts it for both index structures.
+
+use crate::index::InvertedFile;
+use crate::query::EvalScratch;
+use datagen::{ItemId, QueryKind};
+
+impl InvertedFile {
+    /// Evaluate one query of the given kind with caller-provided scratch.
+    pub fn eval_with(&self, kind: QueryKind, qs: &[ItemId], scratch: &mut EvalScratch) -> Vec<u64> {
+        match kind {
+            QueryKind::Subset => self.subset(qs),
+            QueryKind::Equality => self.equality(qs),
+            QueryKind::Superset => self.superset_with(qs, scratch),
+        }
+    }
+
+    /// Evaluate a batch of queries of one kind across `threads` workers
+    /// sharing this index (and its buffer pool). Returns the per-query
+    /// answers in input order — identical to the serial evaluation.
+    ///
+    /// `threads` is clamped to `[1, queries.len()]`; with one thread the
+    /// batch runs inline on the caller (no spawn).
+    pub fn par_eval(
+        &self,
+        kind: QueryKind,
+        queries: &[Vec<ItemId>],
+        threads: usize,
+    ) -> Vec<Vec<u64>> {
+        pagestore::par_map_with(queries.len(), threads, EvalScratch::new, |scratch, i| {
+            self.eval_with(kind, &queries[i], scratch)
+        })
+    }
+}
+
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_sync::<InvertedFile>();
+    assert_send::<EvalScratch>();
+};
+
+#[cfg(test)]
+mod tests {
+    use crate::index::InvertedFile;
+    use datagen::{QueryKind, SyntheticSpec, WorkloadSpec};
+
+    #[test]
+    fn par_eval_matches_serial_for_all_kinds() {
+        let d = SyntheticSpec {
+            num_records: 3000,
+            vocab_size: 120,
+            zipf: 0.8,
+            len_min: 1,
+            len_max: 10,
+            seed: 6,
+        }
+        .generate();
+        let idx = InvertedFile::build(&d);
+        for kind in QueryKind::ALL {
+            let ws = WorkloadSpec {
+                kind,
+                qs_size: 3,
+                count: 20,
+                seed: 17,
+            }
+            .generate(&d);
+            let serial: Vec<Vec<u64>> = ws
+                .queries
+                .iter()
+                .map(|q| match kind {
+                    QueryKind::Subset => idx.subset(q),
+                    QueryKind::Equality => idx.equality(q),
+                    QueryKind::Superset => idx.superset(q),
+                })
+                .collect();
+            for threads in [2usize, 4, 8] {
+                let par = idx.par_eval(kind, &ws.queries, threads);
+                assert_eq!(par, serial, "{kind:?} with {threads} threads");
+            }
+        }
+    }
+}

@@ -12,6 +12,23 @@ use codec::postings::PostingsDecoder;
 use codec::Posting;
 use datagen::ItemId;
 
+/// Reusable per-thread scratch state for IF query evaluation: the fetched
+/// list's byte buffer and the superset merge's count accumulator. Plain
+/// owned data (`Send`), so a thread pool gives each worker its own while
+/// all workers share one [`InvertedFile`]
+/// ([`InvertedFile::par_eval`](crate::InvertedFile::par_eval)).
+#[derive(Default)]
+pub struct EvalScratch {
+    pub(crate) bytes: Vec<u8>,
+    pub(crate) counts: CountAccumulator,
+}
+
+impl EvalScratch {
+    pub fn new() -> EvalScratch {
+        EvalScratch::default()
+    }
+}
+
 impl InvertedFile {
     /// Subset query: ids of records `t` with `qs ⊆ t.s`.
     ///
@@ -81,17 +98,25 @@ impl InvertedFile {
     /// record; a record whose count equals its stored length contains no
     /// item outside `qs` (§2).
     pub fn superset(&self, qs: &[ItemId]) -> Vec<u64> {
+        self.superset_with(qs, &mut EvalScratch::new())
+    }
+
+    /// [`InvertedFile::superset`] with caller-provided scratch, so a query
+    /// batch reuses the list byte buffer and accumulator allocations.
+    /// Results are identical to the scratch-free form.
+    pub fn superset_with(&self, qs: &[ItemId], scratch: &mut EvalScratch) -> Vec<u64> {
         debug_assert!(qs.windows(2).all(|w| w[0] < w[1]));
         // (id, len) -> occurrences, streamed list by list. Record ids are
         // the original (0-based) ids here, so they are stored shifted by
         // +1 to satisfy the accumulator's non-zero key requirement.
-        let mut bytes = Vec::new();
-        let mut counts = CountAccumulator::new();
+        let bytes = &mut scratch.bytes;
+        scratch.counts.clear();
+        let counts = &mut scratch.counts;
         for &item in qs {
-            if !self.fetch_bytes_into(item, &mut bytes) {
+            if !self.fetch_bytes_into(item, bytes) {
                 continue;
             }
-            let mut dec = PostingsDecoder::with_mode(&bytes, self.compression);
+            let mut dec = PostingsDecoder::with_mode(bytes, self.compression);
             while let Some(p) = dec.next_posting().expect("index-owned list must decode") {
                 counts.add(p.id + 1, p.len);
             }

@@ -11,29 +11,36 @@
 //!   metadata) shares one cache, exactly like a single Berkeley DB
 //!   environment.
 //! * [`BufferPool`] — an LRU page cache with a configurable byte budget
-//!   (default 32 KiB, the paper's setting). Every miss is classified as
-//!   *sequential* (physical page id = previously fetched id + 1) or *random*
-//!   and charged against an [`IoCostModel`], yielding a deterministic
-//!   simulated I/O time alongside the miss counters.
+//!   (default 32 KiB, the paper's setting), internally synchronised with a
+//!   sharded mapping table and per-frame pin latches so concurrent readers
+//!   scale with cores (see the [`cache`](self) module docs). Every miss is
+//!   classified as *sequential* (physical page id = previously fetched
+//!   id + 1) or *random* and charged against an [`IoCostModel`], yielding
+//!   a deterministic simulated I/O time alongside the miss counters.
 //! * [`IoStats`] — the counters the experiment harness prints: cache hits,
 //!   sequential misses, random misses, pages written, simulated I/O time.
 //!
 //! The pool is wrapped in [`Pager`], the handle the index crates use.
+//! `Pager`, [`PageGuard`] and everything built on them (B⁺-tree cursors,
+//! query evaluation) are `Send`/`Sync`: a batch of read-only queries can be
+//! evaluated by a thread pool over one shared index.
 //!
 //! [Terrovitis et al., EDBT 2011]: https://doi.org/10.1145/1951365.1951394
 
 mod cache;
 mod cost;
 mod disk;
+mod frame;
+pub mod par;
 mod stats;
 
 pub use cache::BufferPool;
 pub use cost::IoCostModel;
 pub use disk::{Disk, FileId, PageId, PAGE_SIZE};
+pub use par::{par_map, par_map_with};
 pub use stats::IoStats;
 
-use parking_lot::Mutex;
-use std::ptr::NonNull;
+use frame::PinnedSlot;
 use std::sync::Arc;
 
 /// Shared handle to a buffer pool over a simulated disk.
@@ -42,9 +49,15 @@ use std::sync::Arc;
 /// statistics. All index structures in the workspace perform their page I/O
 /// through this type so that an experiment can snapshot / reset one set of
 /// counters per index.
+///
+/// The pool is internally synchronised: `Pager` (and its clones) may be
+/// used from many threads at once. Cache *hits* — the hot path of
+/// read-mostly query evaluation — take only a mapping-shard read latch plus
+/// one atomic pin, so concurrent readers do not serialise; misses,
+/// eviction and writes coordinate through a single policy lock.
 #[derive(Clone)]
 pub struct Pager {
-    inner: Arc<Mutex<BufferPool>>,
+    inner: Arc<BufferPool>,
 }
 
 impl Pager {
@@ -62,35 +75,35 @@ impl Pager {
     /// Create a pager from a fully configured pool.
     pub fn with_pool(pool: BufferPool) -> Self {
         Pager {
-            inner: Arc::new(Mutex::new(pool)),
+            inner: Arc::new(pool),
         }
     }
 
     /// Create a new logical file (segment) on the underlying disk.
     pub fn create_file(&self) -> FileId {
-        self.inner.lock().disk_mut().create_file()
+        self.inner.create_file()
     }
 
     /// Append a fresh zeroed page to `file`, returning its page id within the
     /// file. The new page is written through the cache.
     pub fn allocate_page(&self, file: FileId) -> PageId {
-        self.inner.lock().allocate_page(file)
+        self.inner.allocate_page(file)
     }
 
     /// Number of pages currently allocated to `file`.
     pub fn file_len(&self, file: FileId) -> u64 {
-        self.inner.lock().disk().file_len(file)
+        self.inner.file_len(file)
     }
 
     /// Read page `page` of `file` into `buf` (must be `PAGE_SIZE` long),
     /// going through the cache.
     pub fn read_page(&self, file: FileId, page: PageId, buf: &mut [u8]) {
-        self.inner.lock().read_page(file, page, buf)
+        self.inner.read_page(file, page, buf)
     }
 
     /// Read a page and pass it to `f` without copying out of the cache frame.
     pub fn with_page<R>(&self, file: FileId, page: PageId, f: impl FnOnce(&[u8]) -> R) -> R {
-        self.inner.lock().with_page(file, page, f)
+        self.inner.with_page(file, page, f)
     }
 
     /// Pin page `page` of `file` in the cache and return a guard borrowing
@@ -99,7 +112,8 @@ impl Pager {
     /// While the guard lives the frame is exempt from eviction and
     /// [`Pager::clear_cache`], and any [`Pager::write_page`] to it panics,
     /// so the guard's `&[u8]` view is stable. Pinning the same page again
-    /// (same or cloned guard) is safe — frames are pin-*counted*.
+    /// (same or cloned guard) is safe — frames are pin-*counted* — and
+    /// guards may be sent to (and dropped on) other threads.
     ///
     /// The first `pin_page` of an uncached page costs one (counted) page
     /// access like any other read; re-pinning a cached page is a cache hit.
@@ -108,45 +122,42 @@ impl Pager {
     /// counts reproducible (the B⁺-tree read path) drop the guard before
     /// fetching the next page.
     pub fn pin_page(&self, file: FileId, page: PageId) -> PageGuard {
-        let (ptr, phys) = self.inner.lock().pin(file, page);
-        PageGuard {
-            pager: self.clone(),
-            ptr,
-            phys,
-        }
+        let pinned = self.inner.pin_slot(file, page);
+        let phys = pinned.slot().phys();
+        PageGuard { pinned, phys }
     }
 
     /// Overwrite page `page` of `file` with `data` (must be `PAGE_SIZE`
     /// long).
     pub fn write_page(&self, file: FileId, page: PageId, data: &[u8]) {
-        self.inner.lock().write_page(file, page, data)
+        self.inner.write_page(file, page, data)
     }
 
     /// Snapshot the I/O statistics.
     pub fn stats(&self) -> IoStats {
-        self.inner.lock().stats().clone()
+        self.inner.stats()
     }
 
     /// Reset the I/O statistics (e.g. after an index build, before queries).
     pub fn reset_stats(&self) {
-        self.inner.lock().reset_stats()
+        self.inner.reset_stats()
     }
 
     /// Drop every cached frame, so that the next accesses are cold. Used
     /// between queries to emulate the paper's "minimised caching effects"
     /// protocol.
     pub fn clear_cache(&self) {
-        self.inner.lock().clear_cache()
+        self.inner.clear_cache()
     }
 
     /// Total bytes allocated on the simulated disk across all files.
     pub fn disk_bytes(&self) -> u64 {
-        self.inner.lock().disk().total_pages() * PAGE_SIZE as u64
+        self.inner.total_pages() * PAGE_SIZE as u64
     }
 
     /// Replace the I/O cost model (defaults follow a ~2010 commodity disk).
     pub fn set_cost_model(&self, model: IoCostModel) {
-        self.inner.lock().set_cost_model(model)
+        self.inner.set_cost_model(model)
     }
 }
 
@@ -158,43 +169,37 @@ impl Default for Pager {
 
 /// A pin on one cached page, borrowing its bytes without copying.
 ///
-/// Obtained from [`Pager::pin_page`]. The guard keeps the pool alive (it
-/// holds a `Pager` clone) and the frame pinned; [`PageGuard::bytes`] —
-/// or the `Deref` impl — yields the page contents directly out of the
-/// buffer pool's frame. Dropping the guard releases the pin.
+/// Obtained from [`Pager::pin_page`]. The guard holds the frame's pin
+/// latch (an atomic count on the frame slot), which keeps the page buffer
+/// alive, unmoved and unwritten; [`PageGuard::bytes`] — or the `Deref`
+/// impl — yields the page contents directly out of the buffer-pool frame.
+/// Dropping the guard releases the pin with a single atomic decrement (no
+/// pool lock), including during unwinding.
+///
+/// Guards are `Send` and `Sync`: the pinned bytes are immutable while any
+/// pin is outstanding, so views may cross threads freely — this is what
+/// makes B⁺-tree cursors (and the query evaluation built on them) usable
+/// from a thread pool.
 pub struct PageGuard {
-    pager: Pager,
-    ptr: NonNull<[u8; PAGE_SIZE]>,
+    pinned: PinnedSlot,
     phys: u64,
 }
 
 impl PageGuard {
     /// The pinned page's bytes (always `PAGE_SIZE` long).
     pub fn bytes(&self) -> &[u8] {
-        // SAFETY: the pool guarantees a pinned frame's buffer is neither
-        // freed, recycled nor written while its pin count is non-zero, and
-        // the pool itself outlives `self.pager`.
-        unsafe { &self.ptr.as_ref()[..] }
+        self.pinned.bytes()
     }
 }
 
 impl Clone for PageGuard {
     fn clone(&self) -> Self {
-        let mut pool = self.pager.inner.lock();
-        // Re-pin through the pool so the frame's pin count matches the
-        // number of live guards.
-        pool.repin(self.phys);
         PageGuard {
-            pager: self.pager.clone(),
-            ptr: self.ptr,
+            // Re-pins the frame, so its pin count matches the number of
+            // live guards.
+            pinned: self.pinned.clone(),
             phys: self.phys,
         }
-    }
-}
-
-impl Drop for PageGuard {
-    fn drop(&mut self) {
-        self.pager.inner.lock().unpin(self.phys);
     }
 }
 
@@ -207,20 +212,30 @@ impl std::ops::Deref for PageGuard {
 
 impl std::fmt::Debug for PageGuard {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PageGuard").field("phys", &self.phys).finish()
+        f.debug_struct("PageGuard")
+            .field("phys", &self.phys)
+            .finish()
     }
 }
 
 impl std::fmt::Debug for Pager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let g = self.inner.lock();
         f.debug_struct("Pager")
-            .field("files", &g.disk().file_count())
-            .field("pages", &g.disk().total_pages())
-            .field("stats", g.stats())
+            .field("files", &self.inner.file_count())
+            .field("pages", &self.inner.total_pages())
+            .field("stats", &self.inner.stats())
             .finish()
     }
 }
+
+// Compile-time proof of the threading contract: the pager, its guards and
+// the pool are usable from (and shareable across) threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Pager>();
+    assert_send_sync::<PageGuard>();
+    assert_send_sync::<BufferPool>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -272,5 +287,33 @@ mod tests {
         let mut out = vec![0u8; PAGE_SIZE];
         pager.read_page(f, p, &mut out);
         assert_eq!(out[10], 99);
+    }
+
+    #[test]
+    fn guard_outlives_pager_handle() {
+        // The guard's Arc keeps the pinned frame alive independently of the
+        // handle it came from.
+        let pager = Pager::new();
+        let f = pager.create_file();
+        let p = pager.allocate_page(f);
+        let mut data = vec![0u8; PAGE_SIZE];
+        data[3] = 33;
+        pager.write_page(f, p, &data);
+        let guard = pager.pin_page(f, p);
+        drop(pager);
+        assert_eq!(guard[3], 33);
+    }
+
+    #[test]
+    fn guard_can_cross_threads() {
+        let pager = Pager::new();
+        let f = pager.create_file();
+        let p = pager.allocate_page(f);
+        let mut data = vec![0u8; PAGE_SIZE];
+        data[7] = 77;
+        pager.write_page(f, p, &data);
+        let guard = pager.pin_page(f, p);
+        let byte = std::thread::spawn(move || guard[7]).join().unwrap();
+        assert_eq!(byte, 77);
     }
 }

@@ -1,0 +1,127 @@
+//! Tiny scoped thread-pool helper shared by the parallel query engines.
+//!
+//! One atomic work cursor over `0..n`, dynamic work stealing (a cheap
+//! item never stalls a worker behind an expensive one), results returned
+//! in index order. Lives in this crate because `pagestore` is the
+//! workspace's concurrency substrate — every parallel consumer (`oif`,
+//! `invfile`, `bench`, the workspace stress tests) already depends on it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Map `0..n` through `eval` using `threads` scoped workers, each with
+/// its own worker state from `init` (scratch buffers, accumulators, …).
+/// Returns the results in index order.
+///
+/// `threads` is clamped to `[1, n]`; with one thread the map runs inline
+/// on the caller (no spawn), still reusing a single `init()` state across
+/// the whole batch. A panic in `eval` propagates to the caller.
+pub fn par_map_with<S, R: Send>(
+    n: usize,
+    threads: usize,
+    init: impl Fn() -> S + Sync,
+    eval: impl Fn(&mut S, usize) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        let mut state = init();
+        return (0..n).map(|i| eval(&mut state, i)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let (next, init, eval) = (&next, &init, &eval);
+                scope.spawn(move || {
+                    let mut state = init();
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, eval(&mut state, i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        // Join *every* worker before propagating any panic: panicking on
+        // the first failed join would leave unjoined handles for the
+        // scope's unwind to re-join, and a second panicking worker would
+        // then double-panic and abort the process.
+        let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        for j in joined {
+            for (i, r) in j.expect("par_map worker panicked") {
+                results[i] = Some(r);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every index evaluated exactly once"))
+        .collect()
+}
+
+/// [`par_map_with`] without per-worker state.
+pub fn par_map<R: Send>(n: usize, threads: usize, eval: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    par_map_with(n, threads, || (), |_, i| eval(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_index_order_any_thread_count() {
+        for threads in [0usize, 1, 2, 4, 9] {
+            let out = par_map(7, threads, |i| i * i);
+            assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36], "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(par_map(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn every_item_evaluated_exactly_once_with_worker_state() {
+        let handled = AtomicUsize::new(0);
+        let out = par_map_with(
+            100,
+            4,
+            || &handled,
+            |state, i| {
+                state.fetch_add(1, Ordering::Relaxed);
+                i
+            },
+        );
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+        assert_eq!(handled.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let r = std::panic::catch_unwind(|| {
+            par_map(8, 4, |i| {
+                if i == 5 {
+                    panic!("item failure");
+                }
+                i
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn multiple_panicking_workers_propagate_one_panic_not_abort() {
+        // Every worker panics. All handles must be joined before the
+        // first panic propagates — otherwise the scope re-joins panicked
+        // threads during unwinding and double-panics (process abort,
+        // which would kill this test binary rather than fail the test).
+        let r =
+            std::panic::catch_unwind(|| par_map(8, 4, |i| -> usize { panic!("item {i} failure") }));
+        assert!(r.is_err());
+    }
+}

@@ -119,7 +119,7 @@ macro_rules! impl_range_strategy {
 impl_range_strategy!(u8, u16, u32, u64, usize);
 
 pub mod collection {
-    use super::{Strategy, StdRng};
+    use super::{StdRng, Strategy};
     use rand::prelude::Rng;
     use std::collections::{BTreeSet, HashMap};
     use std::hash::Hash;

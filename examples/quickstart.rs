@@ -16,7 +16,10 @@ fn main() {
         len_max: 12,
         seed: 42,
     };
-    println!("generating {} records over {} items ...", spec.num_records, spec.vocab_size);
+    println!(
+        "generating {} records over {} items ...",
+        spec.num_records, spec.vocab_size
+    );
     let data = spec.generate();
 
     println!("building the Ordered Inverted File ...");
@@ -61,7 +64,11 @@ fn main() {
 
     let pager = index.pager().clone();
     for (name, qs, f) in [
-        ("subset", &subset_q, &(|q: &[u32]| index.subset(q)) as &dyn Fn(&[u32]) -> Vec<u64>),
+        (
+            "subset",
+            &subset_q,
+            &(|q: &[u32]| index.subset(q)) as &dyn Fn(&[u32]) -> Vec<u64>,
+        ),
         ("equality", &eq_q, &|q: &[u32]| index.equality(q)),
         ("superset", &sup_q, &|q: &[u32]| index.superset(q)),
     ] {

@@ -31,31 +31,46 @@ fn main() {
         (
             "small blocks (128 B)",
             OifConfig {
-                block: BlockConfig { target_bytes: 128, tag_prefix: None },
+                block: BlockConfig {
+                    target_bytes: 128,
+                    tag_prefix: None,
+                },
                 ..OifConfig::default()
             },
         ),
         (
             "large blocks (2 KiB)",
             OifConfig {
-                block: BlockConfig { target_bytes: 2048, tag_prefix: None },
+                block: BlockConfig {
+                    target_bytes: 2048,
+                    tag_prefix: None,
+                },
                 ..OifConfig::default()
             },
         ),
         (
             "tag prefix = 2 ranks",
             OifConfig {
-                block: BlockConfig { target_bytes: 512, tag_prefix: Some(2) },
+                block: BlockConfig {
+                    target_bytes: 512,
+                    tag_prefix: Some(2),
+                },
                 ..OifConfig::default()
             },
         ),
         (
             "no metadata table",
-            OifConfig { use_metadata: false, ..OifConfig::default() },
+            OifConfig {
+                use_metadata: false,
+                ..OifConfig::default()
+            },
         ),
         (
             "no compression",
-            OifConfig { compression: Compression::Raw, ..OifConfig::default() },
+            OifConfig {
+                compression: Compression::Raw,
+                ..OifConfig::default()
+            },
         ),
     ];
 

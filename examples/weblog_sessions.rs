@@ -44,7 +44,10 @@ fn main() {
     );
 
     let exactly_main = index.equality(&[0]);
-    println!("equality {{main}}: {} sessions saw only the main page and left", exactly_main.len());
+    println!(
+        "equality {{main}}: {} sessions saw only the main page and left",
+        exactly_main.len()
+    );
 
     // A new day of traffic arrives: stage it in the memory-resident delta.
     println!("\nstaging a new day of sessions in the delta ...");
