@@ -1,0 +1,153 @@
+//! Durability harness — build-once / reopen-everywhere, the scenario the
+//! in-memory backend could never measure.
+//!
+//! The paper's experiments ran on Berkeley DB, a persistent environment:
+//! an index was built once and every query session after that merely
+//! *opened* it. This bench reports what the [`pagestore::FileStorage`]
+//! backend buys relative to rebuilding per session:
+//!
+//! * build + persist time vs reopen time, per index kind;
+//! * the on-disk file size vs the dataset's raw bytes;
+//! * per-query page accesses on the reopened index vs a fresh in-memory
+//!   build — which must match exactly (the reopen-equivalence contract
+//!   `tests/persistence.rs` enforces; printed here as a visible check).
+
+use bench::{measure, scale, workload, Measurement};
+use datagen::{QueryKind, SyntheticSpec};
+use pagestore::{FileStorage, Pager};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn temp_db(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("oif-bench-persist-{tag}-{}.db", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn file_pager(path: &std::path::Path) -> Pager {
+    Pager::with_storage(FileStorage::create(path).expect("create"), 32 * 1024)
+}
+
+fn row(
+    name: &str,
+    build: std::time::Duration,
+    reopen: std::time::Duration,
+    file_bytes: u64,
+    fresh: &Measurement,
+    reopened: &Measurement,
+) {
+    let equal = if (fresh.pages, fresh.seq, fresh.random)
+        == (reopened.pages, reopened.seq, reopened.random)
+    {
+        "equal"
+    } else {
+        "DRIFT"
+    };
+    println!(
+        "{name:>8} | build+persist {:>9.1?} | reopen {:>9.1?} ({:>6.0}x) | {:>7.2} MiB | \
+         {:>7.1} pages/query fresh vs {:>7.1} reopened [{equal}]",
+        build,
+        reopen,
+        build.as_secs_f64() / reopen.as_secs_f64().max(1e-9),
+        file_bytes as f64 / (1 << 20) as f64,
+        fresh.pages,
+        reopened.pages,
+    );
+}
+
+fn main() {
+    let s = scale();
+    let d = SyntheticSpec::paper_default(s).generate();
+    println!(
+        "dataset: {} records, |I| = {} (paper default ÷{s}); raw {:.2} MiB; subset |qs| = 4",
+        d.len(),
+        d.vocab_size,
+        d.raw_bytes() as f64 / (1 << 20) as f64
+    );
+    let qs = workload(&d, QueryKind::Subset, 4, 42);
+
+    // --- OIF ------------------------------------------------------------
+    {
+        let path = temp_db("oif");
+        let t0 = Instant::now();
+        let built = oif::Oif::build_with(&d, Default::default(), Some(file_pager(&path)));
+        built.persist().expect("persist");
+        let build = t0.elapsed();
+        drop(built);
+        let file_bytes = std::fs::metadata(&path).unwrap().len();
+
+        let fresh_idx = oif::Oif::build(&d);
+        let fresh = measure(fresh_idx.pager(), &qs, |q| fresh_idx.subset(q));
+
+        let t1 = Instant::now();
+        let reopened_idx = oif::Oif::open(Pager::with_storage(
+            FileStorage::open(&path).unwrap(),
+            32 * 1024,
+        ))
+        .expect("reopen");
+        let reopen = t1.elapsed();
+        let reopened = measure(reopened_idx.pager(), &qs, |q| reopened_idx.subset(q));
+        row("OIF", build, reopen, file_bytes, &fresh, &reopened);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    // --- classic IF -----------------------------------------------------
+    {
+        let path = temp_db("if");
+        let t0 = Instant::now();
+        let built = invfile::InvertedFile::build_with(
+            &d,
+            file_pager(&path),
+            codec::postings::Compression::VByteDGap,
+        );
+        built.persist().expect("persist");
+        let build = t0.elapsed();
+        drop(built);
+        let file_bytes = std::fs::metadata(&path).unwrap().len();
+
+        let fresh_idx = invfile::InvertedFile::build(&d);
+        let fresh = measure(fresh_idx.pager(), &qs, |q| fresh_idx.subset(q));
+
+        let t1 = Instant::now();
+        let reopened_idx = invfile::InvertedFile::open(Pager::with_storage(
+            FileStorage::open(&path).unwrap(),
+            32 * 1024,
+        ))
+        .expect("reopen");
+        let reopen = t1.elapsed();
+        let reopened = measure(reopened_idx.pager(), &qs, |q| reopened_idx.subset(q));
+        row("IF", build, reopen, file_bytes, &fresh, &reopened);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    // --- unordered B-tree -----------------------------------------------
+    {
+        let path = temp_db("ubtree");
+        let t0 = Instant::now();
+        let built = ubtree::UnorderedBTree::build_with(
+            &d,
+            512,
+            file_pager(&path),
+            codec::postings::Compression::VByteDGap,
+        );
+        built.persist().expect("persist");
+        let build = t0.elapsed();
+        drop(built);
+        let file_bytes = std::fs::metadata(&path).unwrap().len();
+
+        let fresh_idx = ubtree::UnorderedBTree::build(&d);
+        let fresh = measure(fresh_idx.pager(), &qs, |q| fresh_idx.subset(q));
+
+        let t1 = Instant::now();
+        let reopened_idx = ubtree::UnorderedBTree::open(Pager::with_storage(
+            FileStorage::open(&path).unwrap(),
+            32 * 1024,
+        ))
+        .expect("reopen");
+        let reopen = t1.elapsed();
+        let reopened = measure(reopened_idx.pager(), &qs, |q| reopened_idx.subset(q));
+        row("UBTree", build, reopen, file_bytes, &fresh, &reopened);
+        let _ = std::fs::remove_file(&path);
+    }
+}

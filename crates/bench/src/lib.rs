@@ -22,14 +22,49 @@ use pagestore::Pager;
 use std::time::{Duration, Instant};
 
 /// The scale divisor applied to the paper's dataset sizes.
+///
+/// `FULL_SCALE=1` (or `true`/`yes`/`on`) selects paper-size runs;
+/// `OIF_SCALE=<n>` a custom positive divisor. Invalid values panic with
+/// the offending input — historically `FULL_SCALE=true` and
+/// `OIF_SCALE=abc` fell back to the default without a word (and
+/// `OIF_SCALE=0` produced a zero divisor), silently measuring the wrong
+/// workload.
 pub fn scale() -> usize {
-    if std::env::var_os("FULL_SCALE").is_some_and(|v| v == "1") {
-        return 1;
+    if let Some(v) = std::env::var_os("FULL_SCALE") {
+        if parse_full_scale(&v.to_string_lossy()) {
+            return 1;
+        }
     }
-    std::env::var("OIF_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(50)
+    match std::env::var("OIF_SCALE") {
+        Ok(s) => parse_oif_scale(&s),
+        Err(std::env::VarError::NotPresent) => 50,
+        Err(e) => panic!("OIF_SCALE is set but unreadable: {e}"),
+    }
+}
+
+/// Parse `FULL_SCALE`: truthy → paper scale, falsy → fall through to
+/// `OIF_SCALE`, anything else is a hard error.
+fn parse_full_scale(v: &str) -> bool {
+    match v.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "yes" | "on" => true,
+        "" | "0" | "false" | "no" | "off" => false,
+        other => {
+            panic!("FULL_SCALE must be a boolean (1/true/yes/on or 0/false/no/off), got {other:?}")
+        }
+    }
+}
+
+/// Parse `OIF_SCALE`: a positive integer divisor, or a hard error — zero
+/// would divide every dataset size to nonsense and non-numbers used to be
+/// silently ignored.
+fn parse_oif_scale(s: &str) -> usize {
+    match s.trim().parse::<usize>() {
+        Ok(0) => panic!("OIF_SCALE must be a positive integer (it divides dataset sizes), got 0"),
+        Ok(n) => n,
+        Err(_) => {
+            panic!("OIF_SCALE must be a positive integer (it divides dataset sizes), got {s:?}")
+        }
+    }
 }
 
 /// Number of queries per size and type (paper: 10).
@@ -373,5 +408,39 @@ mod tests {
         if std::env::var_os("FULL_SCALE").is_none() && std::env::var_os("OIF_SCALE").is_none() {
             assert_eq!(scale(), 50);
         }
+    }
+
+    #[test]
+    fn full_scale_accepts_booleans() {
+        for v in ["1", "true", "YES", " on "] {
+            assert!(parse_full_scale(v), "{v:?}");
+        }
+        for v in ["", "0", "false", "No", "off"] {
+            assert!(!parse_full_scale(v), "{v:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "FULL_SCALE must be a boolean")]
+    fn full_scale_rejects_garbage() {
+        parse_full_scale("certainly");
+    }
+
+    #[test]
+    fn oif_scale_accepts_positive_integers() {
+        assert_eq!(parse_oif_scale("1"), 1);
+        assert_eq!(parse_oif_scale(" 500 "), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "got 0")]
+    fn oif_scale_rejects_zero_divisor() {
+        parse_oif_scale("0");
+    }
+
+    #[test]
+    #[should_panic(expected = "got \"abc\"")]
+    fn oif_scale_rejects_non_numbers() {
+        parse_oif_scale("abc");
     }
 }

@@ -91,13 +91,30 @@ impl BTree {
         &self.pager
     }
 
-    #[allow(dead_code)] // used by heapfile-style diagnostics and future compaction
-    pub(crate) fn file(&self) -> FileId {
+    /// The logical file on `pager`'s disk holding the tree's nodes.
+    pub fn file(&self) -> FileId {
         self.file
+    }
+
+    /// Page id of the root node (within [`BTree::file`]).
+    pub fn root_page(&self) -> PageId {
+        self.root
     }
 
     pub(crate) fn root(&self) -> PageId {
         self.root
+    }
+
+    /// Reopen a tree from persisted parts (see [`BTree::file`],
+    /// [`BTree::root_page`], [`BTree::height`], [`BTree::len`]).
+    ///
+    /// The caller asserts the parts describe a tree previously built on
+    /// this pager's storage — typically read back from the storage catalog
+    /// after a [`Pager::sync`](pagestore::Pager::sync). Nothing is read
+    /// eagerly; a bogus root surfaces on first access (decoding a
+    /// non-node page fails its named assertions).
+    pub fn open(pager: Pager, file: FileId, root: PageId, height: usize, len: u64) -> Self {
+        BTree::from_parts(pager, file, root, height, len)
     }
 
     /// Owned decode of one node — the write path's view.

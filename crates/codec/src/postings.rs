@@ -38,6 +38,26 @@ pub enum Compression {
     Raw,
 }
 
+impl Compression {
+    /// Stable one-byte tag for persisted index catalogs.
+    pub fn to_tag(self) -> u8 {
+        match self {
+            Compression::VByteDGap => 0,
+            Compression::Raw => 1,
+        }
+    }
+
+    /// Inverse of [`Compression::to_tag`]; `None` for unknown tags (a
+    /// catalog written by a newer build).
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(Compression::VByteDGap),
+            1 => Some(Compression::Raw),
+            _ => None,
+        }
+    }
+}
+
 /// Streaming encoder that appends postings (sorted by id) to a byte buffer.
 #[derive(Debug)]
 pub struct PostingsEncoder {

@@ -48,6 +48,7 @@ pub mod index;
 pub mod meta;
 pub mod order;
 pub mod par;
+pub mod persist;
 pub mod query;
 pub mod roi;
 pub mod seqform;

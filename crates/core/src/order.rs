@@ -67,6 +67,13 @@ impl ItemOrder {
         self.support[item as usize]
     }
 
+    /// All item supports, indexed by item id. `from_supports` on this
+    /// slice rebuilds the order exactly (Eq. 1 is deterministic), which is
+    /// how a persisted index serializes its order.
+    pub fn supports(&self) -> &[u64] {
+        &self.support
+    }
+
     /// The largest rank (the least frequent item), i.e. `oN` in the RoI
     /// definitions. Panics on an empty vocabulary.
     pub fn max_rank(&self) -> Rank {

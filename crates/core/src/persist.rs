@@ -1,0 +1,229 @@
+//! Persisting and reopening an [`Oif`] without a rebuild.
+//!
+//! The OIF's paged state — the block B⁺-tree — already lives on the
+//! pager's storage. What does *not* live on pages is everything the build
+//! derives from the dataset: the item order, the metadata table, the
+//! new-id → original-id map, per-rank statistics and the configuration.
+//! [`Oif::persist`] serializes exactly that into the storage catalog
+//! (key `"oif"`) and issues a [`Pager::sync`], so an index built on a
+//! [`FileStorage`](pagestore::FileStorage) can be [`Oif::open`]ed from the
+//! file by a later process and answer queries with identical results *and*
+//! identical per-query page-access counts — the build is paid once.
+//!
+//! The same calls work on the in-memory backend (the catalog is a map and
+//! `sync` a no-op), which is how the round-trip is unit-tested without
+//! touching the filesystem.
+
+use crate::block::BlockConfig;
+use crate::index::{Oif, OifConfig};
+use crate::meta::{MetaRegion, MetaTable};
+use crate::order::ItemOrder;
+use btree::BTree;
+use codec::postings::Compression;
+use pagestore::ser::{Reader, Writer};
+use pagestore::{FileId, Pager, StorageError};
+
+/// Catalog key the OIF state is stored under.
+pub const CATALOG_KEY: &str = "oif";
+
+/// Format version of the serialized state.
+const STATE_VERSION: u32 = 1;
+
+impl Oif {
+    /// Serialize the non-paged state into the storage catalog and sync the
+    /// pager, making the index reopenable via [`Oif::open`].
+    pub fn persist(&self) -> Result<(), StorageError> {
+        self.pager().put_catalog(CATALOG_KEY, &self.state_bytes());
+        self.pager().sync()
+    }
+
+    /// Reopen a persisted index from `pager`'s storage (typically a
+    /// [`FileStorage`](pagestore::FileStorage) that was
+    /// [`open`](pagestore::FileStorage::open)ed). Returns `None` when the
+    /// catalog has no (parsable, version-compatible) OIF entry.
+    ///
+    /// Nothing is rebuilt and no tree page is touched: queries on the
+    /// reopened index perform the same page accesses as on the original.
+    pub fn open(pager: Pager) -> Option<Self> {
+        let state = pager.catalog(CATALOG_KEY)?;
+        Self::from_state_bytes(pager, &state)
+    }
+
+    fn state_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(STATE_VERSION);
+        w.u64(self.num_records);
+        w.u64(self.vocab_size as u64);
+        w.u64(self.data_bytes);
+        w.u64(self.list_bytes);
+        // Config.
+        w.u64(self.config.block.target_bytes as u64);
+        w.opt_u64(self.config.block.tag_prefix.map(|n| n as u64));
+        w.bool(self.config.use_metadata);
+        w.u64(self.config.cache_bytes as u64);
+        w.u8(self.config.compression.to_tag());
+        // Item order: supports alone reproduce it (Eq. 1 is deterministic).
+        w.u64s(self.order.supports());
+        // Metadata regions, one slot per rank (exactly vocab_size slots).
+        for rank in 0..self.vocab_size as u32 {
+            match self.meta.region(rank) {
+                Some(MetaRegion { l, u, u1 }) => {
+                    w.u8(1);
+                    w.u64(l);
+                    w.u64(u);
+                    w.u64(u1);
+                }
+                None => w.u8(0),
+            }
+        }
+        w.u64s(&self.id_map);
+        w.u64s(&self.stored_postings);
+        w.u32s(&self.blocks_per_rank);
+        // Block B⁺-tree location.
+        w.u32(self.tree.file().0);
+        w.u64(self.tree.root_page());
+        w.u64(self.tree.height() as u64);
+        w.u64(self.tree.len());
+        w.into_bytes()
+    }
+
+    fn from_state_bytes(pager: Pager, state: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(state);
+        if r.u32()? != STATE_VERSION {
+            return None;
+        }
+        let num_records = r.u64()?;
+        let vocab_size = usize::try_from(r.u64()?).ok()?;
+        let data_bytes = r.u64()?;
+        let list_bytes = r.u64()?;
+        let config = OifConfig {
+            block: BlockConfig {
+                target_bytes: usize::try_from(r.u64()?).ok()?,
+                tag_prefix: match r.opt_u64()? {
+                    Some(n) => Some(usize::try_from(n).ok()?),
+                    None => None,
+                },
+            },
+            use_metadata: r.bool()?,
+            cache_bytes: usize::try_from(r.u64()?).ok()?,
+            compression: Compression::from_tag(r.u8()?)?,
+        };
+        let supports = r.u64s()?;
+        if supports.len() != vocab_size {
+            return None;
+        }
+        let order = ItemOrder::from_supports(supports);
+        let mut meta = MetaTable::new(vocab_size);
+        for rank in 0..vocab_size as u32 {
+            match r.u8()? {
+                0 => {}
+                1 => {
+                    let (l, u, u1) = (r.u64()?, r.u64()?, r.u64()?);
+                    if l > u {
+                        return None; // never produced by a build
+                    }
+                    meta.set(rank, MetaRegion { l, u, u1 });
+                }
+                _ => return None,
+            }
+        }
+        let id_map = r.u64s()?;
+        let stored_postings = r.u64s()?;
+        let blocks_per_rank = r.u32s()?;
+        if stored_postings.len() != vocab_size || blocks_per_rank.len() != vocab_size {
+            return None;
+        }
+        let tree_file = FileId(r.u32()?);
+        let tree_root = r.u64()?;
+        let tree_height = usize::try_from(r.u64()?).ok()?;
+        let tree_len = r.u64()?;
+        if !r.is_exhausted() {
+            return None;
+        }
+        Some(Oif {
+            order,
+            tree: BTree::open(pager, tree_file, tree_root, tree_height, tree_len),
+            meta,
+            id_map,
+            stored_postings,
+            blocks_per_rank,
+            list_bytes,
+            num_records,
+            vocab_size,
+            config,
+            data_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{Dataset, SyntheticSpec};
+
+    fn sample() -> Dataset {
+        SyntheticSpec {
+            num_records: 2500,
+            vocab_size: 120,
+            zipf: 0.8,
+            len_min: 2,
+            len_max: 10,
+            seed: 11,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn persist_open_round_trips_on_mem_storage() {
+        let d = sample();
+        let built = Oif::build(&d);
+        built.persist().unwrap();
+        let reopened = Oif::open(built.pager().clone()).expect("catalog entry");
+        assert_eq!(reopened.num_records(), built.num_records());
+        assert_eq!(reopened.vocab_size(), built.vocab_size());
+        assert_eq!(reopened.config(), built.config());
+        assert_eq!(reopened.order(), built.order());
+        for rank in 0..built.vocab_size() as u32 {
+            assert_eq!(reopened.meta().region(rank), built.meta().region(rank));
+        }
+        assert_eq!(reopened.space(), built.space());
+        // Same answers on all three predicates.
+        assert_eq!(reopened.subset(&[0, 3]), built.subset(&[0, 3]));
+        assert_eq!(reopened.superset(&[0, 2]), built.superset(&[0, 2]));
+        assert_eq!(reopened.equality(&[0, 3]), built.equality(&[0, 3]));
+    }
+
+    #[test]
+    fn open_without_catalog_entry_is_none() {
+        assert!(Oif::open(Pager::new()).is_none());
+    }
+
+    #[test]
+    fn truncated_state_refuses_to_open() {
+        let d = Dataset::paper_fig1();
+        let built = Oif::build(&d);
+        let state = built.state_bytes();
+        for cut in [0, 1, 4, state.len() / 2, state.len() - 1] {
+            let pager = Pager::new();
+            pager.put_catalog(CATALOG_KEY, &state[..cut]);
+            assert!(Oif::open(pager).is_none(), "cut at {cut}");
+        }
+        // Trailing garbage is also rejected.
+        let mut padded = state.clone();
+        padded.push(0);
+        let pager = Pager::new();
+        pager.put_catalog(CATALOG_KEY, &padded);
+        assert!(Oif::open(pager).is_none());
+    }
+
+    #[test]
+    fn unknown_version_refuses_to_open() {
+        let d = Dataset::paper_fig1();
+        let built = Oif::build(&d);
+        let mut state = built.state_bytes();
+        state[0] = 99;
+        let pager = Pager::new();
+        pager.put_catalog(CATALOG_KEY, &state);
+        assert!(Oif::open(pager).is_none());
+    }
+}

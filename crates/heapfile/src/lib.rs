@@ -144,6 +144,53 @@ impl HeapFile {
         &self.pager
     }
 
+    /// Serialize the in-memory state (file id + blob directory) for the
+    /// storage catalog, so the heap can be [`HeapFile::open`]ed against the
+    /// same (durable) storage without a rebuild. Keys are written sorted,
+    /// making the bytes deterministic.
+    pub fn state_bytes(&self) -> Vec<u8> {
+        let mut w = pagestore::ser::Writer::new();
+        w.u32(self.file.0);
+        let mut keys: Vec<u32> = self.directory.keys().copied().collect();
+        keys.sort_unstable();
+        w.u32(keys.len() as u32);
+        for k in keys {
+            let loc = self.directory[&k];
+            w.u32(k);
+            w.u64(loc.first_page);
+            w.u64(loc.byte_len);
+        }
+        w.into_bytes()
+    }
+
+    /// Reopen a heap file from [`HeapFile::state_bytes`] against a pager
+    /// whose storage already holds the blob pages (e.g. a reopened
+    /// [`FileStorage`](pagestore::FileStorage)). Returns `None` when the
+    /// state bytes do not parse.
+    pub fn open(pager: Pager, state: &[u8]) -> Option<HeapFile> {
+        let mut r = pagestore::ser::Reader::new(state);
+        let file = FileId(r.u32()?);
+        let count = r.u32()?;
+        let mut directory = HashMap::with_capacity(count as usize);
+        for _ in 0..count {
+            let key = r.u32()?;
+            let first_page = r.u64()?;
+            let byte_len = r.u64()?;
+            directory.insert(
+                key,
+                BlobLoc {
+                    first_page,
+                    byte_len,
+                },
+            );
+        }
+        r.is_exhausted().then_some(HeapFile {
+            pager,
+            file,
+            directory,
+        })
+    }
+
     /// Compact into a fresh heap file, dropping orphaned runs. Blobs are
     /// written in ascending key order so related lists stay clustered.
     pub fn rebuild(&self) -> HeapFile {
@@ -237,6 +284,22 @@ mod tests {
             assert!(v.iter().all(|&b| b == k as u8));
         }
         assert_eq!(h.keys().count(), 200);
+    }
+
+    #[test]
+    fn state_round_trips_through_bytes() {
+        let pager = Pager::with_cache_bytes(1 << 16);
+        let mut h = HeapFile::create(pager.clone());
+        h.put(3, b"three");
+        h.put(1, &vec![9u8; PAGE_SIZE + 10]);
+        let state = h.state_bytes();
+        let reopened = HeapFile::open(pager, &state).expect("state parses");
+        assert_eq!(reopened.get(3), Some(b"three".to_vec()));
+        assert_eq!(reopened.get(1), Some(vec![9u8; PAGE_SIZE + 10]));
+        assert_eq!(reopened.get(2), None);
+        assert_eq!(reopened.state_bytes(), state, "deterministic bytes");
+        // Truncated state must refuse to parse, not panic.
+        assert!(HeapFile::open(reopened.pager().clone(), &state[..state.len() - 1]).is_none());
     }
 
     proptest! {

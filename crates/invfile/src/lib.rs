@@ -20,6 +20,7 @@
 mod build;
 mod index;
 mod par;
+pub mod persist;
 mod query;
 
 pub use build::build;

@@ -1,0 +1,110 @@
+//! Persisting and reopening an [`InvertedFile`] without a rebuild.
+//!
+//! The list pages live on the pager's storage already; what must survive a
+//! restart is the heap-file blob directory plus the vocabulary statistics.
+//! [`InvertedFile::persist`] writes them to the storage catalog (key
+//! `"invfile"`) and syncs; [`InvertedFile::open`] restores them, after
+//! which queries read the same pages in the same order as the freshly
+//! built index.
+
+use crate::index::InvertedFile;
+use codec::postings::Compression;
+use heapfile::HeapFile;
+use pagestore::ser::{Reader, Writer};
+use pagestore::{Pager, StorageError};
+
+/// Catalog key the inverted-file state is stored under.
+pub const CATALOG_KEY: &str = "invfile";
+
+const STATE_VERSION: u32 = 1;
+
+impl InvertedFile {
+    /// Serialize the non-paged state into the storage catalog and sync the
+    /// pager, making the index reopenable via [`InvertedFile::open`].
+    pub fn persist(&self) -> Result<(), StorageError> {
+        let mut w = Writer::new();
+        w.u32(STATE_VERSION);
+        w.u64(self.num_records);
+        w.u64(self.vocab_size as u64);
+        w.u8(self.compression.to_tag());
+        w.u64(self.max_id);
+        w.u64s(&self.postings_per_item);
+        w.bytes(&self.store.state_bytes());
+        self.pager().put_catalog(CATALOG_KEY, &w.into_bytes());
+        self.pager().sync()
+    }
+
+    /// Reopen a persisted index from `pager`'s storage. Returns `None`
+    /// when the catalog has no (parsable, version-compatible) entry.
+    pub fn open(pager: Pager) -> Option<Self> {
+        let state = pager.catalog(CATALOG_KEY)?;
+        let mut r = Reader::new(&state);
+        if r.u32()? != STATE_VERSION {
+            return None;
+        }
+        let num_records = r.u64()?;
+        let vocab_size = usize::try_from(r.u64()?).ok()?;
+        let compression = Compression::from_tag(r.u8()?)?;
+        let max_id = r.u64()?;
+        let postings_per_item = r.u64s()?;
+        if postings_per_item.len() != vocab_size {
+            return None;
+        }
+        let store = HeapFile::open(pager, r.bytes()?)?;
+        if !r.is_exhausted() {
+            return None;
+        }
+        Some(InvertedFile {
+            store,
+            postings_per_item,
+            num_records,
+            vocab_size,
+            compression,
+            max_id,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::Dataset;
+
+    #[test]
+    fn persist_open_round_trips_on_mem_storage() {
+        let d = Dataset::paper_fig1();
+        let built = InvertedFile::build(&d);
+        built.persist().unwrap();
+        let reopened = InvertedFile::open(built.pager().clone()).expect("catalog entry");
+        assert_eq!(reopened.num_records(), built.num_records());
+        assert_eq!(reopened.vocab_size(), built.vocab_size());
+        for item in 0..4 {
+            assert_eq!(reopened.support(item), built.support(item));
+        }
+        assert_eq!(reopened.subset(&[0, 3]), vec![101, 104, 114]);
+        assert_eq!(reopened.superset(&[0, 2]), vec![106, 113]);
+        assert_eq!(reopened.equality(&[0, 3]), vec![114]);
+    }
+
+    #[test]
+    fn reopened_index_accepts_batch_inserts() {
+        // max_id survives the round trip, so the freshness check still
+        // guards against stale ids.
+        let d = Dataset::paper_fig1();
+        let built = InvertedFile::build(&d);
+        built.persist().unwrap();
+        let mut reopened = InvertedFile::open(built.pager().clone()).unwrap();
+        reopened.batch_insert(&[datagen::Record::new(200, vec![0, 3])]);
+        assert_eq!(reopened.support(3), built.support(3) + 1);
+        let stale = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut idx = InvertedFile::open(built.pager().clone()).unwrap();
+            idx.batch_insert(&[datagen::Record::new(5, vec![0])]);
+        }));
+        assert!(stale.is_err(), "stale id must still panic after reopen");
+    }
+
+    #[test]
+    fn open_without_catalog_entry_is_none() {
+        assert!(InvertedFile::open(Pager::new()).is_none());
+    }
+}

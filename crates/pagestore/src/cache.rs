@@ -64,9 +64,10 @@
 //! are released and frames are evicted).
 
 use crate::cost::IoCostModel;
-use crate::disk::{Disk, FileId, PageId, PAGE_SIZE};
+use crate::disk::{FileId, PageId, PAGE_SIZE};
 use crate::frame::{FrameSlot, PinnedSlot};
 use crate::stats::IoStats;
+use crate::storage::{Storage, StorageError};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::ptr::NonNull;
@@ -136,7 +137,7 @@ impl FrameList {
 /// Everything guarded by the single policy lock: the disk, the eviction
 /// lists and the miss-side statistics.
 struct PolicyCore {
-    disk: Disk,
+    disk: Box<dyn Storage>,
     capacity: usize,
     /// Entry slots; indices are stable (freed slots are reused, never
     /// compacted) so list links and the `map` stay valid.
@@ -286,8 +287,10 @@ pub struct BufferPool {
 
 impl BufferPool {
     /// Create a pool caching at most `cache_bytes / PAGE_SIZE` pages
-    /// (minimum 1).
-    pub fn new(disk: Disk, cache_bytes: usize, cost: IoCostModel) -> Self {
+    /// (minimum 1) over any [`Storage`] backend (the in-memory
+    /// [`Disk`](crate::Disk) or a durable
+    /// [`FileStorage`](crate::FileStorage)).
+    pub fn new(storage: impl Storage + 'static, cache_bytes: usize, cost: IoCostModel) -> Self {
         let capacity = (cache_bytes / PAGE_SIZE).max(1);
         let shards = (0..SHARD_COUNT)
             .map(|_| Shard {
@@ -301,7 +304,7 @@ impl BufferPool {
             seq: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             policy: Mutex::new(PolicyCore {
-                disk,
+                disk: Box::new(storage),
                 capacity,
                 entries: Vec::new(),
                 free_entries: Vec::new(),
@@ -365,6 +368,53 @@ impl BufferPool {
 
     pub fn set_cost_model(&self, cost: IoCostModel) {
         self.policy.lock().cost = cost;
+    }
+
+    /// Store `bytes` under `key` in the backend's catalog (index non-paged
+    /// state). Durable only after the next [`BufferPool::sync`].
+    pub fn put_catalog(&self, key: &str, bytes: &[u8]) {
+        self.policy.lock().disk.put_catalog(key, bytes);
+    }
+
+    /// Fetch the catalog entry under `key`.
+    pub fn get_catalog(&self, key: &str) -> Option<Vec<u8>> {
+        self.policy.lock().disk.get_catalog(key)
+    }
+
+    /// All catalog keys, sorted.
+    pub fn catalog_keys(&self) -> Vec<String> {
+        self.policy.lock().disk.catalog_keys()
+    }
+
+    /// Flush every dirty frame to the backend (charging write costs,
+    /// keeping the frames cached) and ask the backend to make all state —
+    /// pages, file table, catalog — durable.
+    ///
+    /// Pinned dirty frames are flushed too: the policy lock excludes every
+    /// writer (`write_page`, recycling), so reading their buffers here is
+    /// safe, and their pins only protect the bytes from *changing*, which a
+    /// write-back does not do.
+    pub fn sync(&self) -> Result<(), StorageError> {
+        let mut core = self.policy.lock();
+        let indices: Vec<u32> = core.map.values().copied().collect();
+        for idx in indices {
+            if !core.entry(idx).dirty {
+                continue;
+            }
+            let (phys, slot) = {
+                let e = core.entry(idx);
+                (e.phys, e.slot.clone())
+            };
+            // SAFETY: the policy lock is held, so no writer can mutate or
+            // recycle the buffer while we read it.
+            let bytes = unsafe { slot.bytes() };
+            core.disk.write_phys(phys, bytes)?;
+            core.entry_mut(idx).dirty = false;
+            let write_cost = core.cost.write;
+            core.stats.writes += 1;
+            core.stats.io_time += write_cost;
+        }
+        core.disk.sync()
     }
 
     fn shard_of(&self, key: (FileId, PageId)) -> &Shard {
@@ -616,7 +666,12 @@ impl BufferPool {
             let slot = core.entry(idx).slot.clone();
             // SAFETY: frame is unmapped and unpinned — no shared borrows.
             let bytes = unsafe { slot.bytes() };
-            core.disk.write_phys(phys, bytes);
+            core.disk.write_phys(phys, bytes).unwrap_or_else(|e| {
+                panic!(
+                    "write-back of page {} of {:?} (physical page {phys}) failed: {e}",
+                    key.1, key.0
+                )
+            });
             core.stats.writes += 1;
             core.stats.io_time += core.cost.write;
         }
@@ -643,6 +698,14 @@ impl BufferPool {
                 break;
             }
         }
+        let read_into = |core: &mut PolicyCore, buf: &mut [u8; PAGE_SIZE]| {
+            core.disk.read_phys(phys, buf).unwrap_or_else(|e| {
+                panic!(
+                    "read of page {} of {:?} (physical page {phys}) failed: {e}",
+                    key.1, key.0
+                )
+            })
+        };
         let slot = match core.free_slots.pop() {
             Some(slot) => {
                 // SAFETY: a recycled slot is unmapped with no pins — this
@@ -653,17 +716,16 @@ impl BufferPool {
                     if zeroed_dirty {
                         buf.fill(0);
                     } else {
-                        buf.copy_from_slice(core.disk.read_phys(phys));
+                        read_into(core, buf);
                     }
                 }
                 slot
             }
             None => {
-                let data = if zeroed_dirty {
-                    Box::new([0u8; PAGE_SIZE])
-                } else {
-                    Box::new(*core.disk.read_phys(phys))
-                };
+                let mut data = Box::new([0u8; PAGE_SIZE]);
+                if !zeroed_dirty {
+                    read_into(core, &mut data);
+                }
                 Arc::new(FrameSlot::new(data, phys))
             }
         };
@@ -739,6 +801,7 @@ fn self_unlink_and_free(core: &mut PolicyCore, hot: bool, idx: u32, phys: u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Disk;
     use std::time::Duration;
 
     fn pool(pages: usize) -> (BufferPool, FileId) {

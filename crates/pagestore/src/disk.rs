@@ -1,10 +1,13 @@
-//! The simulated disk: an append-only collection of fixed-size pages grouped
-//! into logical files.
+//! The in-memory storage backend: an append-only collection of fixed-size
+//! pages grouped into logical files.
 //!
 //! Pages of one file are physically contiguous *in allocation order*, which
 //! is the paper's assumption for inverted lists ("inverted lists are placed
 //! in contiguous regions in the disk" §2). The buffer pool uses the global
 //! physical page number to tell sequential from random fetches.
+
+use crate::storage::{PhysPage, Storage, StorageError};
+use std::collections::HashMap;
 
 /// Size of a disk page in bytes. 4 KiB matches the Berkeley DB default the
 /// paper's implementation used.
@@ -17,59 +20,73 @@ pub struct FileId(pub u32);
 /// Page number *within* a file (0-based).
 pub type PageId = u64;
 
-/// Physical page number on the whole disk, used for sequentiality tracking.
-pub(crate) type PhysPage = u64;
-
 struct File {
     /// Physical page number of each page of the file, in file order.
     pages: Vec<PhysPage>,
 }
 
-/// An in-memory simulated disk.
+/// The in-memory simulated disk — the default [`Storage`] backend.
 ///
-/// The disk only supports appending pages to files and reading/writing whole
-/// pages — the same primitives a real database file layer builds on. All
-/// richer behaviour (caching, cost accounting) lives in the
-/// [`BufferPool`](crate::BufferPool).
-pub struct Disk {
+/// The store only supports appending pages to files and reading/writing
+/// whole pages — the same primitives a real database file layer builds on.
+/// All richer behaviour (caching, cost accounting) lives in the
+/// [`BufferPool`](crate::BufferPool). Catalog blobs are kept in a plain
+/// map and [`Storage::sync`] is a no-op: nothing survives the process, by
+/// design — this backend exists for deterministic measurements, not
+/// durability (see [`FileStorage`](crate::FileStorage) for that).
+pub struct MemStorage {
     files: Vec<File>,
     /// Backing store: one `PAGE_SIZE` chunk per physical page.
     data: Vec<Box<[u8; PAGE_SIZE]>>,
+    catalog: HashMap<String, Vec<u8>>,
 }
 
-impl Disk {
-    /// Create an empty disk.
+/// Historical name of [`MemStorage`], kept so existing call sites and docs
+/// keep reading naturally ("the simulated disk").
+pub type Disk = MemStorage;
+
+impl MemStorage {
+    /// Create an empty in-memory store.
     pub fn new() -> Self {
-        Disk {
+        MemStorage {
             files: Vec::new(),
             data: Vec::new(),
+            catalog: HashMap::new(),
         }
     }
 
-    /// Create a new empty file and return its id.
-    pub fn create_file(&mut self) -> FileId {
+    /// The `File` entry of `file`, with a legible panic on an out-of-range
+    /// id (a backend bug — e.g. a `FileId` from a different pager — should
+    /// surface with a name, not as a raw index panic).
+    fn file(&self, file: FileId) -> &File {
+        let count = self.files.len();
+        self.files.get(file.0 as usize).unwrap_or_else(|| {
+            panic!("unknown {file:?}: storage has {count} file(s) — FileId from another pager?")
+        })
+    }
+}
+
+impl Storage for MemStorage {
+    fn create_file(&mut self) -> FileId {
         let id = FileId(self.files.len() as u32);
         self.files.push(File { pages: Vec::new() });
         id
     }
 
-    /// Number of files on the disk.
-    pub fn file_count(&self) -> usize {
+    fn file_count(&self) -> usize {
         self.files.len()
     }
 
-    /// Number of pages in `file`.
-    pub fn file_len(&self, file: FileId) -> u64 {
-        self.files[file.0 as usize].pages.len() as u64
+    fn file_len(&self, file: FileId) -> u64 {
+        self.file(file).pages.len() as u64
     }
 
-    /// Total pages allocated across all files.
-    pub fn total_pages(&self) -> u64 {
+    fn total_pages(&self) -> u64 {
         self.data.len() as u64
     }
 
-    /// Append a zeroed page to `file`; returns its page id within the file.
-    pub fn allocate_page(&mut self, file: FileId) -> PageId {
+    fn allocate_page(&mut self, file: FileId) -> PageId {
+        self.file(file); // named bounds check before the mutable borrow
         let phys = self.data.len() as PhysPage;
         self.data.push(Box::new([0u8; PAGE_SIZE]));
         let f = &mut self.files[file.0 as usize];
@@ -77,21 +94,51 @@ impl Disk {
         (f.pages.len() - 1) as PageId
     }
 
-    pub(crate) fn phys(&self, file: FileId, page: PageId) -> PhysPage {
-        self.files[file.0 as usize].pages[page as usize]
+    fn phys(&self, file: FileId, page: PageId) -> PhysPage {
+        let f = self.file(file);
+        *f.pages.get(page as usize).unwrap_or_else(|| {
+            panic!(
+                "page {page} out of bounds for {file:?} ({} page(s) allocated)",
+                f.pages.len()
+            )
+        })
     }
 
-    pub(crate) fn read_phys(&self, phys: PhysPage) -> &[u8; PAGE_SIZE] {
-        &self.data[phys as usize]
+    fn read_phys(&mut self, phys: PhysPage, out: &mut [u8; PAGE_SIZE]) -> Result<(), StorageError> {
+        let total = self.data.len();
+        let page = self.data.get(phys as usize).unwrap_or_else(|| {
+            panic!("physical page {phys} out of bounds ({total} page(s) allocated)")
+        });
+        out.copy_from_slice(&page[..]);
+        Ok(())
     }
 
-    pub(crate) fn write_phys(&mut self, phys: PhysPage, data: &[u8]) {
+    fn write_phys(&mut self, phys: PhysPage, data: &[u8]) -> Result<(), StorageError> {
         debug_assert_eq!(data.len(), PAGE_SIZE);
-        self.data[phys as usize].copy_from_slice(data);
+        let total = self.data.len();
+        let page = self.data.get_mut(phys as usize).unwrap_or_else(|| {
+            panic!("physical page {phys} out of bounds ({total} page(s) allocated)")
+        });
+        page.copy_from_slice(data);
+        Ok(())
+    }
+
+    fn put_catalog(&mut self, key: &str, bytes: &[u8]) {
+        self.catalog.insert(key.to_string(), bytes.to_vec());
+    }
+
+    fn get_catalog(&self, key: &str) -> Option<Vec<u8>> {
+        self.catalog.get(key).cloned()
+    }
+
+    fn catalog_keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self.catalog.keys().cloned().collect();
+        keys.sort();
+        keys
     }
 }
 
-impl Default for Disk {
+impl Default for MemStorage {
     fn default() -> Self {
         Self::new()
     }
@@ -103,7 +150,7 @@ mod tests {
 
     #[test]
     fn files_are_physically_contiguous_when_allocated_in_a_run() {
-        let mut d = Disk::new();
+        let mut d = MemStorage::new();
         let f = d.create_file();
         for _ in 0..8 {
             d.allocate_page(f);
@@ -116,7 +163,7 @@ mod tests {
 
     #[test]
     fn interleaved_allocation_interleaves_physical_pages() {
-        let mut d = Disk::new();
+        let mut d = MemStorage::new();
         let a = d.create_file();
         let b = d.create_file();
         d.allocate_page(a);
@@ -131,13 +178,52 @@ mod tests {
 
     #[test]
     fn page_data_round_trips() {
-        let mut d = Disk::new();
+        let mut d = MemStorage::new();
         let f = d.create_file();
         d.allocate_page(f);
         let mut page = [0u8; PAGE_SIZE];
         page[123] = 7;
         let phys = d.phys(f, 0);
-        d.write_phys(phys, &page);
-        assert_eq!(d.read_phys(phys)[123], 7);
+        d.write_phys(phys, &page).unwrap();
+        let mut out = [0u8; PAGE_SIZE];
+        d.read_phys(phys, &mut out).unwrap();
+        assert_eq!(out[123], 7);
+    }
+
+    #[test]
+    fn catalog_round_trips() {
+        let mut d = MemStorage::new();
+        assert_eq!(d.get_catalog("oif"), None);
+        d.put_catalog("oif", b"state");
+        d.put_catalog("aux", b"x");
+        assert_eq!(d.get_catalog("oif").as_deref(), Some(&b"state"[..]));
+        assert_eq!(d.catalog_keys(), vec!["aux".to_string(), "oif".to_string()]);
+        d.put_catalog("oif", b"replaced");
+        assert_eq!(d.get_catalog("oif").as_deref(), Some(&b"replaced"[..]));
+        d.sync().unwrap(); // no-op, must not fail
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown FileId(3)")]
+    fn unknown_file_panics_with_name() {
+        let d = MemStorage::new();
+        d.file_len(FileId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "page 5 out of bounds for FileId(0)")]
+    fn out_of_bounds_page_panics_with_name() {
+        let mut d = MemStorage::new();
+        let f = d.create_file();
+        d.allocate_page(f);
+        d.phys(f, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "physical page 9 out of bounds")]
+    fn out_of_bounds_phys_read_panics_with_name() {
+        let mut d = MemStorage::new();
+        let mut buf = [0u8; PAGE_SIZE];
+        let _ = d.read_phys(9, &mut buf);
     }
 }

@@ -1,0 +1,550 @@
+//! The durable storage backend: one real file on disk.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! offset 0                superblock (one page reserved; 60 bytes used)
+//!   [ magic "OIFSTOR1" : 8 ][ version : u32 ][ page size : u32 ]
+//!   [ total pages : u64 ][ trailer offset : u64 ][ trailer len : u64 ]
+//!   [ trailer checksum : u64 ][ superblock checksum : u64 ]
+//! offset PAGE_SIZE        page region: physical page i at
+//!                         PAGE_SIZE + i * PAGE_SIZE
+//! offset PAGE_SIZE + total_pages * PAGE_SIZE
+//!                         trailer (written by `sync`):
+//!   file table    — per logical file, its ordered physical-page list
+//!   checksum table — one FNV-1a 64 per physical page
+//!   catalog       — key → blob entries (index non-paged state)
+//! ```
+//!
+//! Pages are written in place as the buffer pool evicts or flushes them;
+//! the trailer and superblock are (re)written only by [`Storage::sync`],
+//! followed by `File::sync_all`. The contract after a crash between syncs
+//! is *fail loudly, never lie*: writes since the last sync are gone, and
+//! because pages are rewritten in place (and new pages can overwrite the
+//! old trailer region), such a crash can also invalidate previously
+//! synced state — the stale superblock then points at a trailer, or a
+//! trailer at pages, whose checksums no longer match, and reopen/reads
+//! fail with a named [`StorageError::ChecksumMismatch`] instead of
+//! serving a torn mixture. Crash *atomicity* (keeping the last synced
+//! state readable through any crash) needs a write-ahead log or
+//! shadow paging — a ROADMAP follow-up.
+//!
+//! Every page read verifies the page's checksum from the table, so bit rot
+//! or a torn write surfaces as [`StorageError::ChecksumMismatch`] naming
+//! the page — never as silently garbage query results.
+
+use crate::disk::{FileId, PageId, PAGE_SIZE};
+use crate::ser::{Reader, Writer};
+use crate::storage::{fnv1a, PhysPage, Storage, StorageError};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+const MAGIC: &[u8; 8] = b"OIFSTOR1";
+const VERSION: u32 = 1;
+/// Serialized superblock length (the rest of page 0 is reserved).
+const SUPERBLOCK_LEN: usize = 60;
+
+/// Checksum of an all-zero page (what `allocate_page` promises before the
+/// first write), computed once.
+fn zero_page_checksum() -> u64 {
+    static CK: OnceLock<u64> = OnceLock::new();
+    *CK.get_or_init(|| fnv1a(&[0u8; PAGE_SIZE]))
+}
+
+/// A [`Storage`] backend over one checksummed file. See the module docs
+/// for the layout and durability contract.
+pub struct FileStorage {
+    file: File,
+    path: PathBuf,
+    /// `(file, page) → phys` table: `files[f][p]` is the physical page.
+    files: Vec<Vec<PhysPage>>,
+    /// Per-physical-page FNV-1a checksum (persisted in the trailer).
+    checksums: Vec<u64>,
+    /// Catalog blobs; `BTreeMap` so serialization order is deterministic.
+    catalog: BTreeMap<String, Vec<u8>>,
+}
+
+impl FileStorage {
+    /// Create a fresh storage file at `path` (truncating any existing
+    /// file) and write its superblock.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, StorageError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        let mut storage = FileStorage {
+            file,
+            path,
+            files: Vec::new(),
+            checksums: Vec::new(),
+            catalog: BTreeMap::new(),
+        };
+        // A created-but-never-synced file must still be recognisably ours
+        // (and openable as empty), so lay down the superblock + empty
+        // trailer immediately.
+        storage.sync()?;
+        Ok(storage)
+    }
+
+    /// Open an existing storage file, verifying the superblock and trailer
+    /// checksums and restoring the file table and catalog. Page payloads
+    /// are *not* read here — they are verified lazily, page by page, as
+    /// the buffer pool faults them in.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StorageError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+
+        // Superblock.
+        let mut sb = [0u8; SUPERBLOCK_LEN];
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut sb)
+            .map_err(|e| StorageError::BadSuperblock(format!("short read: {e}")))?;
+        if &sb[..8] != MAGIC {
+            return Err(StorageError::BadSuperblock(format!(
+                "bad magic {:02x?} (not a storage file?)",
+                &sb[..8]
+            )));
+        }
+        let expected = u64::from_le_bytes(sb[SUPERBLOCK_LEN - 8..].try_into().unwrap());
+        let actual = fnv1a(&sb[..SUPERBLOCK_LEN - 8]);
+        if expected != actual {
+            return Err(StorageError::ChecksumMismatch {
+                what: "superblock".into(),
+                expected,
+                actual,
+            });
+        }
+        let mut r = Reader::new(&sb[8..SUPERBLOCK_LEN - 8]);
+        let version = r.u32().unwrap();
+        let page_size = r.u32().unwrap();
+        let total_pages = r.u64().unwrap();
+        let trailer_off = r.u64().unwrap();
+        let trailer_len = r.u64().unwrap();
+        let trailer_checksum = r.u64().unwrap();
+        if version != VERSION {
+            return Err(StorageError::BadSuperblock(format!(
+                "version {version} (this build reads {VERSION})"
+            )));
+        }
+        if page_size != PAGE_SIZE as u32 {
+            return Err(StorageError::BadSuperblock(format!(
+                "page size {page_size} (this build uses {PAGE_SIZE})"
+            )));
+        }
+
+        // Trailer.
+        let mut trailer = vec![0u8; usize::try_from(trailer_len).expect("trailer fits memory")];
+        file.seek(SeekFrom::Start(trailer_off))?;
+        file.read_exact(&mut trailer)
+            .map_err(|e| StorageError::BadSuperblock(format!("short trailer read: {e}")))?;
+        let actual = fnv1a(&trailer);
+        if trailer_checksum != actual {
+            return Err(StorageError::ChecksumMismatch {
+                what: "trailer".into(),
+                expected: trailer_checksum,
+                actual,
+            });
+        }
+        let (files, checksums, catalog) = parse_trailer(&trailer).ok_or_else(|| {
+            StorageError::BadSuperblock("trailer does not parse (format drift?)".into())
+        })?;
+        if checksums.len() as u64 != total_pages {
+            return Err(StorageError::BadSuperblock(format!(
+                "superblock says {total_pages} pages, trailer lists {}",
+                checksums.len()
+            )));
+        }
+        Ok(FileStorage {
+            file,
+            path,
+            files,
+            checksums,
+            catalog,
+        })
+    }
+
+    /// The path this storage lives at.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn page_offset(phys: PhysPage) -> u64 {
+        PAGE_SIZE as u64 + phys * PAGE_SIZE as u64
+    }
+
+    fn trailer_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(self.files.len() as u32);
+        for pages in &self.files {
+            w.u64s(pages);
+        }
+        w.u64s(&self.checksums);
+        w.u32(self.catalog.len() as u32);
+        for (key, val) in &self.catalog {
+            w.str(key);
+            w.bytes(val);
+        }
+        w.into_bytes()
+    }
+
+    fn superblock_bytes(&self, trailer_off: u64, trailer: &[u8]) -> [u8; SUPERBLOCK_LEN] {
+        let mut w = Writer::new();
+        w.u32(VERSION);
+        w.u32(PAGE_SIZE as u32);
+        w.u64(self.checksums.len() as u64);
+        w.u64(trailer_off);
+        w.u64(trailer.len() as u64);
+        w.u64(fnv1a(trailer));
+        let body = w.into_bytes();
+        let mut sb = [0u8; SUPERBLOCK_LEN];
+        sb[..8].copy_from_slice(MAGIC);
+        sb[8..8 + body.len()].copy_from_slice(&body);
+        let ck = fnv1a(&sb[..SUPERBLOCK_LEN - 8]);
+        sb[SUPERBLOCK_LEN - 8..].copy_from_slice(&ck.to_le_bytes());
+        sb
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn parse_trailer(
+    bytes: &[u8],
+) -> Option<(Vec<Vec<PhysPage>>, Vec<u64>, BTreeMap<String, Vec<u8>>)> {
+    let mut r = Reader::new(bytes);
+    let file_count = r.u32()?;
+    let mut files = Vec::with_capacity(file_count as usize);
+    for _ in 0..file_count {
+        files.push(r.u64s()?);
+    }
+    let checksums = r.u64s()?;
+    let catalog_count = r.u32()?;
+    let mut catalog = BTreeMap::new();
+    for _ in 0..catalog_count {
+        let key = r.str()?;
+        let val = r.bytes()?.to_vec();
+        catalog.insert(key, val);
+    }
+    r.is_exhausted().then_some((files, checksums, catalog))
+}
+
+impl Storage for FileStorage {
+    fn create_file(&mut self) -> FileId {
+        let id = FileId(self.files.len() as u32);
+        self.files.push(Vec::new());
+        id
+    }
+
+    fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    fn file_len(&self, file: FileId) -> u64 {
+        self.file_pages(file).len() as u64
+    }
+
+    fn total_pages(&self) -> u64 {
+        self.checksums.len() as u64
+    }
+
+    fn allocate_page(&mut self, file: FileId) -> PageId {
+        self.file_pages(file); // named bounds check
+        let phys = self.checksums.len() as PhysPage;
+        self.checksums.push(zero_page_checksum());
+        // The new page must read back as zeros (matching its recorded
+        // checksum) even if never explicitly written. Growth past the end
+        // of the file zero-fills for free via `set_len`; but the region
+        // may instead overlap a trailer from an earlier `sync`, whose
+        // stale bytes must be zeroed explicitly.
+        let offset = Self::page_offset(phys);
+        let current_len = self
+            .file
+            .metadata()
+            .map(|m| m.len())
+            .unwrap_or_else(|e| panic!("failed to stat {:?}: {e}", self.path));
+        if current_len > offset {
+            self.seek_write(offset, &[0u8; PAGE_SIZE])
+                .unwrap_or_else(|e| panic!("failed to zero new page in {:?}: {e}", self.path));
+        } else {
+            self.file
+                .set_len(offset + PAGE_SIZE as u64)
+                .unwrap_or_else(|e| panic!("failed to extend {:?}: {e}", self.path));
+        }
+        let f = &mut self.files[file.0 as usize];
+        f.push(phys);
+        (f.len() - 1) as PageId
+    }
+
+    fn phys(&self, file: FileId, page: PageId) -> PhysPage {
+        let f = self.file_pages(file);
+        *f.get(page as usize).unwrap_or_else(|| {
+            panic!(
+                "page {page} out of bounds for {file:?} ({} page(s) allocated)",
+                f.len()
+            )
+        })
+    }
+
+    fn read_phys(&mut self, phys: PhysPage, out: &mut [u8; PAGE_SIZE]) -> Result<(), StorageError> {
+        let expected = *self.checksums.get(phys as usize).unwrap_or_else(|| {
+            panic!(
+                "physical page {phys} out of bounds ({} page(s) allocated)",
+                self.checksums.len()
+            )
+        });
+        self.file.seek(SeekFrom::Start(Self::page_offset(phys)))?;
+        self.file.read_exact(&mut out[..])?;
+        let actual = fnv1a(&out[..]);
+        if actual != expected {
+            return Err(StorageError::ChecksumMismatch {
+                what: format!("page {phys}"),
+                expected,
+                actual,
+            });
+        }
+        Ok(())
+    }
+
+    fn write_phys(&mut self, phys: PhysPage, data: &[u8]) -> Result<(), StorageError> {
+        debug_assert_eq!(data.len(), PAGE_SIZE);
+        let total = self.checksums.len();
+        let slot = self.checksums.get_mut(phys as usize).unwrap_or_else(|| {
+            panic!("physical page {phys} out of bounds ({total} page(s) allocated)")
+        });
+        *slot = fnv1a(data);
+        self.seek_write(Self::page_offset(phys), data)?;
+        Ok(())
+    }
+
+    fn put_catalog(&mut self, key: &str, bytes: &[u8]) {
+        self.catalog.insert(key.to_string(), bytes.to_vec());
+    }
+
+    fn get_catalog(&self, key: &str) -> Option<Vec<u8>> {
+        self.catalog.get(key).cloned()
+    }
+
+    fn catalog_keys(&self) -> Vec<String> {
+        self.catalog.keys().cloned().collect()
+    }
+
+    /// Write the trailer and superblock, then `sync_all`. The caller (the
+    /// buffer pool's [`sync`](crate::BufferPool::sync)) has already flushed
+    /// every dirty page through [`FileStorage::write_phys`].
+    fn sync(&mut self) -> Result<(), StorageError> {
+        let trailer = self.trailer_bytes();
+        let trailer_off = Self::page_offset(self.checksums.len() as PhysPage);
+        self.seek_write(trailer_off, &trailer)?;
+        // Drop any longer stale trailer from a previous sync so the file
+        // ends exactly at the live data.
+        self.file.set_len(trailer_off + trailer.len() as u64)?;
+        let sb = self.superblock_bytes(trailer_off, &trailer);
+        self.seek_write(0, &sb)?;
+        self.file.sync_all()?;
+        Ok(())
+    }
+}
+
+impl FileStorage {
+    /// Positioned write: seek to `offset`, write all of `data`.
+    fn seek_write(&mut self, offset: u64, data: &[u8]) -> std::io::Result<()> {
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.write_all(data)
+    }
+
+    /// The physical-page list of `file`, with a legible panic on an
+    /// out-of-range id (mirrors [`MemStorage`](crate::MemStorage)).
+    fn file_pages(&self, file: FileId) -> &Vec<PhysPage> {
+        let count = self.files.len();
+        self.files.get(file.0 as usize).unwrap_or_else(|| {
+            panic!("unknown {file:?}: storage has {count} file(s) — FileId from another pager?")
+        })
+    }
+}
+
+impl std::fmt::Debug for FileStorage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileStorage")
+            .field("path", &self.path)
+            .field("files", &self.files.len())
+            .field("pages", &self.checksums.len())
+            .field("catalog_keys", &self.catalog.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pagestore-{tag}-{}.oif", std::process::id()));
+        p
+    }
+
+    struct Cleanup(PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn pages_and_catalog_survive_reopen() {
+        let path = temp_path("roundtrip");
+        let _c = Cleanup(path.clone());
+        let (f, phys) = {
+            let mut s = FileStorage::create(&path).unwrap();
+            let f = s.create_file();
+            let p0 = s.allocate_page(f);
+            let p1 = s.allocate_page(f);
+            assert_eq!((p0, p1), (0, 1));
+            let mut page = [0u8; PAGE_SIZE];
+            page[7] = 77;
+            let phys = s.phys(f, 1);
+            s.write_phys(phys, &page).unwrap();
+            s.put_catalog("k", b"v");
+            s.sync().unwrap();
+            (f, phys)
+        };
+        let mut s = FileStorage::open(&path).unwrap();
+        assert_eq!(s.file_count(), 1);
+        assert_eq!(s.file_len(f), 2);
+        assert_eq!(s.total_pages(), 2);
+        assert_eq!(s.phys(f, 1), phys);
+        let mut out = [0u8; PAGE_SIZE];
+        s.read_phys(phys, &mut out).unwrap();
+        assert_eq!(out[7], 77);
+        // Page 0 was never written: reads back as zeros, checksum valid.
+        s.read_phys(0, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+        assert_eq!(s.get_catalog("k").as_deref(), Some(&b"v"[..]));
+        assert_eq!(s.get_catalog("missing"), None);
+    }
+
+    #[test]
+    fn created_file_opens_empty_without_explicit_sync() {
+        let path = temp_path("fresh");
+        let _c = Cleanup(path.clone());
+        drop(FileStorage::create(&path).unwrap());
+        let s = FileStorage::open(&path).unwrap();
+        assert_eq!(s.file_count(), 0);
+        assert_eq!(s.total_pages(), 0);
+    }
+
+    #[test]
+    fn flipped_page_byte_is_a_checksum_error() {
+        let path = temp_path("corrupt-page");
+        let _c = Cleanup(path.clone());
+        {
+            let mut s = FileStorage::create(&path).unwrap();
+            let f = s.create_file();
+            s.allocate_page(f);
+            s.write_phys(0, &[5u8; PAGE_SIZE]).unwrap();
+            s.sync().unwrap();
+        }
+        // Flip one byte inside page 0's region.
+        {
+            let mut f = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&path)
+                .unwrap();
+            f.seek(SeekFrom::Start(PAGE_SIZE as u64 + 100)).unwrap();
+            f.write_all(&[6u8]).unwrap();
+        }
+        let mut s = FileStorage::open(&path).unwrap(); // metadata intact
+        let mut out = [0u8; PAGE_SIZE];
+        let err = s.read_phys(0, &mut out).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("checksum mismatch on page 0"),
+            "unexpected error: {msg}"
+        );
+    }
+
+    #[test]
+    fn flipped_trailer_byte_fails_open() {
+        let path = temp_path("corrupt-trailer");
+        let _c = Cleanup(path.clone());
+        {
+            let mut s = FileStorage::create(&path).unwrap();
+            let f = s.create_file();
+            s.allocate_page(f);
+            s.sync().unwrap();
+        }
+        let end = std::fs::metadata(&path).unwrap().len();
+        {
+            let mut f = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&path)
+                .unwrap();
+            f.seek(SeekFrom::Start(end - 1)).unwrap();
+            let mut b = [0u8; 1];
+            f.read_exact(&mut b).unwrap();
+            f.seek(SeekFrom::Start(end - 1)).unwrap();
+            f.write_all(&[b[0] ^ 0xFF]).unwrap();
+        }
+        let err = FileStorage::open(&path).unwrap_err();
+        assert!(err.to_string().contains("trailer"), "got: {err}");
+    }
+
+    #[test]
+    fn non_storage_file_is_rejected() {
+        let path = temp_path("not-ours");
+        let _c = Cleanup(path.clone());
+        std::fs::write(&path, b"definitely not a storage file, far too short").unwrap();
+        let err = FileStorage::open(&path).unwrap_err();
+        assert!(matches!(err, StorageError::BadSuperblock(_)), "got: {err}");
+    }
+
+    #[test]
+    fn page_allocated_over_old_trailer_reads_back_zeroed() {
+        // After a sync the trailer sits right after the page region; the
+        // next allocate_page claims that byte range for page data. The
+        // stale trailer bytes must be zeroed, or reading the fresh page
+        // before its first write would fail its (zero-page) checksum.
+        let path = temp_path("alloc-over-trailer");
+        let _c = Cleanup(path.clone());
+        let mut s = FileStorage::create(&path).unwrap();
+        let f = s.create_file();
+        s.allocate_page(f);
+        s.write_phys(0, &[1u8; PAGE_SIZE]).unwrap();
+        s.sync().unwrap(); // trailer now occupies page 1's future region
+        s.allocate_page(f);
+        let mut out = [0u8; PAGE_SIZE];
+        s.read_phys(1, &mut out)
+            .expect("fresh page must be readable");
+        assert!(out.iter().all(|&b| b == 0), "fresh page must read as zeros");
+    }
+
+    #[test]
+    fn resync_after_growth_relocates_trailer() {
+        let path = temp_path("regrow");
+        let _c = Cleanup(path.clone());
+        {
+            let mut s = FileStorage::create(&path).unwrap();
+            let f = s.create_file();
+            s.allocate_page(f);
+            s.sync().unwrap();
+            // Growing after a sync writes pages over the old trailer
+            // location; the next sync must rebuild everything.
+            s.allocate_page(f);
+            s.write_phys(1, &[9u8; PAGE_SIZE]).unwrap();
+            s.put_catalog("after", b"growth");
+            s.sync().unwrap();
+        }
+        let mut s = FileStorage::open(&path).unwrap();
+        assert_eq!(s.total_pages(), 2);
+        let mut out = [0u8; PAGE_SIZE];
+        s.read_phys(1, &mut out).unwrap();
+        assert_eq!(out[0], 9);
+        assert_eq!(s.get_catalog("after").as_deref(), Some(&b"growth"[..]));
+    }
+}

@@ -30,15 +30,20 @@
 mod cache;
 mod cost;
 mod disk;
+mod file;
 mod frame;
 pub mod par;
+pub mod ser;
 mod stats;
+mod storage;
 
 pub use cache::BufferPool;
 pub use cost::IoCostModel;
-pub use disk::{Disk, FileId, PageId, PAGE_SIZE};
+pub use disk::{Disk, FileId, MemStorage, PageId, PAGE_SIZE};
+pub use file::FileStorage;
 pub use par::{par_map, par_map_with};
 pub use stats::IoStats;
+pub use storage::{PhysPage, Storage, StorageError};
 
 use frame::PinnedSlot;
 use std::sync::Arc;
@@ -70,6 +75,13 @@ impl Pager {
     /// one).
     pub fn with_cache_bytes(bytes: usize) -> Self {
         Self::with_pool(BufferPool::new(Disk::new(), bytes, IoCostModel::default()))
+    }
+
+    /// Create a pager over an explicit [`Storage`] backend — e.g. a
+    /// [`FileStorage`] for indexes that must survive a restart — with a
+    /// `bytes / PAGE_SIZE`-page cache.
+    pub fn with_storage(storage: impl Storage + 'static, bytes: usize) -> Self {
+        Self::with_pool(BufferPool::new(storage, bytes, IoCostModel::default()))
     }
 
     /// Create a pager from a fully configured pool.
@@ -153,6 +165,30 @@ impl Pager {
     /// Total bytes allocated on the simulated disk across all files.
     pub fn disk_bytes(&self) -> u64 {
         self.inner.total_pages() * PAGE_SIZE as u64
+    }
+
+    /// Store `bytes` under `key` in the storage catalog — the key→blob
+    /// store index structures use for their non-paged state. Durable only
+    /// after the next [`Pager::sync`].
+    pub fn put_catalog(&self, key: &str, bytes: &[u8]) {
+        self.inner.put_catalog(key, bytes)
+    }
+
+    /// Fetch the catalog entry under `key`.
+    pub fn catalog(&self, key: &str) -> Option<Vec<u8>> {
+        self.inner.get_catalog(key)
+    }
+
+    /// All catalog keys, sorted.
+    pub fn catalog_keys(&self) -> Vec<String> {
+        self.inner.catalog_keys()
+    }
+
+    /// Flush every dirty cached page and make the backend durable
+    /// (superblock + trailer + `sync_all` for [`FileStorage`]; a no-op
+    /// flush for the in-memory backend). Frames stay cached.
+    pub fn sync(&self) -> Result<(), StorageError> {
+        self.inner.sync()
     }
 
     /// Replace the I/O cost model (defaults follow a ~2010 commodity disk).

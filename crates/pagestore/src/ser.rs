@@ -1,0 +1,222 @@
+//! Tiny length-prefixed little-endian byte codec for catalog blobs.
+//!
+//! The index crates serialize their non-paged state (configs, item orders,
+//! directories, tree roots) into the storage catalog with these helpers, so
+//! every persisted structure shares one format discipline: fixed-width LE
+//! integers, `u64` length prefixes for variable parts, and reads that
+//! return `None` (never panic) on truncated input.
+
+/// Append-only byte writer.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `Some(v)` as `1, v`; `None` as `0`.
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(v) => {
+                self.u8(1);
+                self.u64(v);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Length-prefixed `u64` slice.
+    pub fn u64s(&mut self, v: &[u64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.u64(x);
+        }
+    }
+
+    /// Length-prefixed `u32` slice.
+    pub fn u32s(&mut self, v: &[u32]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.u32(x);
+        }
+    }
+}
+
+/// Sequential reader over a byte slice; every method returns `None` on
+/// truncated input instead of panicking, so a damaged catalog entry
+/// surfaces as "cannot open" rather than UB or a raw index panic.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    pub fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    pub fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    pub fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn opt_u64(&mut self) -> Option<Option<u64>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(self.u64()?)),
+            _ => None,
+        }
+    }
+
+    pub fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.u64()?;
+        self.take(usize::try_from(len).ok()?)
+    }
+
+    pub fn str(&mut self) -> Option<String> {
+        String::from_utf8(self.bytes()?.to_vec()).ok()
+    }
+
+    pub fn u64s(&mut self) -> Option<Vec<u64>> {
+        let len = usize::try_from(self.u64()?).ok()?;
+        // Bound the preallocation by what the buffer could actually hold.
+        if len > self.buf.len().saturating_sub(self.pos) / 8 {
+            return None;
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.u64()?);
+        }
+        Some(out)
+    }
+
+    pub fn u32s(&mut self) -> Option<Vec<u32>> {
+        let len = usize::try_from(self.u64()?).ok()?;
+        if len > self.buf.len().saturating_sub(self.pos) / 4 {
+            return None;
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.u32()?);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.bool(true);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.opt_u64(None);
+        w.opt_u64(Some(42));
+        w.bytes(b"blob");
+        w.str("key");
+        w.u64s(&[1, 2, 3]);
+        w.u32s(&[9, 8]);
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8(), Some(7));
+        assert_eq!(r.bool(), Some(true));
+        assert_eq!(r.u32(), Some(0xDEAD_BEEF));
+        assert_eq!(r.u64(), Some(u64::MAX - 3));
+        assert_eq!(r.opt_u64(), Some(None));
+        assert_eq!(r.opt_u64(), Some(Some(42)));
+        assert_eq!(r.bytes(), Some(&b"blob"[..]));
+        assert_eq!(r.str(), Some("key".to_string()));
+        assert_eq!(r.u64s(), Some(vec![1, 2, 3]));
+        assert_eq!(r.u32s(), Some(vec![9, 8]));
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_reads_return_none() {
+        let mut w = Writer::new();
+        w.u64s(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert_eq!(r.u64s(), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected_not_allocated() {
+        let mut w = Writer::new();
+        w.u64(u64::MAX); // claims ~2^64 elements
+        let bytes = w.into_bytes();
+        assert_eq!(Reader::new(&bytes).u64s(), None);
+        assert_eq!(Reader::new(&bytes).bytes(), None);
+    }
+}

@@ -35,13 +35,21 @@ impl IoStats {
     }
 
     /// Difference between two snapshots (`self` taken after `earlier`).
+    ///
+    /// Snapshot discipline: both snapshots must come from the same
+    /// uninterrupted counting run — if
+    /// [`reset_stats`](crate::Pager::reset_stats) was called between them,
+    /// `self`'s counters restart from zero and can be *smaller* than
+    /// `earlier`'s. Such inverted pairs carry no meaningful delta, so each
+    /// field saturates to zero rather than underflowing (which used to
+    /// panic in debug profiles and wrap in release).
     pub fn since(&self, earlier: &IoStats) -> IoStats {
         IoStats {
-            hits: self.hits - earlier.hits,
-            seq_misses: self.seq_misses - earlier.seq_misses,
-            random_misses: self.random_misses - earlier.random_misses,
-            writes: self.writes - earlier.writes,
-            io_time: self.io_time - earlier.io_time,
+            hits: self.hits.saturating_sub(earlier.hits),
+            seq_misses: self.seq_misses.saturating_sub(earlier.seq_misses),
+            random_misses: self.random_misses.saturating_sub(earlier.random_misses),
+            writes: self.writes.saturating_sub(earlier.writes),
+            io_time: self.io_time.saturating_sub(earlier.io_time),
         }
     }
 }
@@ -98,6 +106,29 @@ mod tests {
         assert_eq!(d.hits, 6);
         assert_eq!(d.misses(), 5);
         assert_eq!(d.io_time, Duration::from_millis(24));
+    }
+
+    #[test]
+    fn since_saturates_after_reset_between_snapshots() {
+        // `earlier` taken before a reset_stats, `later` after: every later
+        // counter restarted and is smaller. The delta must be zero, not an
+        // underflow panic (debug) or a wrapped huge count (release).
+        let earlier = IoStats {
+            hits: 10,
+            seq_misses: 5,
+            random_misses: 3,
+            writes: 2,
+            io_time: Duration::from_millis(40),
+        };
+        let later = IoStats {
+            hits: 1,
+            seq_misses: 0,
+            random_misses: 1,
+            writes: 0,
+            io_time: Duration::from_millis(2),
+        };
+        let d = later.since(&earlier);
+        assert_eq!(d, IoStats::default());
     }
 
     #[test]

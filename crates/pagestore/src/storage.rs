@@ -1,0 +1,175 @@
+//! The storage backend abstraction: where pages actually live.
+//!
+//! The buffer pool is written against this trait so that the same caching,
+//! eviction and miss-accounting code serves two very different backends —
+//! the shape the `floppy` storage engine uses for its simulated vs. real
+//! environments:
+//!
+//! * [`MemStorage`](crate::MemStorage) — the historical in-memory page
+//!   array. Deterministic, allocation-cheap, and the default everywhere;
+//!   the paper's page-access measurements run on it.
+//! * [`FileStorage`](crate::FileStorage) — one real on-disk file holding a
+//!   superblock, every page (checksummed), and a metadata trailer with the
+//!   `(file, page) → physical page` table plus the catalog. Indexes built
+//!   on it survive a process restart and reopen without a rebuild.
+//!
+//! Both backends expose the same primitives a database file layer builds
+//! on: logical files of fixed-size pages, whole-page reads/writes addressed
+//! by *physical* page number (which the pool also uses to classify misses
+//! as sequential vs. random), a small key→blob *catalog* for index
+//! metadata, and an explicit [`Storage::sync`] barrier.
+
+use crate::disk::{FileId, PageId, PAGE_SIZE};
+
+/// Physical page number across the whole storage (allocation order).
+/// Physically consecutive numbers are consecutive on the medium, which is
+/// what the buffer pool's sequential-vs-random miss classification keys on.
+pub type PhysPage = u64;
+
+/// Errors surfaced by a storage backend.
+///
+/// [`MemStorage`](crate::MemStorage) never returns these (its failure mode
+/// is a programming error and panics with a named assert); the file backend
+/// returns them for I/O failures and integrity violations.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+    /// The file is not a storage file, or was written by an incompatible
+    /// version / page size.
+    BadSuperblock(String),
+    /// A page, trailer or superblock checksum did not match: the file is
+    /// corrupt (or was truncated / partially written).
+    ChecksumMismatch {
+        /// What failed the check ("page 17", "trailer", "superblock").
+        what: String,
+        expected: u64,
+        actual: u64,
+    },
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::BadSuperblock(why) => write!(f, "bad storage superblock: {why}"),
+            StorageError::ChecksumMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch on {what}: expected {expected:#018x}, found {actual:#018x} \
+                 (file is corrupt or truncated)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// A page-granular storage backend under the buffer pool.
+///
+/// All calls arrive serialised under the pool's policy lock, so
+/// implementations need no internal synchronisation — only `Send`, because
+/// the pool itself is shared across threads.
+///
+/// The contract mirrors the historical in-memory disk:
+///
+/// * pages are allocated append-only and never freed;
+/// * physical page numbers are assigned in allocation order (`0, 1, 2, …`),
+///   so pages of one file allocated in a run are physically contiguous;
+/// * reads and writes move whole [`PAGE_SIZE`] pages.
+pub trait Storage: Send {
+    /// Create a new, empty logical file and return its id.
+    fn create_file(&mut self) -> FileId;
+
+    /// Number of logical files.
+    fn file_count(&self) -> usize;
+
+    /// Number of pages allocated to `file`.
+    fn file_len(&self, file: FileId) -> u64;
+
+    /// Total pages allocated across all files.
+    fn total_pages(&self) -> u64;
+
+    /// Append a zeroed page to `file`; returns its page id within the file.
+    fn allocate_page(&mut self, file: FileId) -> PageId;
+
+    /// Physical page number backing `(file, page)`.
+    fn phys(&self, file: FileId, page: PageId) -> PhysPage;
+
+    /// Read physical page `phys` into `out`, verifying integrity where the
+    /// backend supports it.
+    fn read_phys(&mut self, phys: PhysPage, out: &mut [u8; PAGE_SIZE]) -> Result<(), StorageError>;
+
+    /// Overwrite physical page `phys` with `data` (`PAGE_SIZE` bytes).
+    fn write_phys(&mut self, phys: PhysPage, data: &[u8]) -> Result<(), StorageError>;
+
+    /// Store `bytes` under `key` in the catalog — the small key→blob store
+    /// index structures use for their non-paged state (configs, orders,
+    /// directories). Replaces any previous value.
+    fn put_catalog(&mut self, key: &str, bytes: &[u8]);
+
+    /// Fetch the catalog entry under `key`.
+    fn get_catalog(&self, key: &str) -> Option<Vec<u8>>;
+
+    /// All catalog keys, sorted (deterministic across backends).
+    fn catalog_keys(&self) -> Vec<String>;
+
+    /// Durability barrier: make every page written so far, the file table
+    /// and the catalog survive a process restart. A no-op for in-memory
+    /// backends.
+    fn sync(&mut self) -> Result<(), StorageError> {
+        Ok(())
+    }
+}
+
+/// FNV-1a, 64-bit — the checksum used for pages, trailer and superblock of
+/// the file backend. Not cryptographic; it exists to turn bit rot and
+/// torn/truncated writes into a named error instead of garbage results.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn error_display_names_the_failure() {
+        let e = StorageError::ChecksumMismatch {
+            what: "page 17".into(),
+            expected: 1,
+            actual: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("page 17") && msg.contains("checksum"));
+    }
+}

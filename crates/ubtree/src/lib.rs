@@ -21,6 +21,12 @@ use datagen::{Dataset, ItemId};
 use pagestore::Pager;
 use std::collections::HashMap;
 
+/// Catalog key the unordered B-tree state is stored under.
+pub const CATALOG_KEY: &str = "ubtree";
+
+/// Format version of the serialized state.
+const STATE_VERSION: u32 = 1;
+
 /// Block-tree index over unordered inverted lists.
 pub struct UnorderedBTree {
     tree: BTree,
@@ -127,6 +133,56 @@ impl UnorderedBTree {
     /// On-disk footprint.
     pub fn bytes_on_disk(&self) -> u64 {
         self.tree.bytes_on_disk()
+    }
+
+    /// Serialize the non-paged state (vocabulary statistics + tree
+    /// location) into the storage catalog (key [`CATALOG_KEY`]) and sync
+    /// the pager, making the index reopenable via
+    /// [`UnorderedBTree::open`].
+    pub fn persist(&self) -> Result<(), pagestore::StorageError> {
+        let mut w = pagestore::ser::Writer::new();
+        w.u32(STATE_VERSION);
+        w.u64(self.num_records);
+        w.u64(self.vocab_size as u64);
+        w.u8(self.compression.to_tag());
+        w.u64s(&self.postings_per_item);
+        w.u32(self.tree.file().0);
+        w.u64(self.tree.root_page());
+        w.u64(self.tree.height() as u64);
+        w.u64(self.tree.len());
+        self.pager().put_catalog(CATALOG_KEY, &w.into_bytes());
+        self.pager().sync()
+    }
+
+    /// Reopen a persisted index from `pager`'s storage. Returns `None`
+    /// when the catalog has no (parsable, version-compatible) entry.
+    pub fn open(pager: Pager) -> Option<Self> {
+        let state = pager.catalog(CATALOG_KEY)?;
+        let mut r = pagestore::ser::Reader::new(&state);
+        if r.u32()? != STATE_VERSION {
+            return None;
+        }
+        let num_records = r.u64()?;
+        let vocab_size = usize::try_from(r.u64()?).ok()?;
+        let compression = codec::postings::Compression::from_tag(r.u8()?)?;
+        let postings_per_item = r.u64s()?;
+        if postings_per_item.len() != vocab_size {
+            return None;
+        }
+        let tree_file = pagestore::FileId(r.u32()?);
+        let tree_root = r.u64()?;
+        let tree_height = usize::try_from(r.u64()?).ok()?;
+        let tree_len = r.u64()?;
+        if !r.is_exhausted() {
+            return None;
+        }
+        Some(UnorderedBTree {
+            tree: BTree::open(pager, tree_file, tree_root, tree_height, tree_len),
+            postings_per_item,
+            num_records,
+            vocab_size,
+            compression,
+        })
     }
 
     /// Scan the whole list of `item`, calling `f` on each posting; `f`
@@ -304,6 +360,20 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn persist_open_round_trips_on_mem_storage() {
+        let d = Dataset::paper_fig1();
+        let built = UnorderedBTree::build(&d);
+        built.persist().unwrap();
+        let reopened = UnorderedBTree::open(built.pager().clone()).expect("catalog entry");
+        assert_eq!(reopened.num_records(), built.num_records());
+        assert_eq!(reopened.support(3), built.support(3));
+        assert_eq!(reopened.subset(&[0, 3]), vec![101, 104, 114]);
+        assert_eq!(reopened.superset(&[0, 2]), vec![106, 113]);
+        assert_eq!(reopened.equality(&[0, 3]), vec![114]);
+        assert!(UnorderedBTree::open(Pager::new()).is_none());
     }
 
     #[test]

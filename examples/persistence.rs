@@ -1,0 +1,89 @@
+//! Persistence: build an OIF once into a real file on disk, then reopen it
+//! — as a restarted process would — and query it with zero rebuild work.
+//!
+//! Run with: `cargo run --release --example persistence`
+
+use set_containment::datagen::{QueryKind, SyntheticSpec, WorkloadSpec};
+use set_containment::oif::Oif;
+use set_containment::pagestore::{FileStorage, Pager};
+use std::time::Instant;
+
+fn main() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("oif-persistence-example-{}.db", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let spec = SyntheticSpec {
+        num_records: 50_000,
+        vocab_size: 500,
+        zipf: 0.8,
+        len_min: 2,
+        len_max: 12,
+        seed: 42,
+    };
+    println!(
+        "generating {} records over {} items ...",
+        spec.num_records, spec.vocab_size
+    );
+    let data = spec.generate();
+
+    let queries = WorkloadSpec {
+        kind: QueryKind::Subset,
+        qs_size: 3,
+        count: 5,
+        seed: 7,
+    }
+    .generate(&data)
+    .queries;
+
+    // ---- Process 1: build on a file-backed pager, persist, exit. -------
+    let build_time;
+    {
+        let storage = FileStorage::create(&path).expect("create storage file");
+        let pager = Pager::with_storage(storage, 32 * 1024);
+        println!("building the OIF into {} ...", path.display());
+        let t0 = Instant::now();
+        let index = Oif::build_with(&data, Default::default(), Some(pager));
+        index.persist().expect("persist + sync");
+        build_time = t0.elapsed();
+        println!(
+            "  built + persisted in {build_time:.2?}: {} blocks, {} pages, catalog keys {:?}",
+            index.tree_blocks(),
+            index.tree_pages(),
+            index.pager().catalog_keys(),
+        );
+        // `index` (and its pager) drop here — "the process exits".
+    }
+    let file_bytes = std::fs::metadata(&path).expect("file exists").len();
+    println!(
+        "  on-disk file: {:.1} MiB",
+        file_bytes as f64 / (1 << 20) as f64
+    );
+
+    // ---- Process 2: reopen from the file, no rebuild, and query. -------
+    let t1 = Instant::now();
+    let storage = FileStorage::open(&path).expect("open storage file");
+    let pager = Pager::with_storage(storage, 32 * 1024);
+    let index = Oif::open(pager).expect("catalog holds a persisted OIF");
+    println!(
+        "reopened in {:.2?} (vs {build_time:.2?} for the original build + persist)",
+        t1.elapsed(),
+    );
+
+    for qs in &queries {
+        index.pager().clear_cache();
+        index.pager().reset_stats();
+        let answers = index.subset(qs);
+        let s = index.pager().stats();
+        println!(
+            "  subset {qs:?}: {} answers, {} page accesses ({} seq, {} rnd)",
+            answers.len(),
+            s.misses(),
+            s.seq_misses,
+            s.random_misses
+        );
+    }
+
+    let _ = std::fs::remove_file(&path);
+    println!("done (file removed).");
+}

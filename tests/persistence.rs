@@ -1,0 +1,337 @@
+//! Durability integration tests: indexes built on a [`FileStorage`] file,
+//! persisted, and reopened by a "new process" (a fresh `FileStorage::open`
+//! after everything is dropped) must answer every query *and* charge every
+//! page access exactly like a freshly built in-memory index — the
+//! reopen-equivalence contract of the durable storage backend. Corrupted
+//! files must fail loudly with checksum errors, never return garbage.
+
+use set_containment::datagen::{Dataset, QueryKind, SyntheticSpec, WorkloadSpec};
+use set_containment::invfile::InvertedFile;
+use set_containment::oif::Oif;
+use set_containment::pagestore::{FileStorage, Pager, PAGE_SIZE};
+use set_containment::ubtree::UnorderedBTree;
+use std::path::PathBuf;
+
+/// Unique temp path per test (process id + tag keeps parallel test
+/// binaries and parallel tests apart), removed on drop.
+struct TempFile(PathBuf);
+
+impl TempFile {
+    fn new(tag: &str) -> Self {
+        let mut p = std::env::temp_dir();
+        p.push(format!("oif-persist-{tag}-{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        TempFile(p)
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn dataset() -> Dataset {
+    SyntheticSpec {
+        num_records: 4000,
+        vocab_size: 150,
+        zipf: 0.8,
+        len_min: 2,
+        len_max: 12,
+        seed: 23,
+    }
+    .generate()
+}
+
+fn workload(d: &Dataset, kind: QueryKind, qs_size: usize, seed: u64) -> Vec<Vec<u32>> {
+    WorkloadSpec {
+        kind,
+        qs_size,
+        count: 5,
+        seed,
+    }
+    .generate(d)
+    .queries
+}
+
+/// Replay the golden harness's measurement protocol: drop the cache once,
+/// then per query reset stats, evaluate, and record `(answers, seq misses,
+/// random misses)`.
+fn run_measured(
+    pager: &Pager,
+    queries: &[Vec<u32>],
+    mut eval: impl FnMut(&[u32]) -> Vec<u64>,
+) -> Vec<(Vec<u64>, u64, u64)> {
+    pager.clear_cache();
+    queries
+        .iter()
+        .map(|q| {
+            pager.reset_stats();
+            let answers = eval(q);
+            let s = pager.stats();
+            (answers, s.seq_misses, s.random_misses)
+        })
+        .collect()
+}
+
+fn file_pager(path: &std::path::Path) -> Pager {
+    Pager::with_storage(
+        FileStorage::create(path).expect("create storage file"),
+        32 * 1024,
+    )
+}
+
+fn reopen_pager(path: &std::path::Path) -> Pager {
+    Pager::with_storage(
+        FileStorage::open(path).expect("open storage file"),
+        32 * 1024,
+    )
+}
+
+#[test]
+fn oif_reopen_matches_fresh_build_bit_for_bit() {
+    let d = dataset();
+    let tmp = TempFile::new("oif");
+
+    // Build on the file backend, persist, drop every handle.
+    {
+        let built = Oif::build_with(&d, Default::default(), Some(file_pager(&tmp.0)));
+        built.persist().expect("persist + sync");
+    }
+
+    // Fresh in-memory build: the reference for both answers and counts.
+    let fresh = Oif::build(&d);
+    let reopened = Oif::open(reopen_pager(&tmp.0)).expect("reopen from file");
+
+    for (kind, seed) in [
+        (QueryKind::Subset, 61),
+        (QueryKind::Equality, 62),
+        (QueryKind::Superset, 63),
+    ] {
+        let qs = workload(&d, kind, 4, seed);
+        assert!(!qs.is_empty());
+        let want = run_measured(fresh.pager(), &qs, |q| match kind {
+            QueryKind::Subset => fresh.subset(q),
+            QueryKind::Equality => fresh.equality(q),
+            QueryKind::Superset => fresh.superset(q),
+        });
+        let got = run_measured(reopened.pager(), &qs, |q| match kind {
+            QueryKind::Subset => reopened.subset(q),
+            QueryKind::Equality => reopened.equality(q),
+            QueryKind::Superset => reopened.superset(q),
+        });
+        assert_eq!(
+            got, want,
+            "{kind:?}: reopened index must match fresh build in answers and per-query \
+             seq/random page accesses"
+        );
+    }
+}
+
+#[test]
+fn invfile_reopen_matches_fresh_build_bit_for_bit() {
+    let d = dataset();
+    let tmp = TempFile::new("invfile");
+    {
+        let built = InvertedFile::build_with(
+            &d,
+            file_pager(&tmp.0),
+            set_containment::codec::postings::Compression::VByteDGap,
+        );
+        built.persist().expect("persist + sync");
+    }
+    let fresh = InvertedFile::build(&d);
+    let reopened = InvertedFile::open(reopen_pager(&tmp.0)).expect("reopen from file");
+    for (kind, seed) in [
+        (QueryKind::Subset, 71),
+        (QueryKind::Equality, 72),
+        (QueryKind::Superset, 73),
+    ] {
+        let qs = workload(&d, kind, 3, seed);
+        let want = run_measured(fresh.pager(), &qs, |q| match kind {
+            QueryKind::Subset => fresh.subset(q),
+            QueryKind::Equality => fresh.equality(q),
+            QueryKind::Superset => fresh.superset(q),
+        });
+        let got = run_measured(reopened.pager(), &qs, |q| match kind {
+            QueryKind::Subset => reopened.subset(q),
+            QueryKind::Equality => reopened.equality(q),
+            QueryKind::Superset => reopened.superset(q),
+        });
+        assert_eq!(got, want, "{kind:?}");
+    }
+}
+
+#[test]
+fn ubtree_reopen_matches_fresh_build_bit_for_bit() {
+    let d = dataset();
+    let tmp = TempFile::new("ubtree");
+    {
+        let built = UnorderedBTree::build_with(
+            &d,
+            512,
+            file_pager(&tmp.0),
+            set_containment::codec::postings::Compression::VByteDGap,
+        );
+        built.persist().expect("persist + sync");
+    }
+    let fresh = UnorderedBTree::build(&d);
+    let reopened = UnorderedBTree::open(reopen_pager(&tmp.0)).expect("reopen from file");
+    for (kind, seed) in [
+        (QueryKind::Subset, 81),
+        (QueryKind::Equality, 82),
+        (QueryKind::Superset, 83),
+    ] {
+        let qs = workload(&d, kind, 3, seed);
+        let want = run_measured(fresh.pager(), &qs, |q| match kind {
+            QueryKind::Subset => fresh.subset(q),
+            QueryKind::Equality => fresh.equality(q),
+            QueryKind::Superset => fresh.superset(q),
+        });
+        let got = run_measured(reopened.pager(), &qs, |q| match kind {
+            QueryKind::Subset => reopened.subset(q),
+            QueryKind::Equality => reopened.equality(q),
+            QueryKind::Superset => reopened.superset(q),
+        });
+        assert_eq!(got, want, "{kind:?}");
+    }
+}
+
+#[test]
+fn three_indexes_share_one_storage_file() {
+    // Distinct catalog keys and logical files let one database file host
+    // the OIF, the classic IF and the unordered B-tree side by side —
+    // like one Berkeley DB environment holding several structures.
+    let d = Dataset::paper_fig1();
+    let tmp = TempFile::new("shared");
+    {
+        let pager = file_pager(&tmp.0);
+        let oif = Oif::build_with(&d, Default::default(), Some(pager.clone()));
+        let ifile = InvertedFile::build_with(
+            &d,
+            pager.clone(),
+            set_containment::codec::postings::Compression::VByteDGap,
+        );
+        let ub = UnorderedBTree::build_with(
+            &d,
+            512,
+            pager.clone(),
+            set_containment::codec::postings::Compression::VByteDGap,
+        );
+        oif.persist().unwrap();
+        ifile.persist().unwrap();
+        ub.persist().unwrap();
+        assert_eq!(
+            pager.catalog_keys(),
+            vec![
+                "invfile".to_string(),
+                "oif".to_string(),
+                "ubtree".to_string()
+            ]
+        );
+    }
+    let pager = reopen_pager(&tmp.0);
+    let oif = Oif::open(pager.clone()).expect("oif");
+    let ifile = InvertedFile::open(pager.clone()).expect("invfile");
+    let ub = UnorderedBTree::open(pager.clone()).expect("ubtree");
+    // Fig. 1 worked examples, §4's running queries.
+    for answers in [
+        oif.subset(&[0, 3]),
+        ifile.subset(&[0, 3]),
+        ub.subset(&[0, 3]),
+    ] {
+        assert_eq!(answers, vec![101, 104, 114]);
+    }
+    for answers in [
+        oif.superset(&[0, 2]),
+        ifile.superset(&[0, 2]),
+        ub.superset(&[0, 2]),
+    ] {
+        assert_eq!(answers, vec![106, 113]);
+    }
+    for answers in [
+        oif.equality(&[0, 3]),
+        ifile.equality(&[0, 3]),
+        ub.equality(&[0, 3]),
+    ] {
+        assert_eq!(answers, vec![114]);
+    }
+}
+
+#[test]
+fn flipped_page_byte_surfaces_as_checksum_error_not_garbage() {
+    let d = dataset();
+    let tmp = TempFile::new("corrupt");
+    {
+        let built = Oif::build_with(&d, Default::default(), Some(file_pager(&tmp.0)));
+        built.persist().expect("persist + sync");
+    }
+    // Flip one byte in every page of the page region (offset PAGE_SIZE up
+    // to the trailer), leaving superblock and trailer intact, so whichever
+    // page the first query faults in is damaged.
+    {
+        use std::io::{Read, Seek, SeekFrom, Write};
+        let mut f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&tmp.0)
+            .unwrap();
+        // The superblock stores the page count at byte 16 (after the
+        // 8-byte magic and two u32s) — see pagestore::file's layout docs.
+        f.seek(SeekFrom::Start(16)).unwrap();
+        let mut count = [0u8; 8];
+        f.read_exact(&mut count).unwrap();
+        let total_pages = u64::from_le_bytes(count);
+        assert!(total_pages > 0);
+        for page in 0..total_pages {
+            let offset = PAGE_SIZE as u64 * (1 + page) + 1;
+            f.seek(SeekFrom::Start(offset)).unwrap();
+            let mut b = [0u8; 1];
+            f.read_exact(&mut b).unwrap();
+            f.seek(SeekFrom::Start(offset)).unwrap();
+            f.write_all(&[b[0] ^ 0xA5]).unwrap();
+        }
+    }
+    // Metadata is intact, so the index still opens ...
+    let reopened = Oif::open(reopen_pager(&tmp.0)).expect("metadata undamaged");
+    // ... but the first page fault must die with a checksum error naming
+    // the page — not silently answer from corrupt bytes.
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| reopened.subset(&[0, 3])));
+    let err = result.expect_err("corrupt page must not produce answers");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("checksum mismatch"),
+        "panic must name the checksum failure, got: {msg}"
+    );
+}
+
+#[test]
+fn flipped_trailer_byte_fails_open_loudly() {
+    let d = Dataset::paper_fig1();
+    let tmp = TempFile::new("corrupt-meta");
+    {
+        let built = Oif::build_with(&d, Default::default(), Some(file_pager(&tmp.0)));
+        built.persist().unwrap();
+    }
+    {
+        use std::io::{Read, Seek, SeekFrom, Write};
+        let mut f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&tmp.0)
+            .unwrap();
+        let len = f.metadata().unwrap().len();
+        f.seek(SeekFrom::Start(len - 2)).unwrap();
+        let mut b = [0u8; 1];
+        f.read_exact(&mut b).unwrap();
+        f.seek(SeekFrom::Start(len - 2)).unwrap();
+        f.write_all(&[b[0] ^ 0xFF]).unwrap();
+    }
+    let err = FileStorage::open(&tmp.0).expect_err("corrupt trailer must not open");
+    assert!(err.to_string().contains("checksum"), "got: {err}");
+}
