@@ -1,0 +1,88 @@
+//! Superset-pruning ablation: page accesses and wall time with
+//! length-aware block skipping off vs on, per fig10-style sweep point.
+//!
+//! Prints one table row per `(index, |qs|)` point and, when the
+//! `BENCH_JSON` environment variable names a file, writes the same rows
+//! as a JSON array (the CI workflow emits `BENCH_prune.json` this way,
+//! next to the criterion shim's `BENCH_micro.json`).
+
+use bench::{measure, scale, workload, Measurement};
+use datagen::{QueryKind, SyntheticSpec};
+
+struct Row {
+    index: &'static str,
+    qs_size: usize,
+    off: Measurement,
+    on: Measurement,
+}
+
+fn main() {
+    let s = scale();
+    bench::header(
+        "Superset pruning ablation",
+        &format!(
+            "|D| = 10M/{s}, |I| = 2000, zipf 0.8; fig10 workloads, \
+             length-aware block skipping off vs on"
+        ),
+    );
+    let d = SyntheticSpec::paper_default(s).generate();
+    let ifile = invfile::InvertedFile::build(&d);
+    let oifx = oif::Oif::build(&d);
+
+    let mut rows = Vec::new();
+    for qs_size in [2usize, 4, 8, 12] {
+        let qs = workload(&d, QueryKind::Superset, qs_size, 44 + qs_size as u64);
+        if qs.is_empty() {
+            continue;
+        }
+        rows.push(Row {
+            index: "IF",
+            qs_size,
+            off: measure(ifile.pager(), &qs, |q| ifile.superset(q)),
+            on: measure(ifile.pager(), &qs, |q| ifile.superset_pruned(q)),
+        });
+        rows.push(Row {
+            index: "OIF",
+            qs_size,
+            off: measure(oifx.pager(), &qs, |q| oifx.superset(q)),
+            on: measure(oifx.pager(), &qs, |q| oifx.superset_pruned(q)),
+        });
+    }
+
+    for r in &rows {
+        println!(
+            "{index:>4} qs={qs:>2} | off {po:>8.1} pages {to:>8.2} ms | on {pn:>8.1} pages {tn:>8.2} ms | pages {delta:>+6.1}%",
+            index = r.index,
+            qs = r.qs_size,
+            po = r.off.pages,
+            to = r.off.total_ms(),
+            pn = r.on.pages,
+            tn = r.on.total_ms(),
+            delta = if r.off.pages > 0.0 {
+                (r.on.pages - r.off.pages) / r.off.pages * 100.0
+            } else {
+                0.0
+            },
+        );
+    }
+
+    if let Some(path) = std::env::var_os("BENCH_JSON") {
+        let mut json = String::from("[\n");
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "  {{\"name\": \"prune/{index}_qs{qs}\", \"pages_unpruned\": {po:.3}, \
+                 \"pages_pruned\": {pn:.3}, \"ms_unpruned\": {to:.4}, \"ms_pruned\": {tn:.4}}}{comma}\n",
+                index = r.index.to_lowercase(),
+                qs = r.qs_size,
+                po = r.off.pages,
+                pn = r.on.pages,
+                to = r.off.total_ms(),
+                tn = r.on.total_ms(),
+                comma = if i + 1 == rows.len() { "" } else { "," },
+            ));
+        }
+        json.push_str("]\n");
+        std::fs::write(&path, json)
+            .unwrap_or_else(|e| panic!("cannot write BENCH_JSON {path:?}: {e}"));
+    }
+}

@@ -49,8 +49,12 @@ fn main() {
         ("OIF metadata table (memory)".into(), space.meta_bytes),
         ("OIF id-reassignment map".into(), space.id_map_bytes),
         (
-            "OIF total (tree + map)".into(),
-            space.tree_bytes + space.id_map_bytes,
+            "OIF block length summary (memory)".into(),
+            space.summary_bytes,
+        ),
+        (
+            "OIF total (tree + map + summary)".into(),
+            space.tree_bytes + space.id_map_bytes + space.summary_bytes,
         ),
         (
             "OIF without metadata (tree)".into(),

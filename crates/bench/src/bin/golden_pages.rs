@@ -1,9 +1,25 @@
 //! Emit the deterministic per-query page-access counts of the fig8/9/10
 //! harness (small fixed scale) for the CI regression gate. See
 //! [`bench::golden`].
+//!
+//! * no arguments — the paper-faithful counts (prune off), diffed against
+//!   `ci/golden_pages.txt`;
+//! * `--pruned` — the fig10 superset counts with length-aware block
+//!   skipping on, diffed against `ci/golden_pages_pruned.txt`. Generation
+//!   panics if pruning costs any query extra pages or fails to save
+//!   overall, so the dual gate cannot silently regress.
 
 fn main() {
-    for row in bench::golden::golden_rows() {
+    let mut args = std::env::args().skip(1);
+    let rows = match args.next().as_deref() {
+        None => bench::golden::golden_rows(),
+        Some("--pruned") => bench::golden::golden_rows_pruned(),
+        Some(other) => {
+            eprintln!("unknown argument {other:?} (expected nothing or --pruned)");
+            std::process::exit(2);
+        }
+    };
+    for row in rows {
         println!("{row}");
     }
 }

@@ -1,38 +1,113 @@
-//! The page-access regression gate, runnable locally: regenerate the
-//! fig8/9/10 per-query page counts at the golden scale and compare them
-//! with the committed snapshot (`ci/golden_pages.txt`). CI runs the same
-//! check via `cargo run -p bench --bin golden_pages | diff`.
+//! The dual page-access regression gate, runnable locally: regenerate the
+//! per-query page counts at the golden scale and compare them with the
+//! committed snapshots. CI runs the same checks via
+//! `cargo run -p bench --bin golden_pages | diff` (plain and `--pruned`).
+//!
+//! * `ci/golden_pages.txt` — fig8/9/10, prune off. Must stay bit for bit:
+//!   a failure means the buffer-pool policy, index layout or unpruned
+//!   query access pattern changed.
+//! * `ci/golden_pages_pruned.txt` — fig10 superset, prune on. Its
+//!   generation additionally *enforces* the pruning contract (identical
+//!   answers; per-query never-more under an eviction-free cache; strictly
+//!   fewer total OIF accesses, never-worse IF), so this gate failing
+//!   means either an intentional layout change or a pruning regression.
 //!
 //! Page counts are pure simulation (no wall-clock input), so this must
-//! pass identically in debug and release, on any machine. A failure means
-//! the buffer-pool policy, index layout or query access pattern changed —
-//! regenerate the snapshot only for *intentional* changes.
+//! pass identically in debug and release, on any machine. Regenerate the
+//! snapshots only for *intentional* changes.
+
+fn diff_or_panic(got: &str, want: &str, file: &str, regen: &str) {
+    if got == want {
+        return;
+    }
+    // Produce a readable first-divergence report rather than a dump.
+    let (mut line, mut shown) = (0usize, 0usize);
+    let mut diff = String::new();
+    for (g, w) in got.lines().zip(want.lines()) {
+        line += 1;
+        if g != w {
+            diff.push_str(&format!("  line {line}:\n    got:  {g}\n    want: {w}\n"));
+            shown += 1;
+            if shown >= 5 {
+                break;
+            }
+        }
+    }
+    let (gl, wl) = (got.lines().count(), want.lines().count());
+    panic!(
+        "page-access counts drifted from {file} \
+         ({gl} rows generated vs {wl} committed).\n\
+         First diverging lines:\n{diff}\
+         If the change is intentional, regenerate with:\n  {regen}"
+    );
+}
 
 #[test]
 fn per_query_page_counts_match_committed_golden_file() {
     let got = bench::golden::golden_rows().join("\n") + "\n";
     let want = include_str!("../../../ci/golden_pages.txt");
-    if got != want {
-        // Produce a readable first-divergence report rather than a dump.
-        let (mut line, mut shown) = (0usize, 0usize);
-        let mut diff = String::new();
-        for (g, w) in got.lines().zip(want.lines()) {
-            line += 1;
-            if g != w {
-                diff.push_str(&format!("  line {line}:\n    got:  {g}\n    want: {w}\n"));
-                shown += 1;
-                if shown >= 5 {
-                    break;
-                }
-            }
+    diff_or_panic(
+        &got,
+        want,
+        "ci/golden_pages.txt",
+        "cargo run --release -p bench --bin golden_pages > ci/golden_pages.txt",
+    );
+}
+
+#[test]
+fn pruned_page_counts_match_committed_golden_file() {
+    // golden_rows_pruned() panics on any pruning-contract violation
+    // (answer drift, per-query page-set growth, missing total savings)
+    // before producing rows, so this test doubles as the contract gate.
+    let got = bench::golden::golden_rows_pruned().join("\n") + "\n";
+    let want = include_str!("../../../ci/golden_pages_pruned.txt");
+    diff_or_panic(
+        &got,
+        want,
+        "ci/golden_pages_pruned.txt",
+        "cargo run --release -p bench --bin golden_pages -- --pruned > ci/golden_pages_pruned.txt",
+    );
+}
+
+#[test]
+fn pruned_golden_saves_pages_against_unpruned_golden() {
+    // The committed files themselves must witness the saving: same
+    // workloads, same batch protocol, strictly fewer total OIF accesses
+    // and never more in total for the IF.
+    let unpruned = include_str!("../../../ci/golden_pages.txt");
+    let pruned = include_str!("../../../ci/golden_pages_pruned.txt");
+    let totals = |text: &str| {
+        let (mut if_total, mut oif_total, mut rows) = (0u64, 0u64, 0usize);
+        for line in text.lines().filter(|l| l.starts_with("fig10")) {
+            // Rows read "IF seq=a rnd=b OIF seq=c rnd=d"; the OIF fields
+            // come after the "OIF" marker, so split there.
+            let oif_at = line.find(" OIF ").expect("malformed golden row");
+            let (if_part, oif_part) = line.split_at(oif_at);
+            let part_num = |part: &str, field: &str| -> u64 {
+                let at = part.find(field).unwrap();
+                part[at + field.len()..]
+                    .split(|c: char| !c.is_ascii_digit())
+                    .next()
+                    .unwrap()
+                    .parse()
+                    .unwrap()
+            };
+            if_total += part_num(if_part, "seq=") + part_num(if_part, "rnd=");
+            oif_total += part_num(oif_part, "seq=") + part_num(oif_part, "rnd=");
+            rows += 1;
         }
-        let (gl, wl) = (got.lines().count(), want.lines().count());
-        panic!(
-            "page-access counts drifted from ci/golden_pages.txt \
-             ({gl} rows generated vs {wl} committed).\n\
-             First diverging lines:\n{diff}\
-             If the change is intentional, regenerate with:\n  \
-             cargo run --release -p bench --bin golden_pages > ci/golden_pages.txt"
-        );
-    }
+        (if_total, oif_total, rows)
+    };
+    let (if_off, oif_off, rows_off) = totals(unpruned);
+    let (if_on, oif_on, rows_on) = totals(pruned);
+    assert_eq!(rows_off, rows_on, "the goldens must cover the same queries");
+    assert!(rows_on > 0, "no fig10 rows found");
+    assert!(
+        oif_on < oif_off,
+        "pruned OIF total ({oif_on}) must be strictly below unpruned ({oif_off})"
+    );
+    assert!(
+        if_on <= if_off,
+        "pruned IF total ({if_on}) must never exceed unpruned ({if_off})"
+    );
 }

@@ -72,6 +72,165 @@ pub fn key_rank(key: &[u8]) -> Rank {
     u32::from_be_bytes(key[..4].try_into().unwrap())
 }
 
+/// Memory-resident length summary of every block, recorded at build time
+/// alongside the `(item, tag, id)` key material.
+///
+/// Algorithm 2 qualifies a record only when its found-count reaches its
+/// length, so a posting whose record length exceeds `|qs|` can never
+/// contribute a superset answer. Lifting the paper's `p.len <= |qs|` test
+/// from postings to blocks needs, per block, the *minimum* record length —
+/// if even the shortest record in a block is longer than the query, the
+/// whole block is dead for that query and its page payload need never be
+/// pinned or decoded (the block-max-style skipping of inverted-list
+/// engines, applied to the length dimension).
+///
+/// The summary deliberately lives *off* the block B⁺-tree: embedding the
+/// length in keys or payloads would shift leaf packing and change the
+/// paper-faithful page-access counts the golden gate pins down. Instead it
+/// is derived at build time, persisted in the storage catalog (state v2),
+/// and absent (`None` on [`crate::Oif`]) for files written before length
+/// summaries existed — those open fine with pruning disabled.
+///
+/// Layout is flat and order-preserving: blocks are numbered 0..n in tree
+/// key order, `rank_starts` maps each rank to its run of block ordinals,
+/// and tags are byte-encoded exactly as in the keys so range bounds are
+/// found with the same raw byte comparisons the scan's stop rule uses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockSummary {
+    /// `rank_starts[r]..rank_starts[r + 1]` = block ordinals of rank `r`'s
+    /// list (`vocab_size + 1` entries).
+    pub(crate) rank_starts: Vec<u32>,
+    /// `tag_starts[b]..tag_starts[b + 1]` = byte range of block `b`'s tag
+    /// within `tag_bytes` (`num_blocks + 1` entries).
+    pub(crate) tag_starts: Vec<u32>,
+    /// Concatenated big-endian tag encodings, key byte order.
+    pub(crate) tag_bytes: Vec<u8>,
+    /// Last (largest) record id per block — the key's id component.
+    pub(crate) last_ids: Vec<u64>,
+    /// Minimum record length over the block's postings.
+    pub(crate) min_lens: Vec<u32>,
+}
+
+impl BlockSummary {
+    pub fn num_blocks(&self) -> usize {
+        self.last_ids.len()
+    }
+
+    /// Block ordinals of `rank`'s list, in tag/id order.
+    pub fn blocks_of(&self, rank: Rank) -> std::ops::Range<usize> {
+        let r = rank as usize;
+        self.rank_starts[r] as usize..self.rank_starts[r + 1] as usize
+    }
+
+    /// Encoded tag of block `b` (byte order = sequence-form order).
+    pub fn tag(&self, b: usize) -> &[u8] {
+        &self.tag_bytes[self.tag_starts[b] as usize..self.tag_starts[b + 1] as usize]
+    }
+
+    /// Id of the last record in block `b`.
+    pub fn last_id(&self, b: usize) -> u64 {
+        self.last_ids[b]
+    }
+
+    /// Minimum record length over block `b`'s postings.
+    pub fn min_len(&self, b: usize) -> u32 {
+        self.min_lens[b]
+    }
+
+    /// The block ordinals a region scan would deliver: from the first block
+    /// with tag ≥ `lower` through the first block with tag > `upper`
+    /// (inclusive — an edge block's records may still start inside the
+    /// RoI), mirroring [`encode_seek`]'s lower bound and the scan's raw
+    /// byte-order stop rule exactly.
+    pub fn deliverable(&self, rank: Rank, lower: &[u8], upper: &[u8]) -> std::ops::Range<usize> {
+        let blocks = self.blocks_of(rank);
+        let lo =
+            blocks.start + partition_point(blocks.len(), |i| self.tag(blocks.start + i) < lower);
+        let past =
+            blocks.start + partition_point(blocks.len(), |i| self.tag(blocks.start + i) <= upper);
+        // The edge block (first with tag > upper) is delivered too.
+        lo..(past + 1).min(blocks.end)
+    }
+
+    /// Heap bytes of the summary (space-accounting reports).
+    pub fn bytes(&self) -> u64 {
+        (self.rank_starts.len() * 4
+            + self.tag_starts.len() * 4
+            + self.tag_bytes.len()
+            + self.last_ids.len() * 8
+            + self.min_lens.len() * 4) as u64
+    }
+}
+
+/// `[0, n)` partition point for a monotone predicate over indices.
+fn partition_point(n: usize, pred: impl Fn(usize) -> bool) -> usize {
+    let (mut lo, mut hi) = (0usize, n);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Accumulates [`BlockSummary`] entries as the build emits blocks in
+/// `(rank, id)` order.
+pub struct BlockSummaryBuilder {
+    vocab_size: usize,
+    ranks: Vec<Rank>,
+    tag_starts: Vec<u32>,
+    tag_bytes: Vec<u8>,
+    last_ids: Vec<u64>,
+    min_lens: Vec<u32>,
+}
+
+impl BlockSummaryBuilder {
+    pub fn new(vocab_size: usize) -> Self {
+        BlockSummaryBuilder {
+            vocab_size,
+            ranks: Vec::new(),
+            tag_starts: vec![0],
+            tag_bytes: Vec::new(),
+            last_ids: Vec::new(),
+            min_lens: Vec::new(),
+        }
+    }
+
+    /// Record one emitted block. Blocks must arrive in tree key order
+    /// (ranks non-decreasing, ids ascending within a rank).
+    pub fn push(&mut self, rank: Rank, tag: &SeqForm, last_id: u64, min_len: u32) {
+        debug_assert!(
+            self.ranks.last().is_none_or(|&r| r <= rank),
+            "blocks must arrive in rank order"
+        );
+        self.ranks.push(rank);
+        tag.encode(&mut self.tag_bytes);
+        self.tag_starts.push(self.tag_bytes.len() as u32);
+        self.last_ids.push(last_id);
+        self.min_lens.push(min_len);
+    }
+
+    pub fn finish(self) -> BlockSummary {
+        let mut rank_starts = vec![0u32; self.vocab_size + 1];
+        for &r in &self.ranks {
+            rank_starts[r as usize + 1] += 1;
+        }
+        for i in 1..rank_starts.len() {
+            rank_starts[i] += rank_starts[i - 1];
+        }
+        BlockSummary {
+            rank_starts,
+            tag_starts: self.tag_starts,
+            tag_bytes: self.tag_bytes,
+            last_ids: self.last_ids,
+            min_lens: self.min_lens,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +282,59 @@ mod tests {
     fn key_rank_reads_prefix() {
         let key = encode_key(42, &SeqForm::from_ranks(vec![50, 60]), 7);
         assert_eq!(key_rank(&key), 42);
+    }
+
+    fn sample_summary() -> BlockSummary {
+        // Rank 1: tags (1,2) id 10 min 2, (1,3) id 20 min 5, (1,4) id 30
+        // min 3. Rank 3: tag (3) id 40 min 1. Rank 0 and 2 have no blocks.
+        let mut b = BlockSummaryBuilder::new(4);
+        b.push(1, &SeqForm::from_ranks(vec![1, 2]), 10, 2);
+        b.push(1, &SeqForm::from_ranks(vec![1, 3]), 20, 5);
+        b.push(1, &SeqForm::from_ranks(vec![1, 4]), 30, 3);
+        b.push(3, &SeqForm::from_ranks(vec![3]), 40, 1);
+        b.finish()
+    }
+
+    #[test]
+    fn summary_ranges_per_rank() {
+        let s = sample_summary();
+        assert_eq!(s.num_blocks(), 4);
+        assert_eq!(s.blocks_of(0), 0..0);
+        assert_eq!(s.blocks_of(1), 0..3);
+        assert_eq!(s.blocks_of(2), 3..3);
+        assert_eq!(s.blocks_of(3), 3..4);
+        assert_eq!((s.last_id(1), s.min_len(1)), (20, 5));
+    }
+
+    #[test]
+    fn summary_tags_match_key_encoding() {
+        let s = sample_summary();
+        let mut want = Vec::new();
+        SeqForm::from_ranks(vec![1, 3]).encode(&mut want);
+        assert_eq!(s.tag(1), want.as_slice());
+    }
+
+    #[test]
+    fn deliverable_mirrors_scan_bounds() {
+        let s = sample_summary();
+        let enc = |ranks: Vec<u32>| {
+            let mut b = Vec::new();
+            SeqForm::from_ranks(ranks).encode(&mut b);
+            b
+        };
+        // [ (1,3), (1,3) ]: starts at block 1, delivers the edge block 2.
+        let r = s.deliverable(1, &enc(vec![1, 3]), &enc(vec![1, 3]));
+        assert_eq!(r, 1..3);
+        // Upper beyond every tag: no edge block past the list.
+        let r = s.deliverable(1, &enc(vec![1, 2]), &enc(vec![1, 9]));
+        assert_eq!(r, 0..3);
+        // Lower beyond every tag: empty — a scan would seek and find the
+        // next rank immediately.
+        let r = s.deliverable(1, &enc(vec![2]), &enc(vec![2, 9]));
+        assert!(r.is_empty());
+        // A bound that is a strict prefix of a stored tag stays
+        // conservative, like the seek key.
+        let r = s.deliverable(1, &enc(vec![1]), &enc(vec![1]));
+        assert_eq!(r, 0..1, "edge block (1,2) > (1) must be delivered");
     }
 }

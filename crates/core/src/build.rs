@@ -9,7 +9,7 @@
 //!    and bulk-load all blocks into one B⁺-tree keyed by
 //!    `(item, tag, last id)`.
 
-use crate::block::{encode_key, BlockConfig};
+use crate::block::{encode_key, BlockConfig, BlockSummaryBuilder};
 use crate::index::{Oif, OifConfig};
 use crate::meta::{MetaRegion, MetaTable};
 use crate::order::{ItemOrder, Rank};
@@ -105,6 +105,7 @@ pub(crate) fn build(dataset: &Dataset, config: OifConfig, pager: Pager) -> Oif {
         .min(btree::MAX_ENTRY_BYTES.saturating_sub(max_key_bytes))
         .max(16);
     let mut loader = BulkLoader::new(pager);
+    let mut summary = BlockSummaryBuilder::new(vocab_size);
     let mut stored_postings = vec![0u64; vocab_size];
     let mut blocks_per_rank = vec![0u32; vocab_size];
     let mut list_bytes = 0u64;
@@ -119,9 +120,14 @@ pub(crate) fn build(dataset: &Dataset, config: OifConfig, pager: Pager) -> Oif {
         // Emit blocks within [i, run_end).
         let mut enc = PostingsEncoder::with_mode(config.compression);
         let mut block_last: Option<u64> = None;
+        // Minimum record length of the current block — the length summary
+        // the pruned superset path skips dead blocks with.
+        let mut block_min_len = u32::MAX;
         let flush = |enc: PostingsEncoder,
                      last_id: u64,
+                     min_len: u32,
                      loader: &mut BulkLoader,
+                     summary: &mut BlockSummaryBuilder,
                      list_bytes: &mut u64,
                      blocks: &mut u32| {
             let tag = tag_for(&sfs[(last_id - 1) as usize], &config.block);
@@ -129,6 +135,7 @@ pub(crate) fn build(dataset: &Dataset, config: OifConfig, pager: Pager) -> Oif {
             let payload = enc.finish();
             *list_bytes += payload.len() as u64;
             *blocks += 1;
+            summary.push(rank, &tag, last_id, min_len);
             loader
                 .push(&key, &payload)
                 .expect("block sized within entry limit");
@@ -141,19 +148,25 @@ pub(crate) fn build(dataset: &Dataset, config: OifConfig, pager: Pager) -> Oif {
                 flush(
                     full,
                     block_last.unwrap(),
+                    block_min_len,
                     &mut loader,
+                    &mut summary,
                     &mut list_bytes,
                     &mut blocks_per_rank[rank as usize],
                 );
+                block_min_len = u32::MAX;
             }
             enc.push(p);
             block_last = Some(new_id);
+            block_min_len = block_min_len.min(len);
         }
         if !enc.is_empty() {
             flush(
                 enc,
                 block_last.unwrap(),
+                block_min_len,
                 &mut loader,
+                &mut summary,
                 &mut list_bytes,
                 &mut blocks_per_rank[rank as usize],
             );
@@ -170,6 +183,7 @@ pub(crate) fn build(dataset: &Dataset, config: OifConfig, pager: Pager) -> Oif {
         } else {
             MetaTable::new(vocab_size)
         },
+        summary: Some(summary.finish()),
         id_map,
         stored_postings,
         blocks_per_rank,

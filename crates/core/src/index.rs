@@ -49,6 +49,9 @@ pub struct SpaceBreakdown {
     /// Bytes of the new-id → original-id reassignment map (the "+8 %"
     /// table of §5).
     pub id_map_bytes: u64,
+    /// Bytes of the per-block length summary (superset pruning); zero for
+    /// indexes reopened from pre-summary (v1) files.
+    pub summary_bytes: u64,
 }
 
 /// The Ordered Inverted File.
@@ -61,6 +64,11 @@ pub struct Oif {
     pub(crate) order: ItemOrder,
     pub(crate) tree: BTree,
     pub(crate) meta: MetaTable,
+    /// Per-block length summary (tag, last id, minimum record length) in
+    /// tree key order, driving superset block skipping. `None` only for
+    /// indexes reopened from files persisted before length summaries
+    /// existed (state v1) — those answer with pruning disabled.
+    pub(crate) summary: Option<crate::block::BlockSummary>,
     /// `id_map[new_id - 1]` = original record id (new ids are 1-based,
     /// following Fig. 3).
     pub(crate) id_map: Vec<u64>,
@@ -113,6 +121,13 @@ impl Oif {
         &self.meta
     }
 
+    /// The per-block length summary, if this index carries one. Always
+    /// `Some` for freshly built indexes; `None` after reopening a file
+    /// persisted before length summaries existed.
+    pub fn block_summary(&self) -> Option<&crate::block::BlockSummary> {
+        self.summary.as_ref()
+    }
+
     /// The pager (for I/O statistics and cache control).
     pub fn pager(&self) -> &Pager {
         self.tree.pager()
@@ -156,6 +171,7 @@ impl Oif {
             tree_bytes: self.tree.bytes_on_disk(),
             meta_bytes: self.meta.bytes(),
             id_map_bytes: (self.id_map.len() * 8) as u64,
+            summary_bytes: self.summary.as_ref().map_or(0, |s| s.bytes()),
         }
     }
 

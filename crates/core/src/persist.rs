@@ -14,7 +14,7 @@
 //! `sync` a no-op), which is how the round-trip is unit-tested without
 //! touching the filesystem.
 
-use crate::block::BlockConfig;
+use crate::block::{BlockConfig, BlockSummary};
 use crate::index::{Oif, OifConfig};
 use crate::meta::{MetaRegion, MetaTable};
 use crate::order::ItemOrder;
@@ -27,7 +27,12 @@ use pagestore::{FileId, Pager, StorageError};
 pub const CATALOG_KEY: &str = "oif";
 
 /// Format version of the serialized state.
-const STATE_VERSION: u32 = 1;
+///
+/// * v1 — pre-length-summary format (no per-block minimum record
+///   lengths). Still readable: such indexes open fine and answer every
+///   predicate, with superset pruning disabled.
+/// * v2 — v1 plus the [`BlockSummary`] appended at the end.
+const STATE_VERSION: u32 = 2;
 
 impl Oif {
     /// Serialize the non-paged state into the storage catalog and sync the
@@ -50,8 +55,23 @@ impl Oif {
     }
 
     fn state_bytes(&self) -> Vec<u8> {
+        // An index that was itself reopened from v1 state has no summary
+        // to write; re-persisting it stays at v1 rather than inventing one.
+        let version = if self.summary.is_some() {
+            STATE_VERSION
+        } else {
+            1
+        };
+        self.state_bytes_versioned(version)
+    }
+
+    /// Serialize at an explicit format version. v1 is kept writable so the
+    /// pre-summary compatibility path (open with pruning disabled) stays
+    /// covered by tests without archiving binary fixtures.
+    fn state_bytes_versioned(&self, version: u32) -> Vec<u8> {
+        assert!((1..=STATE_VERSION).contains(&version));
         let mut w = Writer::new();
-        w.u32(STATE_VERSION);
+        w.u32(version);
         w.u64(self.num_records);
         w.u64(self.vocab_size as u64);
         w.u64(self.data_bytes);
@@ -84,12 +104,23 @@ impl Oif {
         w.u64(self.tree.root_page());
         w.u64(self.tree.height() as u64);
         w.u64(self.tree.len());
+        if version >= 2 {
+            // Per-block length summary (always present on built indexes;
+            // absent only on indexes themselves reopened from v1 state).
+            let s = self.summary.as_ref().expect("v2 state needs a summary");
+            w.u32s(&s.rank_starts);
+            w.u32s(&s.tag_starts);
+            w.bytes(&s.tag_bytes);
+            w.u64s(&s.last_ids);
+            w.u32s(&s.min_lens);
+        }
         w.into_bytes()
     }
 
     fn from_state_bytes(pager: Pager, state: &[u8]) -> Option<Self> {
         let mut r = Reader::new(state);
-        if r.u32()? != STATE_VERSION {
+        let version = r.u32()?;
+        if !(1..=STATE_VERSION).contains(&version) {
             return None;
         }
         let num_records = r.u64()?;
@@ -137,6 +168,32 @@ impl Oif {
         let tree_root = r.u64()?;
         let tree_height = usize::try_from(r.u64()?).ok()?;
         let tree_len = r.u64()?;
+        let summary = if version >= 2 {
+            let rank_starts = r.u32s()?;
+            let tag_starts = r.u32s()?;
+            let tag_bytes = r.bytes()?.to_vec();
+            let last_ids = r.u64s()?;
+            let min_lens = r.u32s()?;
+            // Structural sanity: offsets must fence the parallel arrays.
+            if rank_starts.len() != vocab_size + 1
+                || tag_starts.len() != last_ids.len() + 1
+                || min_lens.len() != last_ids.len()
+                || rank_starts.last().copied()? as usize != last_ids.len()
+                || tag_starts.last().copied()? as usize != tag_bytes.len()
+                || last_ids.len() as u64 != tree_len
+            {
+                return None;
+            }
+            Some(BlockSummary {
+                rank_starts,
+                tag_starts,
+                tag_bytes,
+                last_ids,
+                min_lens,
+            })
+        } else {
+            None // pre-summary file: opens fine, pruning stays off
+        };
         if !r.is_exhausted() {
             return None;
         }
@@ -144,6 +201,7 @@ impl Oif {
             order,
             tree: BTree::open(pager, tree_file, tree_root, tree_height, tree_len),
             meta,
+            summary,
             id_map,
             stored_postings,
             blocks_per_rank,
@@ -191,6 +249,44 @@ mod tests {
         assert_eq!(reopened.subset(&[0, 3]), built.subset(&[0, 3]));
         assert_eq!(reopened.superset(&[0, 2]), built.superset(&[0, 2]));
         assert_eq!(reopened.equality(&[0, 3]), built.equality(&[0, 3]));
+    }
+
+    #[test]
+    fn persisted_summary_round_trips() {
+        let d = sample();
+        let built = Oif::build(&d);
+        built.persist().unwrap();
+        let reopened = Oif::open(built.pager().clone()).expect("catalog entry");
+        assert_eq!(reopened.block_summary(), built.block_summary());
+        assert!(reopened.block_summary().is_some());
+        // Pruned answers work (and agree) on the reopened index.
+        assert_eq!(
+            reopened.superset_pruned(&[0, 2, 5]),
+            built.superset(&[0, 2, 5])
+        );
+    }
+
+    #[test]
+    fn v1_state_opens_with_pruning_disabled() {
+        // A file written before length summaries existed (state v1) must
+        // still open and answer correctly — with pruning silently off.
+        let d = sample();
+        let built = Oif::build(&d);
+        let pager = built.pager().clone();
+        pager.put_catalog(CATALOG_KEY, &built.state_bytes_versioned(1));
+        let reopened = Oif::open(pager).expect("v1 state must open");
+        assert!(reopened.block_summary().is_none(), "v1 carries no summary");
+        for qs in [vec![0u32, 2], vec![1, 3, 7], vec![5]] {
+            assert_eq!(reopened.subset(&qs), built.subset(&qs), "{qs:?}");
+            assert_eq!(reopened.superset(&qs), built.superset(&qs), "{qs:?}");
+            // The pruned entry point falls back to the unpruned scan.
+            assert_eq!(reopened.superset_pruned(&qs), built.superset(&qs), "{qs:?}");
+        }
+        // Re-persisting a summary-less index stays at v1 (round-trips).
+        reopened.persist().unwrap();
+        let again = Oif::open(reopened.pager().clone()).expect("re-persisted v1");
+        assert!(again.block_summary().is_none());
+        assert_eq!(again.superset(&[0, 2]), built.superset(&[0, 2]));
     }
 
     #[test]

@@ -24,12 +24,17 @@ pub fn build(dataset: &Dataset, pager: Pager, compression: Compression) -> Inver
     let mut encoders: Vec<PostingsEncoder> = (0..dataset.vocab_size)
         .map(|_| PostingsEncoder::with_mode(compression))
         .collect();
+    // Per-list minimum record length — lets superset evaluation skip a
+    // whole list when even its shortest record is longer than the query.
+    let mut min_len_per_item = vec![u32::MAX; dataset.vocab_size];
     for r in &dataset.records {
         for &item in &r.items {
             assert!(
                 (item as usize) < dataset.vocab_size,
                 "item {item} out of vocabulary"
             );
+            min_len_per_item[item as usize] =
+                min_len_per_item[item as usize].min(r.items.len() as u32);
             encoders[item as usize].push(codec::Posting::new(r.id, r.items.len() as u32));
         }
     }
@@ -46,6 +51,7 @@ pub fn build(dataset: &Dataset, pager: Pager, compression: Compression) -> Inver
     InvertedFile {
         store,
         postings_per_item,
+        min_len_per_item,
         num_records: dataset.records.len() as u64,
         vocab_size: dataset.vocab_size,
         compression,

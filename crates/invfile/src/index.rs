@@ -10,6 +10,12 @@ pub struct InvertedFile {
     pub(crate) store: HeapFile,
     /// Number of postings per item (memory-resident vocabulary statistics).
     pub(crate) postings_per_item: Vec<u64>,
+    /// Minimum record length per item's list (`u32::MAX` for empty lists)
+    /// — the IF-grade length summary: a whole list whose shortest record
+    /// exceeds `|qs|` is skipped by the pruned superset path without
+    /// fetching a single page. Empty when reopened from pre-summary (v1)
+    /// state, which disables pruning.
+    pub(crate) min_len_per_item: Vec<u32>,
     pub(crate) num_records: u64,
     pub(crate) vocab_size: usize,
     pub(crate) compression: Compression,
@@ -48,6 +54,13 @@ impl InvertedFile {
             .get(item as usize)
             .copied()
             .unwrap_or(0)
+    }
+
+    /// Whether this index carries per-list length summaries (always true
+    /// for fresh builds; false after reopening pre-summary v1 state, which
+    /// disables superset pruning).
+    pub fn has_length_summaries(&self) -> bool {
+        !self.min_len_per_item.is_empty()
     }
 
     /// Bytes of live posting-list data (excluding page padding).
@@ -111,6 +124,9 @@ impl InvertedFile {
             self.max_id = r.id;
             for &item in &r.items {
                 assert!((item as usize) < self.vocab_size, "item out of vocabulary");
+                if let Some(m) = self.min_len_per_item.get_mut(item as usize) {
+                    *m = (*m).min(r.items.len() as u32);
+                }
                 additions
                     .entry(item)
                     .or_default()

@@ -16,22 +16,44 @@ use pagestore::{Pager, StorageError};
 /// Catalog key the inverted-file state is stored under.
 pub const CATALOG_KEY: &str = "invfile";
 
-const STATE_VERSION: u32 = 1;
+/// * v1 — pre-length-summary format. Still readable: such indexes open
+///   and answer every predicate, with superset pruning disabled.
+/// * v2 — v1 plus the per-item minimum record lengths appended.
+const STATE_VERSION: u32 = 2;
 
 impl InvertedFile {
     /// Serialize the non-paged state into the storage catalog and sync the
     /// pager, making the index reopenable via [`InvertedFile::open`].
     pub fn persist(&self) -> Result<(), StorageError> {
+        // An index reopened from v1 state has no summaries to write;
+        // re-persisting it stays at v1.
+        let version = if self.has_length_summaries() {
+            STATE_VERSION
+        } else {
+            1
+        };
+        self.pager()
+            .put_catalog(CATALOG_KEY, &self.state_bytes_versioned(version));
+        self.pager().sync()
+    }
+
+    /// Serialize at an explicit format version. v1 stays writable so the
+    /// pre-summary compatibility path is covered by tests without binary
+    /// fixtures.
+    fn state_bytes_versioned(&self, version: u32) -> Vec<u8> {
+        assert!((1..=STATE_VERSION).contains(&version));
         let mut w = Writer::new();
-        w.u32(STATE_VERSION);
+        w.u32(version);
         w.u64(self.num_records);
         w.u64(self.vocab_size as u64);
         w.u8(self.compression.to_tag());
         w.u64(self.max_id);
         w.u64s(&self.postings_per_item);
         w.bytes(&self.store.state_bytes());
-        self.pager().put_catalog(CATALOG_KEY, &w.into_bytes());
-        self.pager().sync()
+        if version >= 2 {
+            w.u32s(&self.min_len_per_item);
+        }
+        w.into_bytes()
     }
 
     /// Reopen a persisted index from `pager`'s storage. Returns `None`
@@ -39,7 +61,8 @@ impl InvertedFile {
     pub fn open(pager: Pager) -> Option<Self> {
         let state = pager.catalog(CATALOG_KEY)?;
         let mut r = Reader::new(&state);
-        if r.u32()? != STATE_VERSION {
+        let version = r.u32()?;
+        if !(1..=STATE_VERSION).contains(&version) {
             return None;
         }
         let num_records = r.u64()?;
@@ -51,12 +74,22 @@ impl InvertedFile {
             return None;
         }
         let store = HeapFile::open(pager, r.bytes()?)?;
+        let min_len_per_item = if version >= 2 {
+            let m = r.u32s()?;
+            if m.len() != vocab_size {
+                return None;
+            }
+            m
+        } else {
+            Vec::new() // pre-summary file: opens fine, pruning stays off
+        };
         if !r.is_exhausted() {
             return None;
         }
         Some(InvertedFile {
             store,
             postings_per_item,
+            min_len_per_item,
             num_records,
             vocab_size,
             compression,
@@ -101,6 +134,34 @@ mod tests {
             idx.batch_insert(&[datagen::Record::new(5, vec![0])]);
         }));
         assert!(stale.is_err(), "stale id must still panic after reopen");
+    }
+
+    #[test]
+    fn v1_state_opens_with_pruning_disabled() {
+        let d = Dataset::paper_fig1();
+        let built = InvertedFile::build(&d);
+        let pager = built.pager().clone();
+        pager.put_catalog(CATALOG_KEY, &built.state_bytes_versioned(1));
+        let reopened = InvertedFile::open(pager).expect("v1 state must open");
+        assert!(!reopened.has_length_summaries());
+        assert_eq!(reopened.superset(&[0, 2]), vec![106, 113]);
+        // The pruned entry point falls back to the unpruned merge.
+        assert_eq!(reopened.superset_pruned(&[0, 2]), vec![106, 113]);
+        // Re-persisting the summary-less index stays openable (v1 again).
+        reopened.persist().unwrap();
+        let again = InvertedFile::open(reopened.pager().clone()).unwrap();
+        assert!(!again.has_length_summaries());
+    }
+
+    #[test]
+    fn min_lengths_survive_round_trip() {
+        let d = Dataset::paper_fig1();
+        let built = InvertedFile::build(&d);
+        built.persist().unwrap();
+        let reopened = InvertedFile::open(built.pager().clone()).unwrap();
+        assert_eq!(reopened.min_len_per_item, built.min_len_per_item);
+        assert!(reopened.has_length_summaries());
+        assert_eq!(reopened.superset_pruned(&[0, 2]), vec![106, 113]);
     }
 
     #[test]

@@ -121,6 +121,59 @@ impl InvertedFile {
                 counts.add(p.id + 1, p.len);
             }
         }
+        Self::collect_superset(counts)
+    }
+
+    /// [`InvertedFile::superset`] with length-aware list skipping — the
+    /// IF-grade counterpart of the OIF's block skipping.
+    ///
+    /// A record qualifies only when its found-count reaches its length, so
+    /// no record longer than `|qs|` can be an answer. Whole lists whose
+    /// minimum record length exceeds `|qs|` are skipped without fetching a
+    /// page, and within fetched lists, over-long postings are dropped
+    /// before they touch the [`CountAccumulator`]. Answers are identical
+    /// to [`InvertedFile::superset`] and the pages fetched are a per-query
+    /// subset of the unpruned merge's (only whole fetches are elided);
+    /// under a shared warm cache the skipped touches can shift eviction
+    /// state, so the never-more guarantee is per query, not per batch
+    /// position. Indexes reopened from pre-summary (v1) state fall back to
+    /// the unpruned merge.
+    pub fn superset_pruned(&self, qs: &[ItemId]) -> Vec<u64> {
+        self.superset_pruned_with(qs, &mut EvalScratch::new())
+    }
+
+    /// [`InvertedFile::superset_pruned`] with caller-provided scratch.
+    pub fn superset_pruned_with(&self, qs: &[ItemId], scratch: &mut EvalScratch) -> Vec<u64> {
+        if !self.has_length_summaries() {
+            return self.superset_with(qs, scratch);
+        }
+        debug_assert!(qs.windows(2).all(|w| w[0] < w[1]));
+        let cap = qs.len() as u32;
+        let bytes = &mut scratch.bytes;
+        scratch.counts.clear();
+        let counts = &mut scratch.counts;
+        for &item in qs {
+            // Dead list: even its shortest record is longer than the query.
+            let alive = self
+                .min_len_per_item
+                .get(item as usize)
+                .is_some_and(|&m| m <= cap);
+            if !alive || !self.fetch_bytes_into(item, bytes) {
+                continue;
+            }
+            let mut dec = PostingsDecoder::with_mode(bytes, self.compression);
+            while let Some(p) = dec.next_posting().expect("index-owned list must decode") {
+                if p.len <= cap {
+                    counts.add(p.id + 1, p.len);
+                }
+            }
+        }
+        Self::collect_superset(counts)
+    }
+
+    /// Shared superset tail: records found in exactly `len` lists contain
+    /// nothing outside `qs`.
+    fn collect_superset(counts: &CountAccumulator) -> Vec<u64> {
         let mut out: Vec<u64> = counts
             .iter()
             .filter(|&(_, len, found)| len == found)
@@ -225,6 +278,70 @@ mod tests {
         idx.batch_insert(&[datagen::Record::new(300, vec![0, 3])]);
         assert_eq!(idx.subset(&[0, 3]), vec![101, 104, 114, 300]);
         assert_eq!(idx.equality(&[0, 3]), vec![114, 300]);
+    }
+
+    #[test]
+    fn pruned_superset_matches_unpruned_on_synthetic_data() {
+        let d = SyntheticSpec {
+            num_records: 4000,
+            vocab_size: 150,
+            zipf: 0.8,
+            len_min: 1,
+            len_max: 15,
+            seed: 21,
+        }
+        .generate();
+        let idx = InvertedFile::build(&d);
+        let mut scratch = EvalScratch::new();
+        for size in [1usize, 2, 3, 5, 8] {
+            let ws = WorkloadSpec {
+                kind: QueryKind::Superset,
+                qs_size: size,
+                count: 5,
+                seed: size as u64 * 13,
+            }
+            .generate(&d);
+            for q in &ws.queries {
+                assert_eq!(
+                    idx.superset_pruned_with(q, &mut scratch),
+                    idx.superset(q),
+                    "{q:?}"
+                );
+            }
+        }
+        // Queries that are not existing records too.
+        for q in [vec![0u32, 149], vec![5, 60, 140]] {
+            assert_eq!(idx.superset_pruned(&q), idx.superset(&q), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn pruned_superset_skips_lists_of_only_long_records() {
+        // Item 0 appears only in length-5 records: for |qs| = 2 its whole
+        // list is dead and must not be fetched, while answers stay equal.
+        let mut items: Vec<Vec<u32>> = (0..2000).map(|_| vec![0, 1, 2, 3, 4]).collect();
+        items.push(vec![1]);
+        let d = Dataset::from_items(items, 5);
+        let idx = InvertedFile::build(&d);
+        let pager = idx.pager().clone();
+
+        pager.clear_cache();
+        pager.reset_stats();
+        let unpruned = idx.superset(&[0, 1]);
+        let unpruned_misses = pager.stats().misses();
+
+        pager.clear_cache();
+        pager.reset_stats();
+        let pruned = idx.superset_pruned(&[0, 1]);
+        let pruned_misses = pager.stats().misses();
+
+        assert_eq!(pruned, unpruned);
+        assert_eq!(pruned, vec![2000], "only the {{1}} record qualifies");
+        assert!(
+            pruned_misses < unpruned_misses,
+            "item 0's multi-page list must be skipped \
+             ({pruned_misses} vs {unpruned_misses} misses)"
+        );
     }
 
     #[test]

@@ -129,6 +129,34 @@ fn oif_reopen_matches_fresh_build_bit_for_bit() {
 }
 
 #[test]
+fn oif_pruned_superset_reopens_bit_for_bit() {
+    // The block length summary is persisted state (catalog v2): after a
+    // reopen the pruned superset path must charge exactly the page
+    // accesses of the fresh build's pruned path, with identical answers.
+    let d = dataset();
+    let tmp = TempFile::new("oif-pruned");
+    {
+        let built = Oif::build_with(&d, Default::default(), Some(file_pager(&tmp.0)));
+        built.persist().expect("persist + sync");
+    }
+    let fresh = Oif::build(&d);
+    let reopened = Oif::open(reopen_pager(&tmp.0)).expect("reopen from file");
+    assert_eq!(reopened.block_summary(), fresh.block_summary());
+    let qs = workload(&d, QueryKind::Superset, 4, 63);
+    assert!(!qs.is_empty());
+    let want = run_measured(fresh.pager(), &qs, |q| fresh.superset_pruned(q));
+    let got = run_measured(reopened.pager(), &qs, |q| reopened.superset_pruned(q));
+    assert_eq!(
+        got, want,
+        "reopened pruned superset must match fresh build in answers and page accesses"
+    );
+    // And the pruned answers agree with the unpruned ones on the file.
+    for q in &qs {
+        assert_eq!(reopened.superset_pruned(q), reopened.superset(q), "{q:?}");
+    }
+}
+
+#[test]
 fn invfile_reopen_matches_fresh_build_bit_for_bit() {
     let d = dataset();
     let tmp = TempFile::new("invfile");

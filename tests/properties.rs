@@ -9,7 +9,9 @@ use proptest::prelude::*;
 use set_containment::datagen::{brute, Dataset};
 use set_containment::invfile::InvertedFile;
 use set_containment::oif::{BlockConfig, DeltaOif, Oif, OifConfig};
+use set_containment::pagestore::{FileStorage, Pager};
 use set_containment::ubtree::UnorderedBTree;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 const VOCAB: u32 = 24;
 
@@ -86,6 +88,73 @@ proptest! {
         prop_assert_eq!(idx.subset(&q), brute::subset(&d, &q));
         prop_assert_eq!(idx.equality(&q), brute::equality(&d, &q));
         prop_assert_eq!(idx.superset(&q), brute::superset(&d, &q));
+    }
+
+    #[test]
+    fn pruned_superset_is_equivalent_across_configs_and_backends(
+        d in arb_dataset(100),
+        queries in proptest::collection::vec(arb_query(), 1..6),
+        target in 32usize..1024,
+        prefix in proptest::option::of(1usize..4),
+        use_metadata in any::<bool>(),
+    ) {
+        // Length-aware block skipping must be invisible in the answers:
+        // pruned ≡ unpruned ≡ brute force, for every block sizing / tag
+        // truncation / metadata configuration, on the in-memory backend
+        // and on a real file (built, persisted, reopened).
+        let cfg = OifConfig {
+            block: BlockConfig { target_bytes: target, tag_prefix: prefix },
+            use_metadata,
+            ..OifConfig::default()
+        };
+
+        // Memory backend.
+        let oif = Oif::build_with(&d, cfg.clone(), None);
+        let ifile = InvertedFile::build(&d);
+        for q in &queries {
+            let want = brute::superset(&d, q);
+            prop_assert_eq!(oif.superset(q), want.clone(), "oif mem {:?}", q);
+            prop_assert_eq!(oif.superset_pruned(q), want.clone(), "oif mem pruned {:?}", q);
+            let mut got = ifile.superset_pruned(q);
+            got.sort_unstable();
+            prop_assert_eq!(got, want, "if mem pruned {:?}", q);
+        }
+
+        // File backend: persist, drop, reopen from the file, re-ask.
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "oif-prop-prune-{}-{}.db",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        {
+            let storage = FileStorage::create(&path).unwrap();
+            let pager = Pager::with_storage(storage, cfg.cache_bytes);
+            let built = Oif::build_with(&d, cfg.clone(), Some(pager.clone()));
+            built.persist().unwrap();
+            let ifile_file = set_containment::invfile::build(
+                &d,
+                pager,
+                set_containment::codec::postings::Compression::VByteDGap,
+            );
+            ifile_file.persist().unwrap();
+        }
+        {
+            let storage = FileStorage::open(&path).unwrap();
+            let pager = Pager::with_storage(storage, cfg.cache_bytes);
+            let oif = Oif::open(pager.clone()).expect("persisted OIF reopens");
+            let ifile = InvertedFile::open(pager).expect("persisted IF reopens");
+            for q in &queries {
+                let want = brute::superset(&d, q);
+                prop_assert_eq!(oif.superset(q), want.clone(), "oif file {:?}", q);
+                prop_assert_eq!(oif.superset_pruned(q), want.clone(), "oif file pruned {:?}", q);
+                let mut got = ifile.superset_pruned(q);
+                got.sort_unstable();
+                prop_assert_eq!(got, want, "if file pruned {:?}", q);
+            }
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
