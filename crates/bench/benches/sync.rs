@@ -1,0 +1,133 @@
+//! Durability-barrier cost: `Pager::sync` wall time and bytes vs the
+//! dirty-set size, v1 (in-place) vs v2 (crash-atomic shadow paging).
+//!
+//! Shadow paging buys crash atomicity with extra physical work per
+//! commit: fresh-slot placement for every rewritten page, a relocated
+//! trailer, a second fsync around the superblock flip. This bench prices
+//! that overhead so it is tracked per commit: for each dirty-set size it
+//! rewrites every page and syncs repeatedly on both formats, reporting
+//! mean wall per sync, synced pages/bytes (from the new `IoStats`
+//! counters), and the final file size (v2 floats near 2× the live pages —
+//! current + shadow generation — plus two trailers; that is the price of
+//! always keeping the previous epoch readable).
+//!
+//! Prints one row per `(format, dirty pages)` point and, when the
+//! `BENCH_JSON` environment variable names a file, writes the same rows
+//! as a JSON array (the CI workflow emits `BENCH_sync.json` this way).
+
+use pagestore::{FileStorage, Pager, PAGE_SIZE};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+struct Row {
+    version: u32,
+    dirty_pages: u64,
+    mean_sync: Duration,
+    synced_bytes_per_sync: u64,
+    file_bytes: u64,
+}
+
+fn temp_db(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("oif-bench-sync-{tag}-{}.db", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn run_point(version: u32, dirty_pages: u64, rounds: u32) -> Row {
+    let path = temp_db(&format!("v{version}-d{dirty_pages}"));
+    let storage = match version {
+        1 => FileStorage::create_v1(&path).expect("create v1"),
+        _ => FileStorage::create(&path).expect("create v2"),
+    };
+    // Cache big enough to hold the whole dirty set, so every write stays
+    // dirty in the pool until the sync flushes it (the scenario the
+    // dirty-set ordering fix targets).
+    let pager = Pager::with_storage(storage, (dirty_pages as usize + 8) * PAGE_SIZE);
+    let f = pager.create_file();
+    let mut page = vec![0u8; PAGE_SIZE];
+    for p in 0..dirty_pages {
+        pager.allocate_page(f);
+        page.fill(p as u8);
+        pager.write_page(f, p, &page);
+    }
+    pager.sync().expect("warm-up sync");
+
+    let mut total = Duration::ZERO;
+    let before = pager.stats();
+    for round in 0..rounds {
+        for p in 0..dirty_pages {
+            page.fill((p as u8).wrapping_add(round as u8 + 1));
+            pager.write_page(f, p, &page);
+        }
+        let t = Instant::now();
+        pager.sync().expect("sync");
+        total += t.elapsed();
+    }
+    let delta = pager.stats().since(&before);
+    assert_eq!(
+        delta.synced_pages,
+        dirty_pages * rounds as u64,
+        "every dirty page must be flushed by sync, exactly once per round"
+    );
+    let file_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let _ = std::fs::remove_file(&path);
+    Row {
+        version,
+        dirty_pages,
+        mean_sync: total / rounds,
+        synced_bytes_per_sync: delta.synced_bytes / rounds as u64,
+        file_bytes,
+    }
+}
+
+fn main() {
+    bench::header(
+        "Sync cost: in-place (v1) vs crash-atomic shadow paging (v2)",
+        "rewrite-all + sync, 8 rounds per point; mean wall per sync",
+    );
+    let rounds = 8;
+    let mut rows = Vec::new();
+    for dirty in [32u64, 128, 512] {
+        for version in [1u32, 2] {
+            rows.push(run_point(version, dirty, rounds));
+        }
+    }
+    for pair in rows.chunks(2) {
+        let (v1, v2) = (&pair[0], &pair[1]);
+        for r in pair {
+            println!(
+                "v{} dirty={:>4} | {:>9.2?} /sync | {:>7.1} KiB synced | file {:>8.1} KiB",
+                r.version,
+                r.dirty_pages,
+                r.mean_sync,
+                r.synced_bytes_per_sync as f64 / 1024.0,
+                r.file_bytes as f64 / 1024.0,
+            );
+        }
+        println!(
+            "            shadow overhead: {:>+6.1}% wall, {:>+6.1}% file size",
+            (v2.mean_sync.as_secs_f64() / v1.mean_sync.as_secs_f64().max(1e-12) - 1.0) * 100.0,
+            (v2.file_bytes as f64 / v1.file_bytes.max(1) as f64 - 1.0) * 100.0,
+        );
+    }
+
+    if let Some(path) = std::env::var_os("BENCH_JSON") {
+        let mut json = String::from("[\n");
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "  {{\"name\": \"sync/v{v}_d{d}\", \"ms_per_sync\": {ms:.4}, \
+                 \"synced_bytes\": {sb}, \"file_bytes\": {fb}}}{comma}\n",
+                v = r.version,
+                d = r.dirty_pages,
+                ms = r.mean_sync.as_secs_f64() * 1e3,
+                sb = r.synced_bytes_per_sync,
+                fb = r.file_bytes,
+                comma = if i + 1 == rows.len() { "" } else { "," },
+            ));
+        }
+        json.push_str("]\n");
+        std::fs::write(&path, json)
+            .unwrap_or_else(|e| panic!("cannot write BENCH_JSON {path:?}: {e}"));
+    }
+}

@@ -1,0 +1,372 @@
+//! Fault injection for the durable backend: simulated crashes at every
+//! physical I/O operation.
+//!
+//! The crash-recovery harness needs to answer one question exhaustively:
+//! *if the process dies at an arbitrary instruction boundary, does the
+//! storage file still open to a fully consistent committed state?* The
+//! machinery here makes that testable:
+//!
+//! * [`FaultFile`] — a [`RawFile`] over an in-memory image that keeps
+//!   **two** copies of the file: the *memory* image (every write applied —
+//!   what the running process and the OS page cache would observe) and the
+//!   *disk* image (only the operations before a scheduled crash point
+//!   applied — what survives the crash). Reads serve the memory image, so
+//!   the workload under test runs to completion obliviously; the harness
+//!   then harvests the frozen disk image and replays recovery on it.
+//! * [`FaultConfig`] — where to crash: after the first `crash_after`
+//!   mutating operations (`write_at` / `set_len` / `sync_all`), with the
+//!   in-flight operation optionally *torn* so that only its first
+//!   `tear_bytes` bytes reach the disk image.
+//! * [`FaultHandle`] — the harness's view: the number of mutating
+//!   operations observed so far, whether the crash point has passed, and
+//!   the two images. With no crash configured the disk image equals the
+//!   memory image at every point, so `disk_image()` doubles as a
+//!   "crash *right now*" snapshot.
+//! * [`FaultStorage`] — a [`Storage`] wrapper pairing any backend with the
+//!   handle; [`FaultStorage::create`] builds the usual stack (a
+//!   [`FileStorage`] over a [`FaultFile`]) in one call.
+//!
+//! The model applies operations to the disk image *in order* — it does not
+//! simulate the request reordering a real disk scheduler may perform.
+//! [`FileStorage`](crate::FileStorage)'s commit protocol places `sync_all`
+//! barriers exactly where reordering would be fatal (before and after the
+//! superblock flip), so in-order prefixes are precisely the states those
+//! barriers guarantee on real hardware.
+
+use crate::disk::{FileId, PageId, PAGE_SIZE};
+use crate::raw::{read_image_at, write_image_at, RawFile};
+use crate::storage::{PhysPage, Storage, StorageError};
+use crate::FileStorage;
+use std::io;
+use std::sync::{Arc, Mutex};
+
+/// Crash schedule for a [`FaultFile`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultConfig {
+    /// Crash after this many mutating operations have fully reached the
+    /// disk image: operation `crash_after` is the in-flight one (torn or
+    /// dropped), every later operation is dropped. `None` = never crash.
+    pub crash_after: Option<u64>,
+    /// How many leading bytes of the in-flight *write* still reach the
+    /// disk image (a torn sector). 0 = the in-flight operation is dropped
+    /// whole. In-flight `set_len` / `sync_all` are always dropped whole —
+    /// there is no meaningful "half a truncation".
+    pub tear_bytes: usize,
+}
+
+impl FaultConfig {
+    /// Crash after `ops` fully-applied operations, dropping the rest.
+    pub fn crash_after(ops: u64) -> Self {
+        FaultConfig {
+            crash_after: Some(ops),
+            ..FaultConfig::default()
+        }
+    }
+
+    /// Crash after `ops` fully-applied operations, tearing the in-flight
+    /// write at byte `tear_bytes`.
+    pub fn torn(ops: u64, tear_bytes: usize) -> Self {
+        FaultConfig {
+            crash_after: Some(ops),
+            tear_bytes,
+        }
+    }
+}
+
+struct FaultState {
+    mem: Vec<u8>,
+    disk: Vec<u8>,
+    ops: u64,
+    cfg: FaultConfig,
+}
+
+impl FaultState {
+    /// Gate one mutating operation: always applied to `mem`; applied to
+    /// `disk` fully before the crash point, torn at it, dropped after.
+    fn mutate(&mut self, apply: impl Fn(&mut Vec<u8>, Option<usize>)) {
+        let op = self.ops;
+        self.ops += 1;
+        apply(&mut self.mem, None);
+        match self.cfg.crash_after {
+            None => apply(&mut self.disk, None),
+            Some(k) if op < k => apply(&mut self.disk, None),
+            Some(k) if op == k && self.cfg.tear_bytes > 0 => {
+                apply(&mut self.disk, Some(self.cfg.tear_bytes))
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Shared harness view of a [`FaultFile`] (cheaply clonable).
+#[derive(Clone)]
+pub struct FaultHandle(Arc<Mutex<FaultState>>);
+
+impl FaultHandle {
+    /// Mutating operations observed so far (including dropped ones).
+    pub fn ops(&self) -> u64 {
+        self.0.lock().unwrap().ops
+    }
+
+    /// True once the crash point has passed (some operation was dropped
+    /// or torn).
+    pub fn crashed(&self) -> bool {
+        let s = self.0.lock().unwrap();
+        s.cfg.crash_after.is_some_and(|k| s.ops > k)
+    }
+
+    /// The bytes that survive the crash — what a post-crash process would
+    /// find on disk. With no crash configured this is simply the current
+    /// file contents, i.e. a "crash now" snapshot.
+    pub fn disk_image(&self) -> Vec<u8> {
+        self.0.lock().unwrap().disk.clone()
+    }
+
+    /// The bytes the running process observes (every write applied).
+    pub fn mem_image(&self) -> Vec<u8> {
+        self.0.lock().unwrap().mem.clone()
+    }
+}
+
+/// A [`RawFile`] with crash injection. See the module docs.
+pub struct FaultFile {
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultFile {
+    /// An empty fault file with the given crash schedule.
+    pub fn new(cfg: FaultConfig) -> (Self, FaultHandle) {
+        Self::from_image(Vec::new(), cfg)
+    }
+
+    /// A fault file whose disk and memory images both start as `bytes`
+    /// (e.g. a previously harvested crash image, to inject a second
+    /// fault into the recovery path itself).
+    pub fn from_image(bytes: Vec<u8>, cfg: FaultConfig) -> (Self, FaultHandle) {
+        let state = Arc::new(Mutex::new(FaultState {
+            mem: bytes.clone(),
+            disk: bytes,
+            ops: 0,
+            cfg,
+        }));
+        (
+            FaultFile {
+                state: state.clone(),
+            },
+            FaultHandle(state),
+        )
+    }
+}
+
+impl RawFile for FaultFile {
+    fn read_at(&mut self, offset: u64, out: &mut [u8]) -> io::Result<()> {
+        // Reads are not crash points: they do not change what is on disk,
+        // so a crash "before a read" is identical to a crash before the
+        // next mutating operation.
+        read_image_at(&self.state.lock().unwrap().mem, offset, out)
+    }
+
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
+        self.state.lock().unwrap().mutate(|image, tear| {
+            let n = tear.map_or(data.len(), |t| t.min(data.len()));
+            write_image_at(image, offset, &data[..n]);
+        });
+        Ok(())
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        let len = usize::try_from(len).expect("length fits memory");
+        self.state.lock().unwrap().mutate(|image, tear| {
+            if tear.is_none() {
+                image.resize(len, 0);
+            }
+        });
+        Ok(())
+    }
+
+    fn byte_len(&mut self) -> io::Result<u64> {
+        Ok(self.state.lock().unwrap().mem.len() as u64)
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        // A barrier mutates nothing, but it is still a scheduling point
+        // the sweep enumerates (and dropping it is how "the crash ate the
+        // fsync" is modelled).
+        self.state.lock().unwrap().mutate(|_, _| {});
+        Ok(())
+    }
+}
+
+/// A [`Storage`] wrapper pairing a backend with the fault handle driving
+/// (and observing) its physical I/O.
+///
+/// The interesting constructor is [`FaultStorage::create`], which builds
+/// the full durable stack — a [`FileStorage`] over a [`FaultFile`] — so a
+/// buffer pool / `Pager` can run an ordinary workload while the harness
+/// schedules crashes underneath it. [`FaultStorage::wrap`] pairs an
+/// already-built backend with a handle (e.g. a storage opened from a
+/// previously frozen image, to crash the post-recovery sync too).
+pub struct FaultStorage {
+    inner: Box<dyn Storage>,
+    handle: FaultHandle,
+}
+
+impl FaultStorage {
+    /// Create a fresh shadow-paged [`FileStorage`] over a [`FaultFile`]
+    /// with the given crash schedule.
+    pub fn create(cfg: FaultConfig) -> Result<(Self, FaultHandle), StorageError> {
+        let (file, handle) = FaultFile::new(cfg);
+        let inner = FileStorage::create_on(Box::new(file))?;
+        Ok((
+            FaultStorage {
+                inner: Box::new(inner),
+                handle: handle.clone(),
+            },
+            handle,
+        ))
+    }
+
+    /// Reopen a frozen crash image with a fresh crash schedule (so the
+    /// recovery path itself can be crash-tested).
+    pub fn open_image(
+        image: Vec<u8>,
+        cfg: FaultConfig,
+    ) -> Result<(Self, FaultHandle), StorageError> {
+        let (file, handle) = FaultFile::from_image(image, cfg);
+        let inner = FileStorage::open_on(Box::new(file))?;
+        Ok((
+            FaultStorage {
+                inner: Box::new(inner),
+                handle: handle.clone(),
+            },
+            handle,
+        ))
+    }
+
+    /// Pair any backend with an existing fault handle.
+    pub fn wrap(storage: impl Storage + 'static, handle: FaultHandle) -> Self {
+        FaultStorage {
+            inner: Box::new(storage),
+            handle,
+        }
+    }
+
+    pub fn handle(&self) -> FaultHandle {
+        self.handle.clone()
+    }
+}
+
+impl Storage for FaultStorage {
+    fn create_file(&mut self) -> FileId {
+        self.inner.create_file()
+    }
+
+    fn file_count(&self) -> usize {
+        self.inner.file_count()
+    }
+
+    fn file_len(&self, file: FileId) -> u64 {
+        self.inner.file_len(file)
+    }
+
+    fn total_pages(&self) -> u64 {
+        self.inner.total_pages()
+    }
+
+    fn allocate_page(&mut self, file: FileId) -> PageId {
+        self.inner.allocate_page(file)
+    }
+
+    fn phys(&self, file: FileId, page: PageId) -> PhysPage {
+        self.inner.phys(file, page)
+    }
+
+    fn read_phys(&mut self, phys: PhysPage, out: &mut [u8; PAGE_SIZE]) -> Result<(), StorageError> {
+        self.inner.read_phys(phys, out)
+    }
+
+    fn write_phys(&mut self, phys: PhysPage, data: &[u8]) -> Result<(), StorageError> {
+        self.inner.write_phys(phys, data)
+    }
+
+    fn put_catalog(&mut self, key: &str, bytes: &[u8]) {
+        self.inner.put_catalog(key, bytes)
+    }
+
+    fn get_catalog(&self, key: &str) -> Option<Vec<u8>> {
+        self.inner.get_catalog(key)
+    }
+
+    fn catalog_keys(&self) -> Vec<String> {
+        self.inner.catalog_keys()
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_crash_keeps_images_identical() {
+        let (mut f, h) = FaultFile::new(FaultConfig::default());
+        f.write_at(0, b"hello").unwrap();
+        f.sync_all().unwrap();
+        f.write_at(5, b" world").unwrap();
+        assert_eq!(h.ops(), 3);
+        assert!(!h.crashed());
+        assert_eq!(h.disk_image(), h.mem_image());
+        assert_eq!(h.disk_image(), b"hello world");
+    }
+
+    #[test]
+    fn crash_freezes_the_disk_image_but_not_memory() {
+        let (mut f, h) = FaultFile::new(FaultConfig::crash_after(1));
+        f.write_at(0, b"aaaa").unwrap(); // op 0: applied
+        f.write_at(0, b"bbbb").unwrap(); // op 1: in-flight, dropped
+        f.write_at(4, b"cccc").unwrap(); // op 2: dropped
+        assert!(h.crashed());
+        assert_eq!(h.disk_image(), b"aaaa");
+        assert_eq!(h.mem_image(), b"bbbbcccc");
+        // The process keeps reading its own (memory) writes.
+        let mut out = [0u8; 8];
+        f.read_at(0, &mut out).unwrap();
+        assert_eq!(&out, b"bbbbcccc");
+    }
+
+    #[test]
+    fn torn_write_applies_a_prefix() {
+        let (mut f, h) = FaultFile::new(FaultConfig::torn(1, 2));
+        f.write_at(0, b"xxxx").unwrap(); // applied
+        f.write_at(0, b"YYYY").unwrap(); // torn after 2 bytes
+        assert_eq!(h.disk_image(), b"YYxx");
+        assert_eq!(h.mem_image(), b"YYYY");
+    }
+
+    #[test]
+    fn torn_set_len_is_dropped_whole() {
+        let (mut f, h) = FaultFile::new(FaultConfig::torn(1, 2));
+        f.write_at(0, b"xxxx").unwrap();
+        f.set_len(1).unwrap(); // in-flight: dropped, not "partially truncated"
+        assert_eq!(h.disk_image(), b"xxxx");
+        assert_eq!(h.mem_image(), b"x");
+    }
+
+    #[test]
+    fn fault_storage_full_stack_round_trips_without_crash() {
+        let (mut storage, h) = FaultStorage::create(FaultConfig::default()).unwrap();
+        let f = storage.create_file();
+        storage.allocate_page(f);
+        storage.write_phys(0, &[9u8; PAGE_SIZE]).unwrap();
+        storage.put_catalog("k", b"v");
+        storage.sync().unwrap();
+        let mut reopened = FileStorage::open_image(h.disk_image()).unwrap();
+        assert_eq!(reopened.get_catalog("k").as_deref(), Some(&b"v"[..]));
+        let mut out = [0u8; PAGE_SIZE];
+        reopened.read_phys(0, &mut out).unwrap();
+        assert_eq!(out[0], 9);
+    }
+}

@@ -1,84 +1,104 @@
-//! The durable storage backend: one real file on disk.
+//! The durable storage backend: one real file on disk, **crash-atomic**
+//! via shadow paging (format v2).
 //!
-//! ## On-disk format
+//! ## On-disk format (v2, written by [`FileStorage::create`])
 //!
 //! ```text
-//! offset 0                superblock (one page reserved; 60 bytes used)
-//!   [ magic "OIFSTOR1" : 8 ][ version : u32 ][ page size : u32 ]
-//!   [ total pages : u64 ][ trailer offset : u64 ][ trailer len : u64 ]
-//!   [ trailer checksum : u64 ][ superblock checksum : u64 ]
-//! offset PAGE_SIZE        page region: physical page i at
-//!                         PAGE_SIZE + i * PAGE_SIZE
-//! offset PAGE_SIZE + total_pages * PAGE_SIZE
-//!                         trailer (written by `sync`):
-//!   file table    — per logical file, its ordered physical-page list
-//!   checksum table — one FNV-1a 64 per physical page
-//!   catalog       — key → blob entries (index non-paged state)
+//! offset 0                superblock slot A (72 bytes used)
+//! offset PAGE_SIZE/2      superblock slot B (72 bytes used)
+//!   each slot: [ magic "OIFSTOR1" : 8 ][ version : u32 ][ page size : u32 ]
+//!              [ epoch : u64 ][ logical pages : u64 ][ slot count : u64 ]
+//!              [ trailer slot : u64 ][ trailer len : u64 ]
+//!              [ trailer checksum : u64 ][ superblock checksum : u64 ]
+//! offset PAGE_SIZE        slot region: physical slot s at
+//!                         PAGE_SIZE + s * PAGE_SIZE
+//! somewhere in the slot region (per the live superblock):
+//!                         trailer:
+//!   file table     — per logical file, its ordered logical-page list
+//!   slot table     — logical physical page → slot (NO_SLOT = never
+//!                    written; such pages read as zeros)
+//!   checksum table — one FNV-1a 64 per logical physical page
+//!   catalog        — key → blob entries (index non-paged state)
+//!   free-slot list — slots referenced by neither the slot table nor,
+//!                    once this epoch commits, anything else (the dead
+//!                    slots of the previous epoch, reclaimed by GC)
 //! ```
 //!
-//! Pages are written in place as the buffer pool evicts or flushes them;
-//! the trailer and superblock are (re)written only by [`Storage::sync`],
-//! followed by `File::sync_all`. The contract after a crash between syncs
-//! is *fail loudly, never lie*: writes since the last sync are gone, and
-//! because pages are rewritten in place (and new pages can overwrite the
-//! old trailer region), such a crash can also invalidate previously
-//! synced state — the stale superblock then points at a trailer, or a
-//! trailer at pages, whose checksums no longer match, and reopen/reads
-//! fail with a named [`StorageError::ChecksumMismatch`] instead of
-//! serving a torn mixture. Crash *atomicity* (keeping the last synced
-//! state readable through any crash) needs a write-ahead log or
-//! shadow paging — a ROADMAP follow-up.
+//! ### Shadow paging
+//!
+//! The buffer pool addresses pages by *logical* physical page number
+//! ([`PhysPage`], allocation order — identical to
+//! [`MemStorage`](crate::MemStorage), so cache keys and the paper's
+//! sequential/random miss classification never depend on the backend).
+//! Where a page's bytes actually live is a *slot*, and a page's slot
+//! changes on every rewrite: [`Storage::write_phys`] never overwrites a
+//! slot reachable from the last committed trailer — it writes to a fresh
+//! slot from the free list (or extends the slot region) and only the
+//! in-memory slot table learns the new location. Rewriting the same page
+//! again before the next commit reuses its shadow slot in place (that slot
+//! is not yet committed to anything).
+//!
+//! ### Commit protocol ([`Storage::sync`])
+//!
+//! 1. serialize the trailer and write it to free slots (never slots the
+//!    committed epoch can reach);
+//! 2. `sync_all` — every shadow page and the new trailer are durable
+//!    before any superblock changes;
+//! 3. write the new superblock — epoch *e+1*, pointing at the new trailer
+//!    — into slot `(e+1) % 2`, i.e. over the *older* of the two
+//!    superblocks, never the live one;
+//! 4. `sync_all` again, making the flip durable;
+//! 5. in memory: the previous epoch's now-unreachable slots (old page
+//!    versions, the old trailer) join the free list — the epoch GC.
+//!
+//! A crash at **any** physical I/O boundary (and a torn write of the
+//! in-flight operation) therefore leaves either the old epoch fully
+//! intact (steps 1–3 touch nothing it references; a torn superblock write
+//! only garbles the *older* slot, which recovery rejects by checksum) or
+//! the new epoch fully durable (step 3 completed). Recovery reads both
+//! superblock slots and restores the newest one that passes its checksum
+//! *and* whose trailer loads — so even a later-corrupted live trailer
+//! falls back to the previous epoch when that epoch is still intact.
+//! `crates/pagestore/tests/fault.rs` and the workspace
+//! `tests/crash_recovery.rs` prove this exhaustively by replaying
+//! recovery at every I/O-op prefix of whole build→sync→mutate→sync runs.
+//!
+//! ## Legacy format v1 (read- and write-compatible)
+//!
+//! Files created before shadow paging have one superblock (slot A,
+//! version 1), pages written *in place* at `PAGE_SIZE * (1 + phys)` and a
+//! single trailer after the page region, rewritten by every sync. They
+//! keep opening, reading and writing exactly as before — including the
+//! old contract that a crash between syncs fails loudly by checksum
+//! rather than recovering — via [`FileStorage::create_v1`] and the
+//! version sniff in [`FileStorage::open`]. The `sync` bench uses the v1
+//! path as the in-place baseline against the v2 shadow overhead.
 //!
 //! Every page read verifies the page's checksum from the table, so bit rot
 //! or a torn write surfaces as [`StorageError::ChecksumMismatch`] naming
 //! the page — never as silently garbage query results.
 
 use crate::disk::{FileId, PageId, PAGE_SIZE};
+use crate::raw::{MemFile, OsFile, RawFile};
 use crate::ser::{Reader, Writer};
 use crate::storage::{fnv1a, PhysPage, Storage, StorageError};
-use std::collections::BTreeMap;
-use std::fs::{File, OpenOptions};
-#[cfg(not(unix))]
-use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
-#[cfg(unix)]
-use std::os::unix::fs::FileExt;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs::OpenOptions;
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 
-/// Positioned read. On unix a single `pread` syscall (`read_exact_at`)
-/// with no cursor motion — half the syscalls of the historical `seek` +
-/// `read` pair, one saved per page fault. Other platforms keep the
-/// two-call fallback.
-fn read_exact_at(file: &mut File, offset: u64, out: &mut [u8]) -> std::io::Result<()> {
-    #[cfg(unix)]
-    {
-        FileExt::read_exact_at(file, out, offset)
-    }
-    #[cfg(not(unix))]
-    {
-        file.seek(SeekFrom::Start(offset))?;
-        file.read_exact(out)
-    }
-}
-
-/// Positioned write: a single `pwrite` (`write_all_at`) on unix, the
-/// `seek` + `write` pair elsewhere.
-fn write_all_at(file: &mut File, offset: u64, data: &[u8]) -> std::io::Result<()> {
-    #[cfg(unix)]
-    {
-        FileExt::write_all_at(file, data, offset)
-    }
-    #[cfg(not(unix))]
-    {
-        file.seek(SeekFrom::Start(offset))?;
-        file.write_all(data)
-    }
-}
-
 const MAGIC: &[u8; 8] = b"OIFSTOR1";
-const VERSION: u32 = 1;
-/// Serialized superblock length (the rest of page 0 is reserved).
-const SUPERBLOCK_LEN: usize = 60;
+const VERSION_V1: u32 = 1;
+const VERSION_V2: u32 = 2;
+/// Serialized v1 superblock length (the rest of page 0 is reserved).
+const SUPERBLOCK_LEN_V1: usize = 60;
+/// Serialized v2 superblock length.
+const SUPERBLOCK_LEN_V2: usize = 72;
+/// Byte offsets of the two v2 superblock slots (both inside reserved
+/// page 0; a v1 file has zeros at slot B, which never parses).
+const SB_SLOT_OFFSETS: [u64; 2] = [0, (PAGE_SIZE / 2) as u64];
+/// Slot-table sentinel: the page was never written and reads as zeros.
+const NO_SLOT: u64 = u64::MAX;
 
 /// Checksum of an all-zero page (what `allocate_page` promises before the
 /// first write), computed once.
@@ -87,22 +107,199 @@ fn zero_page_checksum() -> u64 {
     *CK.get_or_init(|| fnv1a(&[0u8; PAGE_SIZE]))
 }
 
+/// Shadow-paging state (format v2 only; `None` means the file is v1 and
+/// pages are rewritten in place).
+struct ShadowState {
+    /// Last committed epoch.
+    epoch: u64,
+    /// Slot high-water mark: slots `0..slot_count` exist in the file.
+    slot_count: u64,
+    /// Logical phys page → slot holding its *current* image.
+    slots: Vec<u64>,
+    /// Logical phys page → slot at the last committed epoch (indices past
+    /// its end are pages allocated since; treated as [`NO_SLOT`]).
+    committed_slots: Vec<u64>,
+    /// Slots referenced by neither the committed epoch nor the current
+    /// in-memory state — the only slots writes may claim.
+    free: BTreeSet<u64>,
+}
+
+impl ShadowState {
+    fn committed_slot(&self, phys: PhysPage) -> u64 {
+        self.committed_slots
+            .get(phys as usize)
+            .copied()
+            .unwrap_or(NO_SLOT)
+    }
+
+    /// Claim one free slot (lowest first, for write locality), extending
+    /// the slot region when none is free.
+    fn take_free_slot(&mut self) -> u64 {
+        match self.free.pop_first() {
+            Some(s) => s,
+            None => {
+                let s = self.slot_count;
+                self.slot_count += 1;
+                s
+            }
+        }
+    }
+
+    /// Claim `k` *contiguous* free slots (the trailer is addressed by one
+    /// `(slot, len)` pair in the superblock), extending when no run fits.
+    fn take_free_run(&mut self, k: u64) -> u64 {
+        let mut run_start: Option<u64> = None;
+        let mut run_len = 0u64;
+        let mut found: Option<u64> = None;
+        for &s in self.free.iter() {
+            match run_start {
+                Some(start) if s == start + run_len => run_len += 1,
+                _ => {
+                    run_start = Some(s);
+                    run_len = 1;
+                }
+            }
+            if run_len == k {
+                found = Some(run_start.unwrap());
+                break;
+            }
+        }
+        match found {
+            Some(start) => {
+                for s in start..start + k {
+                    self.free.remove(&s);
+                }
+                start
+            }
+            None => {
+                let start = self.slot_count;
+                self.slot_count += k;
+                start
+            }
+        }
+    }
+}
+
 /// A [`Storage`] backend over one checksummed file. See the module docs
-/// for the layout and durability contract.
+/// for the layout and the crash-atomicity contract.
 pub struct FileStorage {
-    file: File,
+    file: Box<dyn RawFile>,
     path: PathBuf,
-    /// `(file, page) → phys` table: `files[f][p]` is the physical page.
+    /// `(file, page) → phys` table: `files[f][p]` is the logical physical
+    /// page.
     files: Vec<Vec<PhysPage>>,
-    /// Per-physical-page FNV-1a checksum (persisted in the trailer).
+    /// Per-logical-physical-page FNV-1a checksum (persisted in the
+    /// trailer).
     checksums: Vec<u64>,
     /// Catalog blobs; `BTreeMap` so serialization order is deterministic.
     catalog: BTreeMap<String, Vec<u8>>,
+    /// Shadow-paging state — `Some` for v2 files, `None` for legacy v1.
+    shadow: Option<ShadowState>,
+    /// Set when a commit failed partway through its I/O: the in-memory
+    /// slot bookkeeping and the file may then disagree about which slots
+    /// the durable epoch reaches, so continuing to write could overwrite
+    /// slots a partially-flipped epoch references — silently destroying
+    /// *both* epochs. All further mutation is refused
+    /// ([`StorageError::Poisoned`]); reopening the file runs recovery.
+    poisoned: Option<String>,
+}
+
+/// One parsed, checksum-valid superblock slot.
+enum SbInfo {
+    V1 {
+        total_pages: u64,
+        trailer_off: u64,
+        trailer_len: u64,
+        trailer_checksum: u64,
+    },
+    V2 {
+        epoch: u64,
+        total_pages: u64,
+        slot_count: u64,
+        trailer_slot: u64,
+        trailer_len: u64,
+        trailer_checksum: u64,
+    },
+}
+
+impl SbInfo {
+    fn epoch(&self) -> u64 {
+        match self {
+            SbInfo::V1 { .. } => 0,
+            SbInfo::V2 { epoch, .. } => *epoch,
+        }
+    }
+}
+
+/// Parse one superblock slot. `Ok(info)` only when magic, version, page
+/// size and self-checksum all hold; `Err` explains the failure (used for
+/// the error message when *no* slot is valid).
+fn parse_superblock(raw: &[u8]) -> Result<SbInfo, StorageError> {
+    if raw.len() < SUPERBLOCK_LEN_V1 {
+        return Err(StorageError::BadSuperblock(format!(
+            "short superblock slot ({} byte(s))",
+            raw.len()
+        )));
+    }
+    if &raw[..8] != MAGIC {
+        return Err(StorageError::BadSuperblock(format!(
+            "bad magic {:02x?} (not a storage file?)",
+            &raw[..8]
+        )));
+    }
+    let version = u32::from_le_bytes(raw[8..12].try_into().unwrap());
+    let body_len = match version {
+        VERSION_V1 => SUPERBLOCK_LEN_V1,
+        VERSION_V2 => SUPERBLOCK_LEN_V2,
+        other => {
+            return Err(StorageError::BadSuperblock(format!(
+                "version {other} (this build reads {VERSION_V1} and {VERSION_V2})"
+            )))
+        }
+    };
+    if raw.len() < body_len {
+        return Err(StorageError::BadSuperblock(format!(
+            "short v{version} superblock slot ({} byte(s))",
+            raw.len()
+        )));
+    }
+    let expected = u64::from_le_bytes(raw[body_len - 8..body_len].try_into().unwrap());
+    let actual = fnv1a(&raw[..body_len - 8]);
+    if expected != actual {
+        return Err(StorageError::ChecksumMismatch {
+            what: "superblock".into(),
+            expected,
+            actual,
+        });
+    }
+    let mut r = Reader::new(&raw[12..body_len - 8]);
+    let page_size = r.u32().unwrap();
+    if page_size != PAGE_SIZE as u32 {
+        return Err(StorageError::BadSuperblock(format!(
+            "page size {page_size} (this build uses {PAGE_SIZE})"
+        )));
+    }
+    Ok(match version {
+        VERSION_V1 => SbInfo::V1 {
+            total_pages: r.u64().unwrap(),
+            trailer_off: r.u64().unwrap(),
+            trailer_len: r.u64().unwrap(),
+            trailer_checksum: r.u64().unwrap(),
+        },
+        _ => SbInfo::V2 {
+            epoch: r.u64().unwrap(),
+            total_pages: r.u64().unwrap(),
+            slot_count: r.u64().unwrap(),
+            trailer_slot: r.u64().unwrap(),
+            trailer_len: r.u64().unwrap(),
+            trailer_checksum: r.u64().unwrap(),
+        },
+    })
 }
 
 impl FileStorage {
-    /// Create a fresh storage file at `path` (truncating any existing
-    /// file) and write its superblock.
+    /// Create a fresh shadow-paged (v2) storage file at `path`, truncating
+    /// any existing file, and commit its empty epoch 0.
     pub fn create(path: impl AsRef<Path>) -> Result<Self, StorageError> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new()
@@ -111,68 +308,192 @@ impl FileStorage {
             .create(true)
             .truncate(true)
             .open(&path)?;
+        Self::create_on_at(Box::new(OsFile::new(file)), path)
+    }
+
+    /// Create a fresh v2 storage over any [`RawFile`] (assumed empty) —
+    /// how the fault harness builds storage over a
+    /// [`FaultFile`](crate::fault::FaultFile).
+    pub fn create_on(file: Box<dyn RawFile>) -> Result<Self, StorageError> {
+        Self::create_on_at(file, PathBuf::from("<raw>"))
+    }
+
+    fn create_on_at(file: Box<dyn RawFile>, path: PathBuf) -> Result<Self, StorageError> {
         let mut storage = FileStorage {
             file,
             path,
             files: Vec::new(),
             checksums: Vec::new(),
             catalog: BTreeMap::new(),
+            shadow: Some(ShadowState {
+                epoch: 0,
+                slot_count: 0,
+                slots: Vec::new(),
+                committed_slots: Vec::new(),
+                free: BTreeSet::new(),
+            }),
+            poisoned: None,
         };
         // A created-but-never-synced file must still be recognisably ours
-        // (and openable as empty), so lay down the superblock + empty
-        // trailer immediately.
-        storage.sync()?;
+        // (and openable as empty), so commit epoch 0 immediately.
+        storage.commit_v2(0)?;
         Ok(storage)
     }
 
-    /// Open an existing storage file, verifying the superblock and trailer
-    /// checksums and restoring the file table and catalog. Page payloads
-    /// are *not* read here — they are verified lazily, page by page, as
-    /// the buffer pool faults them in.
+    /// Create a *legacy v1* (in-place, non-crash-atomic) storage file.
+    /// Kept writable so the pre-shadow compatibility path is covered by
+    /// tests without binary fixtures, and so the `sync` bench can measure
+    /// the in-place baseline against the v2 shadow overhead.
+    pub fn create_v1(path: impl AsRef<Path>) -> Result<Self, StorageError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        let mut storage = FileStorage {
+            file: Box::new(OsFile::new(file)),
+            path,
+            files: Vec::new(),
+            checksums: Vec::new(),
+            catalog: BTreeMap::new(),
+            shadow: None,
+            poisoned: None,
+        };
+        storage.sync_v1()?;
+        Ok(storage)
+    }
+
+    /// Open an existing storage file (either format), verifying superblock
+    /// and trailer checksums and restoring the tables and catalog. Page
+    /// payloads are *not* read here — they are verified lazily, page by
+    /// page, as the buffer pool faults them in.
+    ///
+    /// v2 recovery: of the two superblock slots, the newest checksum-valid
+    /// one whose trailer also loads wins; a valid-but-trailerless epoch
+    /// falls back to the other slot (the previous epoch) when possible.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StorageError> {
         let path = path.as_ref().to_path_buf();
-        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        Self::open_on_at(Box::new(OsFile::new(file)), path)
+    }
 
-        // Superblock.
-        let mut sb = [0u8; SUPERBLOCK_LEN];
-        read_exact_at(&mut file, 0, &mut sb)
-            .map_err(|e| StorageError::BadSuperblock(format!("short read: {e}")))?;
-        if &sb[..8] != MAGIC {
-            return Err(StorageError::BadSuperblock(format!(
-                "bad magic {:02x?} (not a storage file?)",
-                &sb[..8]
-            )));
-        }
-        let expected = u64::from_le_bytes(sb[SUPERBLOCK_LEN - 8..].try_into().unwrap());
-        let actual = fnv1a(&sb[..SUPERBLOCK_LEN - 8]);
-        if expected != actual {
-            return Err(StorageError::ChecksumMismatch {
-                what: "superblock".into(),
-                expected,
-                actual,
-            });
-        }
-        let mut r = Reader::new(&sb[8..SUPERBLOCK_LEN - 8]);
-        let version = r.u32().unwrap();
-        let page_size = r.u32().unwrap();
-        let total_pages = r.u64().unwrap();
-        let trailer_off = r.u64().unwrap();
-        let trailer_len = r.u64().unwrap();
-        let trailer_checksum = r.u64().unwrap();
-        if version != VERSION {
-            return Err(StorageError::BadSuperblock(format!(
-                "version {version} (this build reads {VERSION})"
-            )));
-        }
-        if page_size != PAGE_SIZE as u32 {
-            return Err(StorageError::BadSuperblock(format!(
-                "page size {page_size} (this build uses {PAGE_SIZE})"
-            )));
-        }
+    /// Open over any [`RawFile`] — how the fault harness reopens frozen
+    /// crash images.
+    pub fn open_on(file: Box<dyn RawFile>) -> Result<Self, StorageError> {
+        Self::open_on_at(file, PathBuf::from("<raw>"))
+    }
 
-        // Trailer.
+    /// Open a frozen byte image as a storage file, in memory. The result
+    /// stays fully writable (a recovered storage can sync again), backed
+    /// by a [`MemFile`].
+    pub fn open_image(bytes: Vec<u8>) -> Result<Self, StorageError> {
+        Self::open_on_at(
+            Box::new(MemFile::from_bytes(bytes)),
+            PathBuf::from("<image>"),
+        )
+    }
+
+    fn open_on_at(mut file: Box<dyn RawFile>, path: PathBuf) -> Result<Self, StorageError> {
+        let mut candidates = Vec::new();
+        let mut slot_errors = Vec::new();
+        for result in Self::read_superblock_slots(&mut file)? {
+            match result {
+                Ok(info) => candidates.push(info),
+                Err(e) => slot_errors.push(e),
+            }
+        }
+        if candidates.is_empty() {
+            // Surface the slot-A failure — that is where a v1 superblock
+            // (and the first v2 epoch) lives, so its diagnosis is the
+            // legible one.
+            return Err(slot_errors.into_iter().next().unwrap());
+        }
+        // Newest epoch first.
+        candidates.sort_by_key(|c| std::cmp::Reverse(c.epoch()));
+
+        let mut trailer_error: Option<StorageError> = None;
+        for info in candidates {
+            match Self::load_from_superblock(&mut file, &info) {
+                Ok((files, checksums, catalog, shadow)) => {
+                    return Ok(FileStorage {
+                        file,
+                        path,
+                        files,
+                        checksums,
+                        catalog,
+                        shadow,
+                        poisoned: None,
+                    })
+                }
+                // Remember the *newest* epoch's failure: that is the state
+                // the caller lost, and the structure to name.
+                Err(e) => {
+                    if trailer_error.is_none() {
+                        trailer_error = Some(e);
+                    }
+                }
+            }
+        }
+        Err(trailer_error.unwrap())
+    }
+
+    /// Read and parse both superblock slots (best effort — short files
+    /// simply yield fewer candidate bytes, failing that slot's parse).
+    /// One `Result` per slot, in slot order; shared by the recovery path
+    /// ([`FileStorage::open`]) and the inspection path
+    /// ([`FileStorage::layout`]) so the two can never disagree about what
+    /// a valid superblock is.
+    fn read_superblock_slots(
+        file: &mut Box<dyn RawFile>,
+    ) -> Result<Vec<Result<SbInfo, StorageError>>, StorageError> {
+        let file_len = file.byte_len()?;
+        let mut slots = Vec::with_capacity(SB_SLOT_OFFSETS.len());
+        for &off in SB_SLOT_OFFSETS.iter() {
+            let avail = file_len.saturating_sub(off).min(SUPERBLOCK_LEN_V2 as u64);
+            let mut buf = vec![0u8; avail as usize];
+            if !buf.is_empty() {
+                file.read_at(off, &mut buf)
+                    .map_err(|e| StorageError::BadSuperblock(format!("short read: {e}")))?;
+            }
+            slots.push(parse_superblock(&buf));
+        }
+        Ok(slots)
+    }
+
+    /// Load the tables a checksum-valid superblock points at. Fails
+    /// (naming the trailer) when the trailer is short, corrupt, does not
+    /// parse, or is inconsistent with the superblock.
+    #[allow(clippy::type_complexity)]
+    fn load_from_superblock(
+        file: &mut Box<dyn RawFile>,
+        info: &SbInfo,
+    ) -> Result<
+        (
+            Vec<Vec<PhysPage>>,
+            Vec<u64>,
+            BTreeMap<String, Vec<u8>>,
+            Option<ShadowState>,
+        ),
+        StorageError,
+    > {
+        let (trailer_off, trailer_len, trailer_checksum) = match info {
+            SbInfo::V1 {
+                trailer_off,
+                trailer_len,
+                trailer_checksum,
+                ..
+            } => (*trailer_off, *trailer_len, *trailer_checksum),
+            SbInfo::V2 {
+                trailer_slot,
+                trailer_len,
+                trailer_checksum,
+                ..
+            } => (slot_offset(*trailer_slot), *trailer_len, *trailer_checksum),
+        };
         let mut trailer = vec![0u8; usize::try_from(trailer_len).expect("trailer fits memory")];
-        read_exact_at(&mut file, trailer_off, &mut trailer)
+        file.read_at(trailer_off, &mut trailer)
             .map_err(|e| StorageError::BadSuperblock(format!("short trailer read: {e}")))?;
         let actual = fnv1a(&trailer);
         if trailer_checksum != actual {
@@ -182,34 +503,128 @@ impl FileStorage {
                 actual,
             });
         }
-        let (files, checksums, catalog) = parse_trailer(&trailer).ok_or_else(|| {
-            StorageError::BadSuperblock("trailer does not parse (format drift?)".into())
-        })?;
-        if checksums.len() as u64 != total_pages {
-            return Err(StorageError::BadSuperblock(format!(
-                "superblock says {total_pages} pages, trailer lists {}",
-                checksums.len()
-            )));
+        match info {
+            SbInfo::V1 { total_pages, .. } => {
+                let (files, checksums, catalog) = parse_trailer_v1(&trailer).ok_or_else(|| {
+                    StorageError::BadSuperblock("trailer does not parse (format drift?)".into())
+                })?;
+                if checksums.len() as u64 != *total_pages {
+                    return Err(StorageError::BadSuperblock(format!(
+                        "superblock says {total_pages} pages, trailer lists {}",
+                        checksums.len()
+                    )));
+                }
+                Ok((files, checksums, catalog, None))
+            }
+            SbInfo::V2 {
+                epoch,
+                total_pages,
+                slot_count,
+                trailer_slot,
+                trailer_len,
+                ..
+            } => {
+                let (files, slots, checksums, catalog, free_list) = parse_trailer_v2(&trailer)
+                    .ok_or_else(|| {
+                        StorageError::BadSuperblock("trailer does not parse (format drift?)".into())
+                    })?;
+                if checksums.len() as u64 != *total_pages || slots.len() as u64 != *total_pages {
+                    return Err(StorageError::BadSuperblock(format!(
+                        "superblock says {total_pages} pages, trailer lists {} checksums / {} \
+                         slots",
+                        checksums.len(),
+                        slots.len()
+                    )));
+                }
+                // Partition check: every slot below the high-water mark is
+                // referenced exactly once — by the slot table, the free
+                // list, or the trailer itself. Anything else means the
+                // trailer lies about what is reclaimable, which shadow
+                // paging cannot survive; reject it as corrupt.
+                let trailer_slots = trailer_len.div_ceil(PAGE_SIZE as u64).max(1);
+                let trailer_range = *trailer_slot..trailer_slot + trailer_slots;
+                let mut referenced = vec![false; usize::try_from(*slot_count).unwrap_or(0)];
+                let mut claim = |s: u64| -> bool {
+                    match referenced.get_mut(s as usize) {
+                        Some(r) if !*r => {
+                            *r = true;
+                            true
+                        }
+                        _ => false,
+                    }
+                };
+                for &s in slots.iter().filter(|&&s| s != NO_SLOT) {
+                    if !claim(s) {
+                        return Err(StorageError::BadSuperblock(format!(
+                            "trailer slot table references slot {s} twice or past the {slot_count}-slot region"
+                        )));
+                    }
+                }
+                for &s in &free_list {
+                    if trailer_range.contains(&s) {
+                        // The trailer occupies slots that were free when it
+                        // was allocated; they are accounted for below.
+                        continue;
+                    }
+                    if !claim(s) {
+                        return Err(StorageError::BadSuperblock(format!(
+                            "trailer free list references slot {s} twice or past the {slot_count}-slot region"
+                        )));
+                    }
+                }
+                for s in trailer_range.clone() {
+                    if let Some(r) = referenced.get_mut(s as usize) {
+                        *r = true;
+                    }
+                }
+                if let Some(unref) = referenced.iter().position(|&r| !r) {
+                    return Err(StorageError::BadSuperblock(format!(
+                        "slot {unref} is referenced by neither the slot table, the free list \
+                         nor the trailer"
+                    )));
+                }
+                let free: BTreeSet<u64> = free_list
+                    .into_iter()
+                    .filter(|s| !trailer_range.contains(s))
+                    .collect();
+                Ok((
+                    files,
+                    checksums.clone(),
+                    catalog,
+                    Some(ShadowState {
+                        epoch: *epoch,
+                        slot_count: *slot_count,
+                        committed_slots: slots.clone(),
+                        slots,
+                        free,
+                    }),
+                ))
+            }
         }
-        Ok(FileStorage {
-            file,
-            path,
-            files,
-            checksums,
-            catalog,
-        })
     }
 
-    /// The path this storage lives at.
+    /// The path this storage lives at (`"<raw>"` / `"<image>"` for
+    /// non-filesystem backings).
     pub fn path(&self) -> &Path {
         &self.path
     }
 
-    fn page_offset(phys: PhysPage) -> u64 {
-        PAGE_SIZE as u64 + phys * PAGE_SIZE as u64
+    /// The last committed epoch (always 0 for v1 files, which have no
+    /// epochs).
+    pub fn epoch(&self) -> u64 {
+        self.shadow.as_ref().map_or(0, |s| s.epoch)
     }
 
-    fn trailer_bytes(&self) -> Vec<u8> {
+    /// Superblock format version of this storage (1 or 2).
+    pub fn format_version(&self) -> u32 {
+        if self.shadow.is_some() {
+            VERSION_V2
+        } else {
+            VERSION_V1
+        }
+    }
+
+    fn trailer_bytes_v1(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.u32(self.files.len() as u32);
         for pages in &self.files {
@@ -224,26 +639,139 @@ impl FileStorage {
         w.into_bytes()
     }
 
-    fn superblock_bytes(&self, trailer_off: u64, trailer: &[u8]) -> [u8; SUPERBLOCK_LEN] {
+    fn superblock_bytes_v1(&self, trailer_off: u64, trailer: &[u8]) -> [u8; SUPERBLOCK_LEN_V1] {
         let mut w = Writer::new();
-        w.u32(VERSION);
+        w.u32(VERSION_V1);
         w.u32(PAGE_SIZE as u32);
         w.u64(self.checksums.len() as u64);
         w.u64(trailer_off);
         w.u64(trailer.len() as u64);
         w.u64(fnv1a(trailer));
         let body = w.into_bytes();
-        let mut sb = [0u8; SUPERBLOCK_LEN];
+        let mut sb = [0u8; SUPERBLOCK_LEN_V1];
         sb[..8].copy_from_slice(MAGIC);
         sb[8..8 + body.len()].copy_from_slice(&body);
-        let ck = fnv1a(&sb[..SUPERBLOCK_LEN - 8]);
-        sb[SUPERBLOCK_LEN - 8..].copy_from_slice(&ck.to_le_bytes());
+        let ck = fnv1a(&sb[..SUPERBLOCK_LEN_V1 - 8]);
+        sb[SUPERBLOCK_LEN_V1 - 8..].copy_from_slice(&ck.to_le_bytes());
         sb
+    }
+
+    /// v1 sync: rewrite the trailing trailer and the single superblock in
+    /// place (the historical, non-crash-atomic protocol).
+    fn sync_v1(&mut self) -> Result<(), StorageError> {
+        let trailer = self.trailer_bytes_v1();
+        let trailer_off = slot_offset(self.checksums.len() as PhysPage);
+        self.file.write_at(trailer_off, &trailer)?;
+        // Drop any longer stale trailer from a previous sync so the file
+        // ends exactly at the live data.
+        self.file.set_len(trailer_off + trailer.len() as u64)?;
+        let sb = self.superblock_bytes_v1(trailer_off, &trailer);
+        self.file.write_at(0, &sb)?;
+        self.file.sync_all()?;
+        Ok(())
+    }
+
+    fn trailer_bytes_v2(&self, free_after: &[u64]) -> Vec<u8> {
+        let shadow = self.shadow.as_ref().expect("v2 state");
+        let mut w = Writer::new();
+        w.u32(self.files.len() as u32);
+        for pages in &self.files {
+            w.u64s(pages);
+        }
+        w.u64s(&shadow.slots);
+        w.u64s(&self.checksums);
+        w.u32(self.catalog.len() as u32);
+        for (key, val) in &self.catalog {
+            w.str(key);
+            w.bytes(val);
+        }
+        w.u64s(free_after);
+        w.into_bytes()
+    }
+
+    fn superblock_bytes_v2(
+        &self,
+        epoch: u64,
+        slot_count: u64,
+        trailer_slot: u64,
+        trailer: &[u8],
+    ) -> [u8; SUPERBLOCK_LEN_V2] {
+        let mut w = Writer::new();
+        w.u32(VERSION_V2);
+        w.u32(PAGE_SIZE as u32);
+        w.u64(epoch);
+        w.u64(self.checksums.len() as u64);
+        w.u64(slot_count);
+        w.u64(trailer_slot);
+        w.u64(trailer.len() as u64);
+        w.u64(fnv1a(trailer));
+        let body = w.into_bytes();
+        let mut sb = [0u8; SUPERBLOCK_LEN_V2];
+        sb[..8].copy_from_slice(MAGIC);
+        sb[8..8 + body.len()].copy_from_slice(&body);
+        let ck = fnv1a(&sb[..SUPERBLOCK_LEN_V2 - 8]);
+        sb[SUPERBLOCK_LEN_V2 - 8..].copy_from_slice(&ck.to_le_bytes());
+        sb
+    }
+
+    /// v2 commit: shadow trailer write, data barrier, superblock flip into
+    /// the ping-pong slot, commit barrier, then the in-memory epoch GC.
+    /// See the module docs for the crash analysis of each step.
+    fn commit_v2(&mut self, epoch: u64) -> Result<(), StorageError> {
+        // Slots that become unreferenced once this epoch commits: old page
+        // versions, the previous trailer, never-used gaps — everything the
+        // *new* slot table does not claim. Persisted in the trailer so
+        // recovery derives the same free set (minus the new trailer's own
+        // slots), and adopted in memory after the flip (the epoch GC).
+        let free_after: Vec<u64> = {
+            let shadow = self.shadow.as_ref().expect("v2 state");
+            let mapped: BTreeSet<u64> = shadow
+                .slots
+                .iter()
+                .copied()
+                .filter(|&s| s != NO_SLOT)
+                .collect();
+            (0..shadow.slot_count)
+                .filter(|s| !mapped.contains(s))
+                .collect()
+        };
+        let trailer = self.trailer_bytes_v2(&free_after);
+        let trailer_slots = (trailer.len() as u64).div_ceil(PAGE_SIZE as u64).max(1);
+        // The new trailer may only claim slots the committed epoch cannot
+        // reach — the strict free set — never the about-to-die slots in
+        // `free_after`, which the previous epoch still reads.
+        let trailer_slot = {
+            let shadow = self.shadow.as_mut().expect("v2 state");
+            shadow.take_free_run(trailer_slots)
+        };
+        self.file.write_at(slot_offset(trailer_slot), &trailer)?;
+        self.file.sync_all()?;
+        let slot_count = self.shadow.as_ref().expect("v2 state").slot_count;
+        let sb = self.superblock_bytes_v2(epoch, slot_count, trailer_slot, &trailer);
+        self.file
+            .write_at(SB_SLOT_OFFSETS[(epoch % 2) as usize], &sb)?;
+        self.file.sync_all()?;
+        // The flip is durable: commit in memory and reclaim the dead
+        // epoch's slots.
+        let shadow = self.shadow.as_mut().expect("v2 state");
+        shadow.epoch = epoch;
+        shadow.committed_slots = shadow.slots.clone();
+        shadow.free = free_after
+            .into_iter()
+            .filter(|&s| !(trailer_slot..trailer_slot + trailer_slots).contains(&s))
+            .collect();
+        Ok(())
     }
 }
 
+/// File byte offset of physical slot `s` (v2) / in-place physical page
+/// `s` (v1): page 0 is reserved for the superblocks.
+fn slot_offset(s: u64) -> u64 {
+    PAGE_SIZE as u64 + s * PAGE_SIZE as u64
+}
+
 #[allow(clippy::type_complexity)]
-fn parse_trailer(
+fn parse_trailer_v1(
     bytes: &[u8],
 ) -> Option<(Vec<Vec<PhysPage>>, Vec<u64>, BTreeMap<String, Vec<u8>>)> {
     let mut r = Reader::new(bytes);
@@ -253,6 +781,35 @@ fn parse_trailer(
         files.push(r.u64s()?);
     }
     let checksums = r.u64s()?;
+    let catalog = parse_catalog(&mut r)?;
+    r.is_exhausted().then_some((files, checksums, catalog))
+}
+
+#[allow(clippy::type_complexity)]
+fn parse_trailer_v2(
+    bytes: &[u8],
+) -> Option<(
+    Vec<Vec<PhysPage>>,
+    Vec<u64>,
+    Vec<u64>,
+    BTreeMap<String, Vec<u8>>,
+    Vec<u64>,
+)> {
+    let mut r = Reader::new(bytes);
+    let file_count = r.u32()?;
+    let mut files = Vec::with_capacity(file_count as usize);
+    for _ in 0..file_count {
+        files.push(r.u64s()?);
+    }
+    let slots = r.u64s()?;
+    let checksums = r.u64s()?;
+    let catalog = parse_catalog(&mut r)?;
+    let free_list = r.u64s()?;
+    r.is_exhausted()
+        .then_some((files, slots, checksums, catalog, free_list))
+}
+
+fn parse_catalog(r: &mut Reader<'_>) -> Option<BTreeMap<String, Vec<u8>>> {
     let catalog_count = r.u32()?;
     let mut catalog = BTreeMap::new();
     for _ in 0..catalog_count {
@@ -260,7 +817,7 @@ fn parse_trailer(
         let val = r.bytes()?.to_vec();
         catalog.insert(key, val);
     }
-    r.is_exhausted().then_some((files, checksums, catalog))
+    Some(catalog)
 }
 
 impl Storage for FileStorage {
@@ -286,24 +843,36 @@ impl Storage for FileStorage {
         self.file_pages(file); // named bounds check
         let phys = self.checksums.len() as PhysPage;
         self.checksums.push(zero_page_checksum());
-        // The new page must read back as zeros (matching its recorded
-        // checksum) even if never explicitly written. Growth past the end
-        // of the file zero-fills for free via `set_len`; but the region
-        // may instead overlap a trailer from an earlier `sync`, whose
-        // stale bytes must be zeroed explicitly.
-        let offset = Self::page_offset(phys);
-        let current_len = self
-            .file
-            .metadata()
-            .map(|m| m.len())
-            .unwrap_or_else(|e| panic!("failed to stat {:?}: {e}", self.path));
-        if current_len > offset {
-            self.seek_write(offset, &[0u8; PAGE_SIZE])
-                .unwrap_or_else(|e| panic!("failed to zero new page in {:?}: {e}", self.path));
-        } else {
-            self.file
-                .set_len(offset + PAGE_SIZE as u64)
-                .unwrap_or_else(|e| panic!("failed to extend {:?}: {e}", self.path));
+        match &mut self.shadow {
+            Some(shadow) => {
+                // v2: no I/O at all. The page has no slot until its first
+                // write; reads serve zeros straight from the sentinel.
+                shadow.slots.push(NO_SLOT);
+            }
+            None => {
+                // v1: the new page must read back as zeros (matching its
+                // recorded checksum) even if never explicitly written.
+                // Growth past the end of the file zero-fills for free via
+                // `set_len`; but the region may instead overlap a trailer
+                // from an earlier `sync`, whose stale bytes must be zeroed
+                // explicitly.
+                let offset = slot_offset(phys);
+                let current_len = self
+                    .file
+                    .byte_len()
+                    .unwrap_or_else(|e| panic!("failed to stat {:?}: {e}", self.path));
+                if current_len > offset {
+                    self.file
+                        .write_at(offset, &[0u8; PAGE_SIZE])
+                        .unwrap_or_else(|e| {
+                            panic!("failed to zero new page in {:?}: {e}", self.path)
+                        });
+                } else {
+                    self.file
+                        .set_len(offset + PAGE_SIZE as u64)
+                        .unwrap_or_else(|e| panic!("failed to extend {:?}: {e}", self.path));
+                }
+            }
         }
         let f = &mut self.files[file.0 as usize];
         f.push(phys);
@@ -327,7 +896,13 @@ impl Storage for FileStorage {
                 self.checksums.len()
             )
         });
-        self.read_at(Self::page_offset(phys), &mut out[..])?;
+        match &self.shadow {
+            Some(shadow) => match shadow.slots[phys as usize] {
+                NO_SLOT => out.fill(0),
+                slot => self.file.read_at(slot_offset(slot), &mut out[..])?,
+            },
+            None => self.file.read_at(slot_offset(phys), &mut out[..])?,
+        }
         let actual = fnv1a(&out[..]);
         if actual != expected {
             return Err(StorageError::ChecksumMismatch {
@@ -341,12 +916,33 @@ impl Storage for FileStorage {
 
     fn write_phys(&mut self, phys: PhysPage, data: &[u8]) -> Result<(), StorageError> {
         debug_assert_eq!(data.len(), PAGE_SIZE);
+        self.check_poison()?;
         let total = self.checksums.len();
         let slot = self.checksums.get_mut(phys as usize).unwrap_or_else(|| {
             panic!("physical page {phys} out of bounds ({total} page(s) allocated)")
         });
         *slot = fnv1a(data);
-        self.seek_write(Self::page_offset(phys), data)?;
+        let offset = match &mut self.shadow {
+            Some(shadow) => {
+                let cur = shadow.slots[phys as usize];
+                let target = if cur != NO_SLOT && cur != shadow.committed_slot(phys) {
+                    // Already shadowed since the last commit: its slot is
+                    // reachable from nothing committed, so overwrite in
+                    // place.
+                    cur
+                } else {
+                    // First write since the commit (or ever): the page's
+                    // committed image must stay readable through a crash,
+                    // so claim a fresh slot and leave the old one alone.
+                    let s = shadow.take_free_slot();
+                    shadow.slots[phys as usize] = s;
+                    s
+                };
+                slot_offset(target)
+            }
+            None => slot_offset(phys),
+        };
+        self.file.write_at(offset, data)?;
         Ok(())
     }
 
@@ -362,32 +958,38 @@ impl Storage for FileStorage {
         self.catalog.keys().cloned().collect()
     }
 
-    /// Write the trailer and superblock, then `sync_all`. The caller (the
-    /// buffer pool's [`sync`](crate::BufferPool::sync)) has already flushed
-    /// every dirty page through [`FileStorage::write_phys`].
+    /// Commit every write since the last sync. The caller (the buffer
+    /// pool's [`sync`](crate::BufferPool::sync)) has already flushed every
+    /// dirty page through [`FileStorage::write_phys`]. v2 runs the
+    /// crash-atomic shadow commit; v1 rewrites trailer + superblock in
+    /// place.
     fn sync(&mut self) -> Result<(), StorageError> {
-        let trailer = self.trailer_bytes();
-        let trailer_off = Self::page_offset(self.checksums.len() as PhysPage);
-        self.seek_write(trailer_off, &trailer)?;
-        // Drop any longer stale trailer from a previous sync so the file
-        // ends exactly at the live data.
-        self.file.set_len(trailer_off + trailer.len() as u64)?;
-        let sb = self.superblock_bytes(trailer_off, &trailer);
-        self.seek_write(0, &sb)?;
-        self.file.sync_all()?;
-        Ok(())
+        self.check_poison()?;
+        let result = match &self.shadow {
+            Some(shadow) => {
+                let next = shadow.epoch + 1;
+                self.commit_v2(next)
+            }
+            None => self.sync_v1(),
+        };
+        if let Err(e) = &result {
+            // The commit's I/O stopped partway: a partially written (and
+            // possibly durable) next epoch may reference slots the
+            // in-memory free list would happily hand out again — writing
+            // on could therefore corrupt the only recoverable state.
+            // Refuse all further mutation; reopen to recover.
+            self.poisoned = Some(e.to_string());
+        }
+        result
     }
 }
 
 impl FileStorage {
-    /// Positioned write through [`write_all_at`].
-    fn seek_write(&mut self, offset: u64, data: &[u8]) -> std::io::Result<()> {
-        write_all_at(&mut self.file, offset, data)
-    }
-
-    /// Positioned read through [`read_exact_at`].
-    fn read_at(&mut self, offset: u64, out: &mut [u8]) -> std::io::Result<()> {
-        read_exact_at(&mut self.file, offset, out)
+    fn check_poison(&self) -> Result<(), StorageError> {
+        match &self.poisoned {
+            Some(why) => Err(StorageError::Poisoned(why.clone())),
+            None => Ok(()),
+        }
     }
 
     /// The physical-page list of `file`, with a legible panic on an
@@ -404,10 +1006,121 @@ impl std::fmt::Debug for FileStorage {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FileStorage")
             .field("path", &self.path)
+            .field("version", &self.format_version())
+            .field("epoch", &self.epoch())
             .field("files", &self.files.len())
             .field("pages", &self.checksums.len())
             .field("catalog_keys", &self.catalog.len())
             .finish()
+    }
+}
+
+/// Byte extents of the metadata structures of a storage file, for tests
+/// that target corruption (bit flips, truncation) at named structures.
+#[derive(Debug, Clone)]
+pub struct StorageLayout {
+    /// Superblock format version (1 or 2).
+    pub version: u32,
+    /// Newest committed epoch (0 for v1).
+    pub epoch: u64,
+    /// `(offset, len)` of superblock slots A and B. For v1 only slot A is
+    /// meaningful (slot B is reserved zeros).
+    pub superblocks: [(u64, u64); 2],
+    /// Which superblock slot holds the newest committed epoch.
+    pub active_superblock: usize,
+    /// `(offset, len)` of the committed (newest) trailer.
+    pub trailer: (u64, u64),
+    /// `(offset, len)` of the previous epoch's trailer, when its
+    /// superblock is still valid (v2 only).
+    pub previous_trailer: Option<(u64, u64)>,
+    /// Per logical physical page: byte offset of its current on-disk
+    /// image (`None` for never-written pages, which have no slot).
+    pub pages: Vec<Option<u64>>,
+}
+
+impl FileStorage {
+    /// Inspect the metadata layout of the storage file at `path` without
+    /// constructing a storage (the file is only read).
+    pub fn layout(path: impl AsRef<Path>) -> Result<StorageLayout, StorageError> {
+        let file = OpenOptions::new().read(true).open(path.as_ref())?;
+        let mut raw: Box<dyn RawFile> = Box::new(OsFile::new(file));
+        let mut slots = Self::read_superblock_slots(&mut raw)?.into_iter();
+        let infos: [Option<SbInfo>; 2] = [slots.next().unwrap().ok(), slots.next().unwrap().ok()];
+        let active = match (&infos[0], &infos[1]) {
+            (Some(a), Some(b)) => usize::from(b.epoch() > a.epoch()),
+            (Some(_), None) => 0,
+            (None, Some(_)) => 1,
+            (None, None) => {
+                return Err(StorageError::BadSuperblock(
+                    "no valid superblock slot".into(),
+                ))
+            }
+        };
+        let extent = |info: &SbInfo| match info {
+            SbInfo::V1 {
+                trailer_off,
+                trailer_len,
+                ..
+            } => (*trailer_off, *trailer_len),
+            SbInfo::V2 {
+                trailer_slot,
+                trailer_len,
+                ..
+            } => (slot_offset(*trailer_slot), *trailer_len),
+        };
+        let info = infos[active].as_ref().unwrap();
+        let trailer = extent(info);
+        let previous_trailer = infos[1 - active].as_ref().map(&extent);
+        let (version, sb_len) = match info {
+            SbInfo::V1 { .. } => (VERSION_V1, SUPERBLOCK_LEN_V1 as u64),
+            SbInfo::V2 { .. } => (VERSION_V2, SUPERBLOCK_LEN_V2 as u64),
+        };
+        // Per-page image offsets come from the newest trailer, verified
+        // like every other read path — a damaged trailer must surface as
+        // a named error here, not as empty/bogus page extents that would
+        // send a corruption test flipping the wrong bytes.
+        let mut trailer_bytes = vec![0u8; usize::try_from(trailer.1).expect("fits")];
+        raw.read_at(trailer.0, &mut trailer_bytes)
+            .map_err(|e| StorageError::BadSuperblock(format!("short trailer read: {e}")))?;
+        let trailer_checksum = match info {
+            SbInfo::V1 {
+                trailer_checksum, ..
+            }
+            | SbInfo::V2 {
+                trailer_checksum, ..
+            } => *trailer_checksum,
+        };
+        let actual = fnv1a(&trailer_bytes);
+        if trailer_checksum != actual {
+            return Err(StorageError::ChecksumMismatch {
+                what: "trailer".into(),
+                expected: trailer_checksum,
+                actual,
+            });
+        }
+        let pages = match info {
+            SbInfo::V1 { total_pages, .. } => {
+                (0..*total_pages).map(|p| Some(slot_offset(p))).collect()
+            }
+            SbInfo::V2 { .. } => {
+                let (_, slots, ..) = parse_trailer_v2(&trailer_bytes).ok_or_else(|| {
+                    StorageError::BadSuperblock("trailer does not parse (format drift?)".into())
+                })?;
+                slots
+                    .iter()
+                    .map(|&s| (s != NO_SLOT).then(|| slot_offset(s)))
+                    .collect()
+            }
+        };
+        Ok(StorageLayout {
+            version,
+            epoch: info.epoch(),
+            superblocks: [(SB_SLOT_OFFSETS[0], sb_len), (SB_SLOT_OFFSETS[1], sb_len)],
+            active_superblock: active,
+            trailer,
+            previous_trailer,
+            pages,
+        })
     }
 }
 
@@ -429,12 +1142,9 @@ mod tests {
         }
     }
 
-    #[test]
-    fn pages_and_catalog_survive_reopen() {
-        let path = temp_path("roundtrip");
-        let _c = Cleanup(path.clone());
+    fn roundtrip_on(mut make: impl FnMut(&Path) -> FileStorage, path: &Path) {
         let (f, phys) = {
-            let mut s = FileStorage::create(&path).unwrap();
+            let mut s = make(path);
             let f = s.create_file();
             let p0 = s.allocate_page(f);
             let p1 = s.allocate_page(f);
@@ -447,7 +1157,7 @@ mod tests {
             s.sync().unwrap();
             (f, phys)
         };
-        let mut s = FileStorage::open(&path).unwrap();
+        let mut s = FileStorage::open(path).unwrap();
         assert_eq!(s.file_count(), 1);
         assert_eq!(s.file_len(f), 2);
         assert_eq!(s.total_pages(), 2);
@@ -463,6 +1173,21 @@ mod tests {
     }
 
     #[test]
+    fn pages_and_catalog_survive_reopen() {
+        let path = temp_path("roundtrip");
+        let _c = Cleanup(path.clone());
+        roundtrip_on(|p| FileStorage::create(p).unwrap(), &path);
+    }
+
+    #[test]
+    fn v1_pages_and_catalog_survive_reopen() {
+        let path = temp_path("roundtrip-v1");
+        let _c = Cleanup(path.clone());
+        roundtrip_on(|p| FileStorage::create_v1(p).unwrap(), &path);
+        assert_eq!(FileStorage::open(&path).unwrap().format_version(), 1);
+    }
+
+    #[test]
     fn created_file_opens_empty_without_explicit_sync() {
         let path = temp_path("fresh");
         let _c = Cleanup(path.clone());
@@ -470,6 +1195,8 @@ mod tests {
         let s = FileStorage::open(&path).unwrap();
         assert_eq!(s.file_count(), 0);
         assert_eq!(s.total_pages(), 0);
+        assert_eq!(s.format_version(), 2);
+        assert_eq!(s.epoch(), 0);
     }
 
     #[test]
@@ -483,14 +1210,15 @@ mod tests {
             s.write_phys(0, &[5u8; PAGE_SIZE]).unwrap();
             s.sync().unwrap();
         }
-        // Flip one byte inside page 0's region.
+        // Flip one byte inside page 0's current image.
+        let offset = FileStorage::layout(&path).unwrap().pages[0].expect("page 0 has a slot");
         {
             let mut f = OpenOptions::new()
                 .read(true)
                 .write(true)
                 .open(&path)
                 .unwrap();
-            f.seek(SeekFrom::Start(PAGE_SIZE as u64 + 100)).unwrap();
+            f.seek(SeekFrom::Start(offset + 100)).unwrap();
             f.write_all(&[6u8]).unwrap();
         }
         let mut s = FileStorage::open(&path).unwrap(); // metadata intact
@@ -504,11 +1232,11 @@ mod tests {
     }
 
     #[test]
-    fn flipped_trailer_byte_fails_open() {
-        let path = temp_path("corrupt-trailer");
+    fn v1_flipped_trailer_byte_fails_open() {
+        let path = temp_path("corrupt-trailer-v1");
         let _c = Cleanup(path.clone());
         {
-            let mut s = FileStorage::create(&path).unwrap();
+            let mut s = FileStorage::create_v1(&path).unwrap();
             let f = s.create_file();
             s.allocate_page(f);
             s.sync().unwrap();
@@ -540,14 +1268,16 @@ mod tests {
     }
 
     #[test]
-    fn page_allocated_over_old_trailer_reads_back_zeroed() {
-        // After a sync the trailer sits right after the page region; the
-        // next allocate_page claims that byte range for page data. The
-        // stale trailer bytes must be zeroed, or reading the fresh page
-        // before its first write would fail its (zero-page) checksum.
+    fn v1_page_allocated_over_old_trailer_reads_back_zeroed() {
+        // v1 only: after a sync the trailer sits right after the page
+        // region; the next allocate_page claims that byte range for page
+        // data. The stale trailer bytes must be zeroed, or reading the
+        // fresh page before its first write would fail its (zero-page)
+        // checksum. (v2 never overlaps pages and trailers: both live in
+        // explicitly allocated slots.)
         let path = temp_path("alloc-over-trailer");
         let _c = Cleanup(path.clone());
-        let mut s = FileStorage::create(&path).unwrap();
+        let mut s = FileStorage::create_v1(&path).unwrap();
         let f = s.create_file();
         s.allocate_page(f);
         s.write_phys(0, &[1u8; PAGE_SIZE]).unwrap();
@@ -561,25 +1291,310 @@ mod tests {
 
     #[test]
     fn resync_after_growth_relocates_trailer() {
-        let path = temp_path("regrow");
+        type Maker = fn(&Path) -> Result<FileStorage, StorageError>;
+        let makers: [Maker; 2] = [|p| FileStorage::create(p), |p| FileStorage::create_v1(p)];
+        for make in makers {
+            let path = temp_path("regrow");
+            let _c = Cleanup(path.clone());
+            {
+                let mut s = make(&path).unwrap();
+                let f = s.create_file();
+                s.allocate_page(f);
+                s.sync().unwrap();
+                // Growing after a sync must not disturb the committed
+                // trailer until the next sync supersedes it.
+                s.allocate_page(f);
+                s.write_phys(1, &[9u8; PAGE_SIZE]).unwrap();
+                s.put_catalog("after", b"growth");
+                s.sync().unwrap();
+            }
+            let mut s = FileStorage::open(&path).unwrap();
+            assert_eq!(s.total_pages(), 2);
+            let mut out = [0u8; PAGE_SIZE];
+            s.read_phys(1, &mut out).unwrap();
+            assert_eq!(out[0], 9);
+            assert_eq!(s.get_catalog("after").as_deref(), Some(&b"growth"[..]));
+        }
+    }
+
+    #[test]
+    fn uncommitted_writes_leave_the_committed_epoch_readable() {
+        // The heart of shadow paging: after a sync, further writes —
+        // rewrites of committed pages, new pages, catalog changes — must
+        // not touch a single byte the committed epoch can reach. Proven
+        // here by snapshotting the file bytes the committed metadata
+        // references and re-reading them after heavy uncommitted churn.
+        let path = temp_path("shadow-isolation");
+        let _c = Cleanup(path.clone());
+        let mut s = FileStorage::create(&path).unwrap();
+        let f = s.create_file();
+        for _ in 0..4 {
+            s.allocate_page(f);
+        }
+        for p in 0..4u64 {
+            s.write_phys(p, &[p as u8 + 1; PAGE_SIZE]).unwrap();
+        }
+        s.put_catalog("epoch", b"one");
+        s.sync().unwrap();
+
+        let committed = FileStorage::layout(&path).unwrap();
+        let snapshot = |layout: &StorageLayout| -> Vec<Vec<u8>> {
+            let bytes = std::fs::read(&path).unwrap();
+            let mut extents: Vec<(u64, u64)> =
+                vec![layout.superblocks[layout.active_superblock], layout.trailer];
+            extents.extend(
+                layout
+                    .pages
+                    .iter()
+                    .flatten()
+                    .map(|&o| (o, PAGE_SIZE as u64)),
+            );
+            extents
+                .iter()
+                .map(|&(off, len)| bytes[off as usize..(off + len) as usize].to_vec())
+                .collect()
+        };
+        let before = snapshot(&committed);
+
+        // Uncommitted churn: rewrite every page twice, add pages, change
+        // the catalog.
+        for round in 0..2u8 {
+            for p in 0..4u64 {
+                s.write_phys(p, &[0x80 + round + p as u8; PAGE_SIZE])
+                    .unwrap();
+            }
+        }
+        s.allocate_page(f);
+        s.write_phys(4, &[0xEE; PAGE_SIZE]).unwrap();
+        s.put_catalog("epoch", b"two-uncommitted");
+
+        assert_eq!(
+            snapshot(&committed),
+            before,
+            "uncommitted writes touched bytes reachable from the committed epoch"
+        );
+        // And the churned state still reads back correctly in memory.
+        let mut out = [0u8; PAGE_SIZE];
+        s.read_phys(0, &mut out).unwrap();
+        assert_eq!(out[0], 0x81);
+    }
+
+    #[test]
+    fn repeated_rewrite_sync_cycles_reuse_slots() {
+        // Epoch GC: dead slots (old page versions, old trailers) must be
+        // reclaimed, so a rewrite-sync loop reaches a steady-state file
+        // size instead of growing per epoch.
+        let path = temp_path("slot-gc");
+        let _c = Cleanup(path.clone());
+        let mut s = FileStorage::create(&path).unwrap();
+        let f = s.create_file();
+        for _ in 0..4 {
+            s.allocate_page(f);
+        }
+        let mut sizes = Vec::new();
+        for round in 0..12u8 {
+            for p in 0..4u64 {
+                s.write_phys(p, &[round + p as u8; PAGE_SIZE]).unwrap();
+            }
+            s.sync().unwrap();
+            sizes.push(std::fs::metadata(&path).unwrap().len());
+        }
+        let (a, b) = (sizes[sizes.len() - 2], sizes[sizes.len() - 1]);
+        assert_eq!(a, b, "file size must reach a steady state: {sizes:?}");
+        // Steady state is bounded: 4 live pages + 4 shadow slots + two
+        // trailer generations + the superblock page.
+        assert!(
+            b <= (PAGE_SIZE as u64) * 12,
+            "file grew past the GC bound: {sizes:?}"
+        );
+        // And the final state reads back.
+        drop(s);
+        let mut s = FileStorage::open(&path).unwrap();
+        let mut out = [0u8; PAGE_SIZE];
+        s.read_phys(0, &mut out).unwrap();
+        assert_eq!(out[0], 11);
+    }
+
+    #[test]
+    fn failed_commit_poisons_the_storage_refusing_further_writes() {
+        // If a commit's I/O dies partway (e.g. fsync failure), a
+        // partially written next epoch may already reference shadow
+        // slots; writing on and reusing those slots could corrupt the
+        // only recoverable state. The storage must refuse all further
+        // mutation until reopened.
+        struct FailAfter {
+            inner: MemFile,
+            sync_calls_left: u32,
+        }
+        impl RawFile for FailAfter {
+            fn read_at(&mut self, offset: u64, out: &mut [u8]) -> std::io::Result<()> {
+                self.inner.read_at(offset, out)
+            }
+            fn write_at(&mut self, offset: u64, data: &[u8]) -> std::io::Result<()> {
+                self.inner.write_at(offset, data)
+            }
+            fn set_len(&mut self, len: u64) -> std::io::Result<()> {
+                self.inner.set_len(len)
+            }
+            fn byte_len(&mut self) -> std::io::Result<u64> {
+                self.inner.byte_len()
+            }
+            fn sync_all(&mut self) -> std::io::Result<()> {
+                if self.sync_calls_left == 0 {
+                    return Err(std::io::Error::other("simulated fsync failure"));
+                }
+                self.sync_calls_left -= 1;
+                self.inner.sync_all()
+            }
+        }
+
+        // `create`'s epoch-0 commit needs exactly two barriers; the next
+        // commit's first barrier fails.
+        let mut s = FileStorage::create_on(Box::new(FailAfter {
+            inner: MemFile::new(),
+            sync_calls_left: 2,
+        }))
+        .expect("create commits cleanly");
+        let f = s.create_file();
+        s.allocate_page(f);
+        s.write_phys(0, &[1u8; PAGE_SIZE]).unwrap();
+        let err = s.sync().expect_err("commit must surface the fsync failure");
+        assert!(err.to_string().contains("fsync"), "got: {err}");
+        // All further mutation is refused, naming the poisoning…
+        let err = s.write_phys(0, &[2u8; PAGE_SIZE]).unwrap_err();
+        assert!(matches!(err, StorageError::Poisoned(_)), "got: {err}");
+        assert!(err.to_string().contains("poisoned"), "got: {err}");
+        let err = s.sync().unwrap_err();
+        assert!(matches!(err, StorageError::Poisoned(_)), "got: {err}");
+        // …while reads of the (coherent) in-memory state still serve.
+        let mut out = [0u8; PAGE_SIZE];
+        s.read_phys(0, &mut out).unwrap();
+        assert_eq!(out[0], 1);
+    }
+
+    #[test]
+    fn torn_superblock_slot_falls_back_to_previous_epoch() {
+        let path = temp_path("torn-sb");
         let _c = Cleanup(path.clone());
         {
             let mut s = FileStorage::create(&path).unwrap();
             let f = s.create_file();
             s.allocate_page(f);
-            s.sync().unwrap();
-            // Growing after a sync writes pages over the old trailer
-            // location; the next sync must rebuild everything.
-            s.allocate_page(f);
-            s.write_phys(1, &[9u8; PAGE_SIZE]).unwrap();
-            s.put_catalog("after", b"growth");
+            s.write_phys(0, &[1u8; PAGE_SIZE]).unwrap();
+            s.put_catalog("epoch", b"one");
+            s.sync().unwrap(); // epoch 1
+            s.write_phys(0, &[2u8; PAGE_SIZE]).unwrap();
+            s.put_catalog("epoch", b"two");
+            s.sync().unwrap(); // epoch 2
+        }
+        let layout = FileStorage::layout(&path).unwrap();
+        assert_eq!(layout.epoch, 2);
+        // Garble the active superblock slot — a torn flip.
+        let (off, _) = layout.superblocks[layout.active_superblock];
+        {
+            let mut fh = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&path)
+                .unwrap();
+            fh.seek(SeekFrom::Start(off + 20)).unwrap();
+            fh.write_all(&[0xFF; 8]).unwrap();
+        }
+        let mut s = FileStorage::open(&path).expect("must fall back to the previous epoch");
+        assert_eq!(s.epoch(), 1);
+        assert_eq!(s.get_catalog("epoch").as_deref(), Some(&b"one"[..]));
+        let mut out = [0u8; PAGE_SIZE];
+        s.read_phys(0, &mut out).unwrap();
+        assert_eq!(out[0], 1, "previous epoch's page image must be intact");
+        // A recovered storage must be able to sync again.
+        s.put_catalog("epoch", b"three");
+        s.sync().unwrap();
+        drop(s);
+        let s = FileStorage::open(&path).unwrap();
+        assert_eq!(s.get_catalog("epoch").as_deref(), Some(&b"three"[..]));
+    }
+
+    #[test]
+    fn both_superblocks_corrupt_fails_naming_superblock() {
+        let path = temp_path("both-sb");
+        let _c = Cleanup(path.clone());
+        {
+            let mut s = FileStorage::create(&path).unwrap();
+            s.put_catalog("k", b"v");
             s.sync().unwrap();
         }
-        let mut s = FileStorage::open(&path).unwrap();
-        assert_eq!(s.total_pages(), 2);
+        {
+            let mut fh = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&path)
+                .unwrap();
+            for off in SB_SLOT_OFFSETS {
+                fh.seek(SeekFrom::Start(off + 30)).unwrap();
+                fh.write_all(&[0xAB; 4]).unwrap();
+            }
+        }
+        let err = FileStorage::open(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("superblock"),
+            "must name the superblock: {err}"
+        );
+    }
+
+    #[test]
+    fn open_image_round_trips_via_memfile() {
+        let mut mem = MemFile::new();
+        let image = {
+            let mut s = FileStorage::create_on(Box::new(MemFile::new())).unwrap();
+            let f = s.create_file();
+            s.allocate_page(f);
+            s.write_phys(0, &[3u8; PAGE_SIZE]).unwrap();
+            s.put_catalog("k", b"v");
+            s.sync().unwrap();
+            // Rebuild the image by replaying into a fresh MemFile is not
+            // possible (the storage owns its file), so round-trip through
+            // a real temp file instead? No need: create over MemFile and
+            // extract by re-reading through the storage API below.
+            let mut out = [0u8; PAGE_SIZE];
+            s.read_phys(0, &mut out).unwrap();
+            assert_eq!(out[0], 3);
+            // Serialize the whole file through the RawFile for the image.
+            let len = s.file.byte_len().unwrap();
+            let mut bytes = vec![0u8; len as usize];
+            s.file.read_at(0, &mut bytes).unwrap();
+            bytes
+        };
+        mem.write_at(0, &image).unwrap();
+        let mut s = FileStorage::open_image(mem.into_bytes()).unwrap();
+        assert_eq!(s.get_catalog("k").as_deref(), Some(&b"v"[..]));
         let mut out = [0u8; PAGE_SIZE];
-        s.read_phys(1, &mut out).unwrap();
-        assert_eq!(out[0], 9);
-        assert_eq!(s.get_catalog("after").as_deref(), Some(&b"growth"[..]));
+        s.read_phys(0, &mut out).unwrap();
+        assert_eq!(out[0], 3);
+    }
+
+    #[test]
+    fn layout_names_the_structures() {
+        let path = temp_path("layout");
+        let _c = Cleanup(path.clone());
+        {
+            let mut s = FileStorage::create(&path).unwrap();
+            let f = s.create_file();
+            s.allocate_page(f);
+            s.allocate_page(f);
+            s.write_phys(0, &[1u8; PAGE_SIZE]).unwrap();
+            s.sync().unwrap();
+        }
+        let l = FileStorage::layout(&path).unwrap();
+        assert_eq!(l.version, 2);
+        assert_eq!(l.epoch, 1);
+        assert_eq!(l.active_superblock, 1, "epoch 1 lives in slot B");
+        assert!(
+            l.previous_trailer.is_some(),
+            "epoch 0's trailer still valid"
+        );
+        assert_eq!(l.pages.len(), 2);
+        assert!(l.pages[0].is_some(), "written page has a slot");
+        assert!(l.pages[1].is_none(), "never-written page has no slot");
+        assert!(l.trailer.0 >= PAGE_SIZE as u64);
     }
 }

@@ -30,9 +30,11 @@
 mod cache;
 mod cost;
 mod disk;
+pub mod fault;
 mod file;
 mod frame;
 pub mod par;
+mod raw;
 pub mod ser;
 mod stats;
 mod storage;
@@ -40,8 +42,10 @@ mod storage;
 pub use cache::BufferPool;
 pub use cost::IoCostModel;
 pub use disk::{Disk, FileId, MemStorage, PageId, PAGE_SIZE};
-pub use file::FileStorage;
+pub use fault::{FaultConfig, FaultFile, FaultHandle, FaultStorage};
+pub use file::{FileStorage, StorageLayout};
 pub use par::{par_map, par_map_with};
+pub use raw::{MemFile, OsFile, RawFile};
 pub use stats::IoStats;
 pub use storage::{PhysPage, Storage, StorageError};
 

@@ -19,6 +19,14 @@ pub struct IoStats {
     pub random_misses: u64,
     /// Pages written back to the disk.
     pub writes: u64,
+    /// Pages flushed by [`Pager::sync`](crate::Pager::sync) specifically
+    /// (a subset of [`IoStats::writes`], which also counts eviction
+    /// write-backs). Lets tests and the sync bench assert the cost of a
+    /// durability barrier in pages…
+    pub synced_pages: u64,
+    /// …and in bytes (`synced_pages * PAGE_SIZE`, kept separately so the
+    /// report stays meaningful if page size ever varies).
+    pub synced_bytes: u64,
     /// Simulated I/O time accumulated by the cost model.
     pub io_time: Duration,
 }
@@ -49,6 +57,8 @@ impl IoStats {
             seq_misses: self.seq_misses.saturating_sub(earlier.seq_misses),
             random_misses: self.random_misses.saturating_sub(earlier.random_misses),
             writes: self.writes.saturating_sub(earlier.writes),
+            synced_pages: self.synced_pages.saturating_sub(earlier.synced_pages),
+            synced_bytes: self.synced_bytes.saturating_sub(earlier.synced_bytes),
             io_time: self.io_time.saturating_sub(earlier.io_time),
         }
     }
@@ -62,6 +72,8 @@ impl std::ops::Add for IoStats {
             seq_misses: self.seq_misses + rhs.seq_misses,
             random_misses: self.random_misses + rhs.random_misses,
             writes: self.writes + rhs.writes,
+            synced_pages: self.synced_pages + rhs.synced_pages,
+            synced_bytes: self.synced_bytes + rhs.synced_bytes,
             io_time: self.io_time + rhs.io_time,
         }
     }
@@ -71,12 +83,13 @@ impl std::fmt::Display for IoStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} misses ({} seq, {} rand), {} hits, {} writes, io {:?}",
+            "{} misses ({} seq, {} rand), {} hits, {} writes ({} synced), io {:?}",
             self.misses(),
             self.seq_misses,
             self.random_misses,
             self.hits,
             self.writes,
+            self.synced_pages,
             self.io_time
         )
     }
@@ -94,6 +107,7 @@ mod tests {
             random_misses: 3,
             writes: 2,
             io_time: Duration::from_millis(40),
+            ..IoStats::default()
         };
         let b = IoStats {
             hits: 4,
@@ -101,6 +115,7 @@ mod tests {
             random_misses: 2,
             writes: 0,
             io_time: Duration::from_millis(16),
+            ..IoStats::default()
         };
         let d = a.since(&b);
         assert_eq!(d.hits, 6);
@@ -119,6 +134,7 @@ mod tests {
             random_misses: 3,
             writes: 2,
             io_time: Duration::from_millis(40),
+            ..IoStats::default()
         };
         let later = IoStats {
             hits: 1,
@@ -126,6 +142,7 @@ mod tests {
             random_misses: 1,
             writes: 0,
             io_time: Duration::from_millis(2),
+            ..IoStats::default()
         };
         let d = later.since(&earlier);
         assert_eq!(d, IoStats::default());
@@ -139,6 +156,7 @@ mod tests {
             random_misses: 3,
             writes: 4,
             io_time: Duration::from_micros(5),
+            ..IoStats::default()
         };
         let s = a.clone() + a;
         assert_eq!(s.hits, 2);

@@ -46,6 +46,11 @@ pub enum StorageError {
         expected: u64,
         actual: u64,
     },
+    /// A commit failed partway through its I/O, so the in-memory state
+    /// and the file may disagree about which slots are reachable. The
+    /// storage refuses further mutation; reopen the file to run recovery
+    /// (which restores a fully committed epoch).
+    Poisoned(String),
 }
 
 impl std::fmt::Display for StorageError {
@@ -61,6 +66,11 @@ impl std::fmt::Display for StorageError {
                 f,
                 "checksum mismatch on {what}: expected {expected:#018x}, found {actual:#018x} \
                  (file is corrupt or truncated)"
+            ),
+            StorageError::Poisoned(why) => write!(
+                f,
+                "storage poisoned by a failed commit ({why}); refusing further writes — \
+                 reopen the file to recover a committed epoch"
             ),
         }
     }

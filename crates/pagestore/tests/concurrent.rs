@@ -188,6 +188,102 @@ fn clear_cache_races_with_readers() {
     });
 }
 
+#[test]
+fn sync_with_live_pins_keeps_guards_stable_and_recovers_synced_epoch() {
+    // `Pager::sync` runs while other threads hold pinned `PageGuard`s:
+    // the guards' bytes must stay bit-stable (sync reads, never mutates,
+    // pinned frames), pins must balance afterwards, and — the crash
+    // half — freezing the backing file immediately after each sync
+    // returns must reopen to exactly that sync's epoch, with every page
+    // checksum-clean (no torn logical pages).
+    use pagestore::{FaultConfig, FaultStorage, FileStorage, Storage};
+
+    let round_pattern = |p: u64, round: u8| -> Vec<u8> {
+        vec![
+            (p as u8)
+                .wrapping_mul(37)
+                .wrapping_add(round.wrapping_mul(101));
+            PAGE_SIZE
+        ]
+    };
+
+    let (storage, handle) = FaultStorage::create(FaultConfig::default()).unwrap();
+    let pager = Pager::with_storage(storage, 4 * PAGE_SIZE);
+    let f = pager.create_file();
+    for p in 0..8 {
+        pager.allocate_page(f);
+        pager.write_page(f, p, &round_pattern(p, 0));
+    }
+    pager.sync().unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        // Readers: pin pages 0..4 (never rewritten) and check stability
+        // across yields while syncs run underneath.
+        for t in 0..4u64 {
+            let pager = pager.clone();
+            let stop = stop.clone();
+            let round_pattern = &round_pattern;
+            s.spawn(move || {
+                let mut x = t + 1;
+                while !stop.load(Ordering::Relaxed) {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let p = x % 4;
+                    let guard = pager.pin_page(f, p);
+                    let snap: Vec<u8> = guard.to_vec();
+                    std::thread::yield_now();
+                    assert_eq!(&*guard, &snap[..], "pinned page {p} mutated during sync");
+                    assert_eq!(guard[0], round_pattern(p, 0)[0]);
+                    assert!(
+                        guard.iter().all(|&b| b == guard[0]),
+                        "torn logical page {p}"
+                    );
+                }
+            });
+        }
+
+        // Writer (this thread): rewrite pages 4..8, sync with one dirty
+        // page *pinned* (sync must flush pinned dirty frames), then crash
+        // "now" and verify the frozen image recovers this sync's epoch.
+        for round in 1..=10u8 {
+            for p in 4..8 {
+                pager.write_page(f, p, &round_pattern(p, round));
+            }
+            let pinned_dirty = pager.pin_page(f, 4);
+            pager.sync().unwrap();
+            drop(pinned_dirty);
+
+            let mut frozen = FileStorage::open_image(handle.disk_image())
+                .unwrap_or_else(|e| panic!("round {round}: frozen image must open: {e}"));
+            let mut buf = [0u8; PAGE_SIZE];
+            for p in 0..8u64 {
+                let phys = frozen.phys(f, p);
+                frozen
+                    .read_phys(phys, &mut buf)
+                    .unwrap_or_else(|e| panic!("round {round}: page {p} torn: {e}"));
+                let want = if p < 4 {
+                    round_pattern(p, 0)
+                } else {
+                    round_pattern(p, round)
+                };
+                assert_eq!(
+                    buf[0], want[0],
+                    "round {round}: recovered page {p} is not the synced epoch"
+                );
+                assert!(buf.iter().all(|&b| b == buf[0]));
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // Pin balance: with all guards dropped, every page is writable again.
+    for p in 0..8 {
+        pager.write_page(f, p, &round_pattern(p, 99));
+    }
+}
+
 /// Interleaving test for the frame-latch protocol, written against loom's
 /// API (shimmed offline — see module docs): a reader pins a page through a
 /// one-frame cache while another thread forces evictions through the same

@@ -1,0 +1,275 @@
+//! Exhaustive crash-recovery sweep at the pool/storage level.
+//!
+//! The workload drives an ordinary `Pager` (small cache, so eviction
+//! write-backs interleave with explicit syncs) over a `FileStorage` built
+//! on a [`FaultFile`], committing three epochs with page rewrites, fresh
+//! allocations and catalog changes in between. The reference run records
+//! the frozen disk image after `create` and after every `sync` — the
+//! *committed snapshots*.
+//!
+//! Then, for **every** physical-I/O-op prefix of the run (and a torn
+//! variant of every in-flight write), the workload is replayed with a
+//! crash scheduled at that op, the surviving disk image is reopened, and
+//! the recovered state — every page of every file, byte for byte, plus
+//! the whole catalog — must equal exactly one committed snapshot. A
+//! subsequent sync from the recovered state must also succeed and be
+//! readable. Prefixes that end before the very first commit completes are
+//! the only ones allowed to fail to open, and must do so loudly.
+
+use pagestore::fault::{FaultConfig, FaultStorage};
+use pagestore::{FileStorage, Pager, Storage, PAGE_SIZE};
+
+/// One committed logical state: per file, every page's bytes; plus the
+/// catalog, flattened to comparable form.
+#[derive(PartialEq, Eq, Clone)]
+struct State {
+    files: Vec<Vec<Vec<u8>>>,
+    catalog: Vec<(String, Vec<u8>)>,
+}
+
+impl std::fmt::Debug for State {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Pages are 4 KiB each — print shape + first byte per page only.
+        let shape: Vec<Vec<u8>> = self
+            .files
+            .iter()
+            .map(|pages| pages.iter().map(|p| p[0]).collect())
+            .collect();
+        f.debug_struct("State")
+            .field("page_first_bytes", &shape)
+            .field("catalog", &self.catalog)
+            .finish()
+    }
+}
+
+/// Dump the full logical state of a reopened storage.
+fn dump_state(storage: &mut FileStorage) -> State {
+    let mut files = Vec::new();
+    for f in 0..storage.file_count() {
+        let fid = pagestore::FileId(f as u32);
+        let mut pages = Vec::new();
+        for p in 0..storage.file_len(fid) {
+            let phys = storage.phys(fid, p);
+            let mut buf = [0u8; PAGE_SIZE];
+            storage
+                .read_phys(phys, &mut buf)
+                .unwrap_or_else(|e| panic!("recovered page {p} of file {f} unreadable: {e}"));
+            pages.push(buf.to_vec());
+        }
+        files.push(pages);
+    }
+    let catalog = storage
+        .catalog_keys()
+        .into_iter()
+        .map(|k| {
+            let v = storage.get_catalog(&k).expect("listed key present");
+            (k, v)
+        })
+        .collect();
+    State { files, catalog }
+}
+
+/// The deterministic workload: three commits with page rewrites, growth
+/// and catalog churn between them. Returns the op counts at each commit
+/// boundary (sampled from the handle right after each `sync` returns).
+fn run_workload(cfg: FaultConfig) -> (pagestore::FaultHandle, Vec<u64>) {
+    let (storage, handle) = FaultStorage::create(cfg).expect("create never fails in-process");
+    let mut commits = vec![handle.ops()]; // snapshot 0: the freshly created file
+                                          // Cache of 3 frames over ~12 pages: plenty of eviction write-backs
+                                          // between syncs.
+    let pager = Pager::with_storage(storage, 3 * PAGE_SIZE);
+    let f = pager.create_file();
+    let g = pager.create_file();
+    let mut page = vec![0u8; PAGE_SIZE];
+    let mut fill = |pager: &Pager, file, p: u64, round: u8| {
+        page.fill((p as u8).wrapping_mul(31).wrapping_add(round));
+        pager.write_page(file, p, &page);
+    };
+
+    // Epoch A: 6 pages in f, 2 in g, a catalog entry.
+    for p in 0..6 {
+        pager.allocate_page(f);
+        fill(&pager, f, p, 1);
+    }
+    for p in 0..2 {
+        pager.allocate_page(g);
+        fill(&pager, g, p, 1);
+    }
+    pager.put_catalog("epoch", b"A");
+    pager.sync().expect("in-process sync always succeeds");
+    commits.push(handle.ops());
+
+    // Epoch B: rewrite half of f, grow g, replace the catalog entry.
+    for p in 0..3 {
+        fill(&pager, f, p, 2);
+    }
+    for p in 2..5 {
+        pager.allocate_page(g);
+        fill(&pager, g, p, 2);
+    }
+    pager.put_catalog("epoch", b"B");
+    pager.put_catalog("extra", b"added in B");
+    pager.sync().expect("in-process sync always succeeds");
+    commits.push(handle.ops());
+
+    // Epoch C: rewrite pages of both files twice (exercises in-place
+    // shadow-slot reuse), drop-like catalog overwrite.
+    for round in [3u8, 4] {
+        for p in 0..6 {
+            fill(&pager, f, p, round);
+        }
+    }
+    pager.put_catalog("epoch", b"C");
+    pager.sync().expect("in-process sync always succeeds");
+    commits.push(handle.ops());
+
+    (handle, commits)
+}
+
+#[test]
+fn every_io_op_prefix_recovers_exactly_one_committed_snapshot() {
+    // Reference run: no crash. Record the committed snapshot images.
+    let (handle, commits) = run_workload(FaultConfig::default());
+    let total_ops = handle.ops();
+    assert!(
+        total_ops > 20,
+        "workload too small to be interesting: {total_ops} ops"
+    );
+    let reference_image = handle.disk_image();
+
+    // Re-run once per commit boundary to harvest each committed image
+    // (crash exactly *at* the boundary = everything before it applied).
+    let mut snapshots: Vec<State> = Vec::new();
+    for &at in &commits {
+        let (h, _) = run_workload(FaultConfig::crash_after(at));
+        let mut storage =
+            FileStorage::open_image(h.disk_image()).expect("commit boundary must open");
+        snapshots.push(dump_state(&mut storage));
+    }
+    // Snapshots must be pairwise distinct, or "equals exactly one
+    // snapshot" proves nothing.
+    for i in 0..snapshots.len() {
+        for j in i + 1..snapshots.len() {
+            assert_ne!(
+                snapshots[i], snapshots[j],
+                "committed snapshots {i} and {j} must differ"
+            );
+        }
+    }
+    // The full image equals the final commit.
+    {
+        let mut storage = FileStorage::open_image(reference_image).expect("final image opens");
+        assert_eq!(dump_state(&mut storage), snapshots[commits.len() - 1]);
+    }
+
+    let first_commit = commits[0];
+    let mut seen_dedup = std::collections::HashSet::new();
+    let mut verified = 0u64;
+    for k in 0..=total_ops {
+        // Two variants per op: a clean prefix (ops 0..k applied) and a
+        // torn one (op k additionally applied for its first 7 bytes).
+        for cfg in [FaultConfig::crash_after(k), FaultConfig::torn(k, 7)] {
+            let tear = cfg.tear_bytes;
+            let (h, _) = run_workload(cfg);
+            assert_eq!(h.ops(), total_ops, "workload must be deterministic");
+            let image = h.disk_image();
+            // Identical images (e.g. around dropped fsyncs) verify once.
+            if !seen_dedup.insert(fnv(&image)) {
+                continue;
+            }
+            verified += 1;
+            let reopened = FileStorage::open_image(image.clone());
+            match reopened {
+                Ok(mut storage) => {
+                    let state = dump_state(&mut storage);
+                    assert!(
+                        snapshots.contains(&state),
+                        "crash after op {k} (tear {tear}): recovered state matches no \
+                         committed snapshot: {state:?}"
+                    );
+                    // A recovered storage must be able to commit again and
+                    // have that commit read back.
+                    drop(storage);
+                    let mut storage = FileStorage::open_image(image).expect("reopens");
+                    storage.put_catalog("recovered", b"yes");
+                    storage
+                        .sync()
+                        .unwrap_or_else(|e| panic!("post-recovery sync after op {k}: {e}"));
+                }
+                Err(e) => {
+                    assert!(
+                        k < first_commit,
+                        "crash after op {k} (tear {tear}, first commit at {first_commit}): \
+                         open must succeed once any epoch committed, got: {e}"
+                    );
+                    let msg = e.to_string();
+                    assert!(
+                        msg.contains("superblock") || msg.contains("trailer"),
+                        "pre-first-commit failure must name a structure: {msg}"
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        verified > total_ops / 2,
+        "dedup ate too much of the sweep: {verified} of {}",
+        2 * (total_ops + 1)
+    );
+}
+
+#[test]
+fn crash_during_post_recovery_sync_is_also_atomic() {
+    // Second-order crash: recover from a mid-run image, then crash the
+    // *recovery path's own* sync at every prefix. The doubly-recovered
+    // state must equal the singly-recovered state or its new commit.
+    let (handle, commits) = run_workload(FaultConfig::default());
+    let mid = (commits[1] + commits[2]) / 2;
+    let (h, _) = run_workload(FaultConfig::crash_after(mid));
+    let first_image = h.disk_image();
+
+    // Reference: recover, mutate, sync cleanly.
+    let recover_and_sync = |cfg: FaultConfig| -> (pagestore::FaultHandle, State) {
+        let (mut storage, h) =
+            FaultStorage::open_image(first_image.clone(), cfg).expect("image opens");
+        let before = {
+            let mut s = FileStorage::open_image(h.disk_image()).expect("opens");
+            dump_state(&mut s)
+        };
+        storage.put_catalog("second", b"life");
+        let phys = storage.phys(pagestore::FileId(0), 0);
+        storage.write_phys(phys, &[0x5A; PAGE_SIZE]).unwrap();
+        storage.sync().unwrap();
+        (h, before)
+    };
+    let (clean_h, base_state) = recover_and_sync(FaultConfig::default());
+    let resync_ops = clean_h.ops();
+    let after_state = {
+        let mut s = FileStorage::open_image(clean_h.disk_image()).expect("opens");
+        dump_state(&mut s)
+    };
+    assert_ne!(base_state, after_state);
+
+    for k in 0..=resync_ops {
+        let (h, _) = recover_and_sync(FaultConfig::crash_after(k));
+        let mut storage = FileStorage::open_image(h.disk_image())
+            .unwrap_or_else(|e| panic!("re-crash after op {k}: recovered base must reopen: {e}"));
+        let state = dump_state(&mut storage);
+        assert!(
+            state == base_state || state == after_state,
+            "re-crash after op {k}: state is neither the recovered base nor the new commit"
+        );
+    }
+
+    let _ = handle;
+}
+
+/// FNV-1a over an image, for cheap sweep dedup.
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}

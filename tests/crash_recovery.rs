@@ -1,0 +1,220 @@
+//! Workspace-level crash-recovery harness: fault injection under a real
+//! index.
+//!
+//! The workload is the paper's maintenance story end to end — build an
+//! inverted file on the durable backend, `persist` it (commit), run two
+//! §4.4-style `batch_insert` rounds each followed by `persist` — driven
+//! over a `FileStorage` whose physical I/O goes through a
+//! [`FaultFile`](set_containment::pagestore::fault::FaultFile). The
+//! reference run records, for every committed snapshot, the *query
+//! fingerprint*: answers **and per-query sequential/random page-access
+//! counts** (the PR 3 reopen-equivalence machinery) measured on a clean
+//! reopen of that snapshot's frozen image.
+//!
+//! Then, for **every** physical-I/O-op prefix of the run (plus a torn
+//! variant of each in-flight write), the workload is replayed with a
+//! crash at that op and the frozen image is reopened: the recovered index
+//! must reproduce exactly one committed fingerprint bit for bit — or be
+//! the empty pre-first-persist storage — and a further
+//! `batch_insert` + `persist` from the recovered state must succeed.
+
+use set_containment::codec::postings::Compression;
+use set_containment::datagen::{Dataset, QueryKind, Record, SyntheticSpec, WorkloadSpec};
+use set_containment::invfile::InvertedFile;
+use set_containment::pagestore::{FaultConfig, FaultHandle, FaultStorage, FileStorage, Pager};
+
+fn dataset() -> Dataset {
+    // Deliberately small: the exhaustive sweep replays the whole workload
+    // once per I/O op, so op count × build cost must stay CI-friendly.
+    SyntheticSpec {
+        num_records: 120,
+        vocab_size: 40,
+        zipf: 0.8,
+        len_min: 2,
+        len_max: 10,
+        seed: 97,
+    }
+    .generate()
+}
+
+/// Two batches of fresh records (ids above the base dataset's).
+fn batches(d: &Dataset) -> [Vec<Record>; 2] {
+    let base = d.records.len() as u64;
+    let make = |start: u64, n: u64, stride: u32| -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                let a = (i as u32 * stride) % 40;
+                let b = (a + 3) % 40;
+                let c = (a + 11) % 40;
+                Record::new(start + i, vec![a, b, c])
+            })
+            .collect()
+    };
+    [make(base, 10, 7), make(base + 10, 10, 13)]
+}
+
+fn queries(d: &Dataset) -> Vec<Vec<u32>> {
+    let mut qs = WorkloadSpec {
+        kind: QueryKind::Subset,
+        qs_size: 3,
+        count: 4,
+        seed: 5,
+    }
+    .generate(d)
+    .queries;
+    // Plus queries the inserted batches answer, so each commit's
+    // fingerprint actually differs.
+    qs.push(vec![0, 3, 11]);
+    qs.push(vec![7, 10, 18]);
+    qs
+}
+
+/// Answers and per-query (seq, random) page-access counts, measured with
+/// the golden harness's protocol (cache dropped once, stats reset per
+/// query) — the "bit-for-bit" fingerprint of one committed state.
+type Fingerprint = Vec<(Vec<u64>, u64, u64)>;
+
+fn fingerprint(idx: &InvertedFile, qs: &[Vec<u32>]) -> Fingerprint {
+    let pager = idx.pager();
+    pager.clear_cache();
+    qs.iter()
+        .map(|q| {
+            pager.reset_stats();
+            let mut answers = idx.subset(q);
+            answers.sort_unstable();
+            let s = pager.stats();
+            (answers, s.seq_misses, s.random_misses)
+        })
+        .collect()
+}
+
+/// The deterministic workload. Returns the fault handle and the op count
+/// observed right after `create` and after each of the three `persist`s.
+fn run_workload(d: &Dataset, cfg: FaultConfig) -> (FaultHandle, Vec<u64>) {
+    let (storage, handle) = FaultStorage::create(cfg).expect("create succeeds in-process");
+    let mut commits = vec![handle.ops()];
+    let pager = Pager::with_storage(storage, 32 * 1024);
+    let mut idx = InvertedFile::build_with(d, pager, Compression::VByteDGap);
+    idx.persist().expect("in-process persist always succeeds");
+    commits.push(handle.ops());
+    for batch in batches(d) {
+        idx.batch_insert(&batch);
+        idx.persist().expect("in-process persist always succeeds");
+        commits.push(handle.ops());
+    }
+    (handle, commits)
+}
+
+/// Open a frozen image and fingerprint the index on it; `None` when the
+/// image holds no persisted index (the pre-first-persist empty storage).
+fn recover(image: Vec<u8>, qs: &[Vec<u32>]) -> Option<Fingerprint> {
+    let storage = FileStorage::open_image(image).ok()?;
+    let pager = Pager::with_storage(storage, 32 * 1024);
+    let idx = InvertedFile::open(pager)?;
+    Some(fingerprint(&idx, qs))
+}
+
+#[test]
+fn every_io_op_prefix_recovers_a_committed_index_bit_for_bit() {
+    let d = dataset();
+    let qs = queries(&d);
+
+    // Reference run: harvest each committed snapshot's image and
+    // fingerprint it through a clean reopen.
+    let (handle, commits) = run_workload(&d, FaultConfig::default());
+    let total_ops = handle.ops();
+    assert!(total_ops > 20, "degenerate workload: {total_ops} ops");
+    let mut snapshots: Vec<Option<Fingerprint>> = Vec::new();
+    for &at in &commits {
+        let (h, _) = run_workload(&d, FaultConfig::crash_after(at));
+        snapshots.push(recover(h.disk_image(), &qs));
+    }
+    assert!(
+        snapshots[0].is_none(),
+        "the create-boundary snapshot holds no index yet"
+    );
+    let committed: Vec<&Fingerprint> = snapshots.iter().flatten().collect();
+    assert_eq!(committed.len(), 3);
+    // Each batch_insert must change some answer, or "matches exactly one
+    // snapshot" proves nothing.
+    for w in committed.windows(2) {
+        assert_ne!(w[0], w[1], "consecutive commits must differ in answers");
+    }
+
+    let first_persist = commits[1];
+    let mut seen = std::collections::HashSet::new();
+    for k in 0..=total_ops {
+        for cfg in [FaultConfig::crash_after(k), FaultConfig::torn(k, 9)] {
+            let tear = cfg.tear_bytes;
+            let (h, _) = run_workload(&d, cfg);
+            assert_eq!(h.ops(), total_ops, "workload must be deterministic");
+            let image = h.disk_image();
+            if !seen.insert(fnv(&image)) {
+                continue; // identical image already verified
+            }
+
+            // 1. Once any epoch committed, the image must open.
+            let storage = match FileStorage::open_image(image.clone()) {
+                Ok(s) => s,
+                Err(e) => {
+                    assert!(
+                        k < commits[0],
+                        "crash after op {k} (tear {tear}): open must succeed after the \
+                         create commit (op {}), got: {e}",
+                        commits[0]
+                    );
+                    continue;
+                }
+            };
+
+            // 2. The recovered index is exactly one committed snapshot —
+            //    answers AND per-query page counts, bit for bit — or the
+            //    empty pre-persist storage (only before the first persist
+            //    completed).
+            let pager = Pager::with_storage(storage, 32 * 1024);
+            match InvertedFile::open(pager) {
+                None => assert!(
+                    k < first_persist,
+                    "crash after op {k} (tear {tear}): an index must be recoverable \
+                     once the first persist (op {first_persist}) committed"
+                ),
+                Some(idx) => {
+                    let got = fingerprint(&idx, &qs);
+                    assert!(
+                        committed.iter().any(|snap| **snap == got),
+                        "crash after op {k} (tear {tear}): recovered fingerprint \
+                         matches no committed snapshot"
+                    );
+                }
+            }
+
+            // 3. The recovered state accepts further mutation + persist.
+            let storage = FileStorage::open_image(image).expect("reopens");
+            let pager = Pager::with_storage(storage, 32 * 1024);
+            match InvertedFile::open(pager.clone()) {
+                Some(mut idx) => {
+                    let next_id = d.records.len() as u64 + 100;
+                    idx.batch_insert(&[Record::new(next_id, vec![1, 2])]);
+                    idx.persist()
+                        .unwrap_or_else(|e| panic!("post-recovery persist after op {k}: {e}"));
+                }
+                None => {
+                    pager.put_catalog("note", b"recovered-empty");
+                    pager
+                        .sync()
+                        .unwrap_or_else(|e| panic!("post-recovery sync after op {k}: {e}"));
+                }
+            }
+        }
+    }
+}
+
+/// FNV-1a over an image, for sweep dedup.
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}

@@ -3,12 +3,16 @@
 //! after everything is dropped) must answer every query *and* charge every
 //! page access exactly like a freshly built in-memory index — the
 //! reopen-equivalence contract of the durable storage backend. Corrupted
-//! files must fail loudly with checksum errors, never return garbage.
+//! files must either recover a previously committed epoch (the shadow-paged
+//! format keeps the last two) or fail loudly naming the damaged structure —
+//! never return garbage. The torn-write matrix at the bottom sweeps that
+//! contract across every metadata structure; whole-run crash injection
+//! lives in `tests/crash_recovery.rs`.
 
 use set_containment::datagen::{Dataset, QueryKind, SyntheticSpec, WorkloadSpec};
 use set_containment::invfile::InvertedFile;
 use set_containment::oif::Oif;
-use set_containment::pagestore::{FileStorage, Pager, PAGE_SIZE};
+use set_containment::pagestore::{FileStorage, Pager};
 use set_containment::ubtree::UnorderedBTree;
 use std::path::PathBuf;
 
@@ -287,79 +291,244 @@ fn three_indexes_share_one_storage_file() {
 }
 
 #[test]
-fn flipped_page_byte_surfaces_as_checksum_error_not_garbage() {
+fn v1_files_still_open_with_identical_answers_and_counts() {
+    // Pre-shadow-paging (format v1) files must keep opening — and keep
+    // the reopen-equivalence contract — even though new files are v2.
     let d = dataset();
-    let tmp = TempFile::new("corrupt");
+    let tmp = TempFile::new("v1-compat");
     {
-        let built = Oif::build_with(&d, Default::default(), Some(file_pager(&tmp.0)));
-        built.persist().expect("persist + sync");
+        let pager = Pager::with_storage(
+            FileStorage::create_v1(&tmp.0).expect("create v1 storage"),
+            32 * 1024,
+        );
+        let built = Oif::build_with(&d, Default::default(), Some(pager));
+        built.persist().expect("persist + sync (v1 in-place)");
     }
-    // Flip one byte in every page of the page region (offset PAGE_SIZE up
-    // to the trailer), leaving superblock and trailer intact, so whichever
-    // page the first query faults in is damaged.
-    {
-        use std::io::{Read, Seek, SeekFrom, Write};
-        let mut f = std::fs::OpenOptions::new()
-            .read(true)
-            .write(true)
-            .open(&tmp.0)
-            .unwrap();
-        // The superblock stores the page count at byte 16 (after the
-        // 8-byte magic and two u32s) — see pagestore::file's layout docs.
-        f.seek(SeekFrom::Start(16)).unwrap();
-        let mut count = [0u8; 8];
-        f.read_exact(&mut count).unwrap();
-        let total_pages = u64::from_le_bytes(count);
-        assert!(total_pages > 0);
-        for page in 0..total_pages {
-            let offset = PAGE_SIZE as u64 * (1 + page) + 1;
-            f.seek(SeekFrom::Start(offset)).unwrap();
-            let mut b = [0u8; 1];
-            f.read_exact(&mut b).unwrap();
-            f.seek(SeekFrom::Start(offset)).unwrap();
-            f.write_all(&[b[0] ^ 0xA5]).unwrap();
+    let storage = FileStorage::open(&tmp.0).expect("v1 file opens");
+    assert_eq!(storage.format_version(), 1, "must be detected as v1");
+    let fresh = Oif::build(&d);
+    let reopened = Oif::open(Pager::with_storage(storage, 32 * 1024)).expect("v1 index reopens");
+    let qs = workload(&d, QueryKind::Subset, 4, 61);
+    let want = run_measured(fresh.pager(), &qs, |q| fresh.subset(q));
+    let got = run_measured(reopened.pager(), &qs, |q| reopened.subset(q));
+    assert_eq!(got, want, "v1 reopen must stay bit-for-bit equivalent");
+}
+
+/// What reopening a (possibly corrupted) storage image did.
+#[derive(Debug)]
+enum Outcome {
+    /// Open succeeded at this epoch; answers and per-query page counts
+    /// matched the pristine reference exactly (asserted inside
+    /// [`outcome`]), and `marker` says whether the epoch-B catalog marker
+    /// was present.
+    Recovered { epoch: u64, marker: bool },
+    /// `FileStorage::open` refused, with this message.
+    OpenFailed(String),
+    /// Open succeeded but the first query died loudly, with this panic
+    /// message.
+    QueryPanicked(String),
+}
+
+/// Reopen `bytes` (written to `path`) and classify what happened,
+/// asserting the core invariant of the matrix: **a recovered index never
+/// returns wrong answers** — whatever was corrupted, a successful open +
+/// query must reproduce the pristine reference bit for bit.
+fn outcome(
+    path: &std::path::Path,
+    bytes: &[u8],
+    qs: &[Vec<u32>],
+    reference: &[(Vec<u64>, u64, u64)],
+) -> Outcome {
+    std::fs::write(path, bytes).unwrap();
+    let storage = match FileStorage::open(path) {
+        Ok(s) => s,
+        Err(e) => return Outcome::OpenFailed(e.to_string()),
+    };
+    let epoch = storage.epoch();
+    let pager = Pager::with_storage(storage, 32 * 1024);
+    let marker = pager.catalog("marker").is_some();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let oif = Oif::open(pager.clone()).expect("persisted index opens in every epoch");
+        run_measured(oif.pager(), qs, |q| oif.subset(q))
+    }));
+    match result {
+        Ok(got) => {
+            assert_eq!(
+                got, reference,
+                "a recovered epoch must answer (and charge pages) exactly like the \
+                 pristine file — recovered epoch {epoch}"
+            );
+            Outcome::Recovered { epoch, marker }
+        }
+        Err(err) => {
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default();
+            Outcome::QueryPanicked(msg)
         }
     }
-    // Metadata is intact, so the index still opens ...
-    let reopened = Oif::open(reopen_pager(&tmp.0)).expect("metadata undamaged");
-    // ... but the first page fault must die with a checksum error naming
-    // the page — not silently answer from corrupt bytes.
-    let result =
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| reopened.subset(&[0, 3])));
-    let err = result.expect_err("corrupt page must not produce answers");
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
-        .unwrap_or_default();
-    assert!(
-        msg.contains("checksum mismatch"),
-        "panic must name the checksum failure, got: {msg}"
-    );
 }
 
 #[test]
-fn flipped_trailer_byte_fails_open_loudly() {
-    let d = Dataset::paper_fig1();
-    let tmp = TempFile::new("corrupt-meta");
+fn torn_write_matrix_recovers_previous_epoch_or_fails_naming_structure() {
+    // Systematic corruption matrix over every metadata structure of the
+    // shadow-paged format: for each structure, flip bytes at several
+    // relative offsets and assert the exact recovery outcome —
+    //   * the stale superblock / previous trailer: epoch B untouched;
+    //   * the active superblock / current trailer: fall back to epoch A;
+    //   * both copies of either: open fails naming the structure;
+    //   * page bodies: the index opens but the first fault names the page;
+    // and in *no* cell of the matrix wrong answers (checked centrally in
+    // `outcome`).
+    let d = dataset();
+    let tmp = TempFile::new("matrix");
     {
         let built = Oif::build_with(&d, Default::default(), Some(file_pager(&tmp.0)));
-        built.persist().unwrap();
+        built.persist().expect("persist + sync"); // commits epoch A
+        built.pager().put_catalog("marker", b"B");
+        built.pager().sync().expect("sync"); // commits epoch B
     }
+    let pristine = std::fs::read(&tmp.0).unwrap();
+    let layout = FileStorage::layout(&tmp.0).unwrap();
+    assert_eq!(layout.version, 2);
+    let epoch_b = layout.epoch;
+    assert_eq!(epoch_b, 2, "create(0) + persist(1) + marker sync(2)");
+    let epoch_a = epoch_b - 1;
+
+    let qs = workload(&d, QueryKind::Subset, 4, 91);
+    assert!(!qs.is_empty());
+    let reference = {
+        let reopened = Oif::open(reopen_pager(&tmp.0)).expect("pristine reopen");
+        run_measured(reopened.pager(), &qs, |q| reopened.subset(q))
+    };
+
+    let active = layout.active_superblock;
+    let prev_trailer = layout
+        .previous_trailer
+        .expect("both epochs' trailers valid right after the second sync");
+    struct Case {
+        name: &'static str,
+        extents: Vec<(u64, u64)>,
+        // Some(epoch) = must recover exactly this epoch; None = open must
+        // fail and the message must contain `names`.
+        recovers: Option<u64>,
+        names: &'static str,
+    }
+    let cases = [
+        Case {
+            name: "active superblock (torn flip)",
+            extents: vec![layout.superblocks[active]],
+            recovers: Some(epoch_a),
+            names: "",
+        },
+        Case {
+            name: "stale superblock",
+            extents: vec![layout.superblocks[1 - active]],
+            recovers: Some(epoch_b),
+            names: "",
+        },
+        Case {
+            name: "both superblocks",
+            extents: vec![layout.superblocks[0], layout.superblocks[1]],
+            recovers: None,
+            names: "superblock",
+        },
+        Case {
+            name: "current trailer",
+            extents: vec![layout.trailer],
+            recovers: Some(epoch_a),
+            names: "",
+        },
+        Case {
+            name: "previous trailer",
+            extents: vec![prev_trailer],
+            recovers: Some(epoch_b),
+            names: "",
+        },
+        Case {
+            name: "both trailers",
+            extents: vec![layout.trailer, prev_trailer],
+            recovers: None,
+            names: "trailer",
+        },
+    ];
+    for case in &cases {
+        // Byte offsets within each structure: first byte, interior, last.
+        for rel in [0.0f64, 0.37, 0.99] {
+            let mut bytes = pristine.clone();
+            for &(off, len) in &case.extents {
+                let at = off + ((len - 1) as f64 * rel) as u64;
+                bytes[at as usize] ^= 0xA5;
+            }
+            let got = outcome(&tmp.0, &bytes, &qs, &reference);
+            match (case.recovers, &got) {
+                (Some(want), Outcome::Recovered { epoch, marker }) => {
+                    assert_eq!(
+                        *epoch, want,
+                        "{} @ {rel}: recovered the wrong epoch",
+                        case.name
+                    );
+                    assert_eq!(
+                        *marker,
+                        want == epoch_b,
+                        "{} @ {rel}: catalog must match the recovered epoch",
+                        case.name
+                    );
+                }
+                (None, Outcome::OpenFailed(msg)) => {
+                    assert!(
+                        msg.contains(case.names),
+                        "{} @ {rel}: error must name the {} — got: {msg}",
+                        case.name,
+                        case.names
+                    );
+                }
+                _ => panic!("{} @ {rel}: unexpected outcome {got:?}", case.name),
+            }
+        }
+    }
+
+    // Page bodies: flip one byte in every live page image. The metadata
+    // is intact, so the index opens — but the first page fault must die
+    // naming the page, never answer from corrupt bytes.
     {
-        use std::io::{Read, Seek, SeekFrom, Write};
-        let mut f = std::fs::OpenOptions::new()
-            .read(true)
-            .write(true)
-            .open(&tmp.0)
-            .unwrap();
-        let len = f.metadata().unwrap().len();
-        f.seek(SeekFrom::Start(len - 2)).unwrap();
-        let mut b = [0u8; 1];
-        f.read_exact(&mut b).unwrap();
-        f.seek(SeekFrom::Start(len - 2)).unwrap();
-        f.write_all(&[b[0] ^ 0xFF]).unwrap();
+        let mut bytes = pristine.clone();
+        for off in layout.pages.iter().flatten() {
+            bytes[*off as usize + 100] ^= 0xA5;
+        }
+        match outcome(&tmp.0, &bytes, &qs, &reference) {
+            Outcome::QueryPanicked(msg) => assert!(
+                msg.contains("checksum mismatch") && msg.contains("page"),
+                "page corruption must be named: {msg}"
+            ),
+            other => panic!("page-body corruption: unexpected outcome {other:?}"),
+        }
     }
-    let err = FileStorage::open(&tmp.0).expect_err("corrupt trailer must not open");
-    assert!(err.to_string().contains("checksum"), "got: {err}");
+
+    // Truncations: cut mid-current-trailer (previous epoch may or may not
+    // still be fully inside the shorter file — recovery must land on a
+    // committed epoch or refuse loudly, which `outcome` asserts either
+    // way), and cut into the superblock page (nothing left to read).
+    {
+        let (t_off, t_len) = layout.trailer;
+        let cut = pristine[..(t_off + t_len / 2) as usize].to_vec();
+        match outcome(&tmp.0, &cut, &qs, &reference) {
+            Outcome::Recovered { epoch, .. } => assert_eq!(epoch, epoch_a),
+            Outcome::OpenFailed(msg) => assert!(
+                msg.contains("trailer") || msg.contains("superblock"),
+                "truncation error must name a structure: {msg}"
+            ),
+            Outcome::QueryPanicked(msg) => assert!(
+                msg.contains("page") || msg.contains("read"),
+                "truncation panic must name the failing read: {msg}"
+            ),
+        }
+        let stub = pristine[..40].to_vec();
+        match outcome(&tmp.0, &stub, &qs, &reference) {
+            Outcome::OpenFailed(msg) => assert!(msg.contains("superblock"), "got: {msg}"),
+            other => panic!("40-byte stub: unexpected outcome {other:?}"),
+        }
+    }
 }

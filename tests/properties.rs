@@ -158,6 +158,108 @@ proptest! {
     }
 
     #[test]
+    fn crash_at_random_op_recovers_a_committed_snapshot(
+        base in arb_dataset(50),
+        extras in proptest::collection::vec(
+            proptest::collection::btree_set(0..VOCAB, 1..6), 2..14),
+        queries in proptest::collection::vec(arb_query(), 1..4),
+        crash_pick in any::<u64>(),
+        torn in any::<bool>(),
+    ) {
+        // Random interleaving of insert-batch / persist over a
+        // fault-wrapped FileStorage, crashed at a random physical I/O op
+        // (optionally tearing the in-flight write): whatever the crash
+        // point, the reopened index must answer every query exactly like
+        // one committed snapshot (or be the empty pre-persist storage).
+        use set_containment::pagestore::{FaultConfig, FaultStorage, FileStorage};
+
+        let base_len = base.records.len() as u64;
+        // Split the extra records into two batches at a content-derived
+        // point, so batch boundaries vary across cases.
+        let split = 1 + extras.len() % (extras.len() - 1).max(1);
+        let records: Vec<set_containment::datagen::Record> = extras
+            .iter()
+            .enumerate()
+            .map(|(i, s)| set_containment::datagen::Record::new(
+                base_len + i as u64,
+                s.iter().copied().collect(),
+            ))
+            .collect();
+        let run_workload = |cfg: FaultConfig| {
+            let (storage, handle) = FaultStorage::create(cfg).unwrap();
+            let pager = Pager::with_storage(storage, 32 * 1024);
+            let mut idx = set_containment::invfile::build(
+                &base,
+                pager,
+                set_containment::codec::postings::Compression::VByteDGap,
+            );
+            let answers = |idx: &InvertedFile| -> Vec<Vec<u64>> {
+                queries
+                    .iter()
+                    .map(|q| {
+                        let mut a = idx.subset(q);
+                        a.sort_unstable();
+                        a
+                    })
+                    .collect()
+            };
+            let mut snapshots = Vec::new();
+            idx.persist().unwrap();
+            snapshots.push(answers(&idx));
+            for chunk in [&records[..split.min(records.len())], &records[split.min(records.len())..]] {
+                if chunk.is_empty() {
+                    continue;
+                }
+                idx.batch_insert(chunk);
+                idx.persist().unwrap();
+                snapshots.push(answers(&idx));
+            }
+            (handle, snapshots)
+        };
+
+        let (handle, snapshots) = run_workload(FaultConfig::default());
+        let total_ops = handle.ops();
+        let k = crash_pick % (total_ops + 1);
+        let cfg = if torn { FaultConfig::torn(k, 5) } else { FaultConfig::crash_after(k) };
+        let (h, _) = run_workload(cfg);
+
+        match FileStorage::open_image(h.disk_image()) {
+            Err(e) => {
+                // Only prefixes that end before `create`'s initial commit
+                // may fail to open — that commit is the first handful of
+                // ops of the run.
+                prop_assert!(
+                    k < 8,
+                    "crash at op {} of {}: open failed after the create commit: {}",
+                    k, total_ops, e
+                );
+            }
+            Ok(storage) => {
+                let pager = Pager::with_storage(storage, 32 * 1024);
+                match InvertedFile::open(pager) {
+                    None => { /* pre-first-persist: a committed (empty) state */ }
+                    Some(idx) => {
+                        let got: Vec<Vec<u64>> = queries
+                            .iter()
+                            .map(|q| {
+                                let mut a = idx.subset(q);
+                                a.sort_unstable();
+                                a
+                            })
+                            .collect();
+                        prop_assert!(
+                            snapshots.contains(&got),
+                            "crash at op {} of {} (torn {}): recovered answers match no \
+                             committed snapshot",
+                            k, total_ops, torn
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn metadata_regions_partition_the_id_space(d in arb_dataset(120)) {
         // Theorem 1: regions are disjoint, contiguous, and cover all
         // non-empty records.
