@@ -24,7 +24,7 @@
 
 use crate::node::{NodeRef, OffsetTable};
 use crate::tree::BTree;
-use pagestore::PageGuard;
+use pagestore::{PageError, PageGuard};
 
 /// A forward cursor over a [`BTree`]'s entries in key order.
 pub struct Cursor<'t> {
@@ -46,24 +46,42 @@ impl<'t> Cursor<'t> {
     /// last-record-id)` even though keys embed a tag between the two,
     /// because tag order and id order agree within one item's list.
     pub(crate) fn seek_by(tree: &'t BTree, before: impl Fn(&[u8]) -> bool) -> Self {
-        Self::descend(tree, &before, false)
+        Self::try_seek_by(tree, before).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Cursor::seek_by`]: a page fault during the
+    /// descent surfaces as its typed [`PageError`].
+    pub(crate) fn try_seek_by(
+        tree: &'t BTree,
+        before: impl Fn(&[u8]) -> bool,
+    ) -> Result<Self, PageError> {
+        Self::try_descend(tree, &before, false)
     }
 
     /// Position at the first entry with key ≥ `key`.
     pub(crate) fn seek(tree: &'t BTree, key: &[u8]) -> Self {
+        Self::try_seek(tree, key).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Cursor::seek`].
+    pub(crate) fn try_seek(tree: &'t BTree, key: &[u8]) -> Result<Self, PageError> {
         // `touch_leaf_again` mirrors the historical implementation, which
         // descended to the leaf page and then read it a second time: that
         // extra (hit) access marks the leaf frame hot in the buffer pool,
         // and replaying it keeps eviction decisions — and so the paper's
         // page-access counts — bit-for-bit reproducible.
-        Self::descend(tree, &|k: &[u8]| k < key, true)
+        Self::try_descend(tree, &|k: &[u8]| k < key, true)
     }
 
-    fn descend(tree: &'t BTree, before: &impl Fn(&[u8]) -> bool, touch_leaf_again: bool) -> Self {
+    fn try_descend(
+        tree: &'t BTree,
+        before: &impl Fn(&[u8]) -> bool,
+        touch_leaf_again: bool,
+    ) -> Result<Self, PageError> {
         let mut table = OffsetTable::new();
         let mut page = tree.root();
         let guard = loop {
-            let guard = tree.pin_node(page);
+            let guard = tree.try_pin_node(page)?;
             let node = NodeRef::new(guard.bytes());
             if node.is_leaf() {
                 break guard;
@@ -74,7 +92,7 @@ impl<'t> Cursor<'t> {
             // Guard drops here, before the child fetch.
         };
         if touch_leaf_again {
-            tree.touch_node(page);
+            tree.try_touch_node(page)?;
         }
         let node = NodeRef::new(guard.bytes());
         node.fill_offsets(&mut table);
@@ -85,27 +103,38 @@ impl<'t> Cursor<'t> {
             table,
             idx,
         };
-        cursor.skip_exhausted_leaves();
-        cursor
+        cursor.try_skip_exhausted_leaves()?;
+        Ok(cursor)
     }
 
     /// Advance past leaves whose remaining entries are exhausted (including
     /// empty leaves left behind by deletes).
     fn skip_exhausted_leaves(&mut self) {
+        self.try_skip_exhausted_leaves()
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible core of [`Cursor::skip_exhausted_leaves`]. On error the
+    /// cursor is left unpinned and exhausted (`peek` returns `None`): the
+    /// caller either propagates the error or retries from a fresh seek —
+    /// there is no half-positioned state to misread.
+    fn try_skip_exhausted_leaves(&mut self) -> Result<(), PageError> {
         loop {
-            let Some(guard) = &self.guard else { return };
+            let Some(guard) = &self.guard else {
+                return Ok(());
+            };
             let node = NodeRef::new(guard.bytes());
             if self.idx < node.count() {
-                return;
+                return Ok(());
             }
             let next = node.next_leaf();
             // Release the pin before fetching the next leaf so eviction
             // never has to work around this cursor.
             self.guard = None;
             match next {
-                None => return,
+                None => return Ok(()),
                 Some(p) => {
-                    let guard = self.tree.pin_node(p);
+                    let guard = self.tree.try_pin_node(p)?;
                     NodeRef::new(guard.bytes()).fill_offsets(&mut self.table);
                     self.guard = Some(guard);
                     self.idx = 0;
@@ -134,6 +163,17 @@ impl<'t> Cursor<'t> {
         }
     }
 
+    /// Fallible twin of [`Cursor::advance`]: a page fault on the next-leaf
+    /// hop surfaces as its typed [`PageError`] and leaves the cursor
+    /// exhausted (never mispositioned).
+    pub fn try_advance(&mut self) -> Result<(), PageError> {
+        if self.guard.is_some() {
+            self.idx += 1;
+            self.try_skip_exhausted_leaves()?;
+        }
+        Ok(())
+    }
+
     /// Return the current entry as owned vectors and advance. Prefer
     /// [`Cursor::peek`] + [`Cursor::advance`] on hot paths: they avoid the
     /// copies.
@@ -142,6 +182,16 @@ impl<'t> Cursor<'t> {
         let out = self.peek().map(|(k, v)| (k.to_vec(), v.to_vec()))?;
         self.advance();
         Some(out)
+    }
+
+    /// Fallible twin of [`Cursor::next`].
+    #[allow(clippy::type_complexity)]
+    pub fn try_next(&mut self) -> Result<Option<(Vec<u8>, Vec<u8>)>, PageError> {
+        let Some(out) = self.peek().map(|(k, v)| (k.to_vec(), v.to_vec())) else {
+            return Ok(None);
+        };
+        self.try_advance()?;
+        Ok(Some(out))
     }
 }
 

@@ -1,7 +1,7 @@
 //! The B⁺-tree proper: lookups, inserts with split propagation, deletes.
 
 use crate::node::{InternalEntry, LeafEntry, Node, NodeRef, OffsetTable, MAX_ENTRY_BYTES};
-use pagestore::{FileId, PageGuard, PageId, Pager};
+use pagestore::{FileId, PageError, PageGuard, PageId, Pager};
 
 /// Errors returned by tree operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -126,16 +126,17 @@ impl BTree {
         self.pager.write_page(self.file, page, &node.encode());
     }
 
-    /// Pin one node's page for zero-copy reading (the read path's view).
-    pub(crate) fn pin_node(&self, page: PageId) -> PageGuard {
-        self.pager.pin_page(self.file, page)
+    /// Pin one node's page for zero-copy reading (the read path's view);
+    /// a page fault surfaces as a typed error instead of a panic.
+    pub(crate) fn try_pin_node(&self, page: PageId) -> Result<PageGuard, PageError> {
+        self.pager.try_pin_page(self.file, page)
     }
 
     /// Re-touch a cached node page (a counted cache hit). Used to replay
     /// the historical read path's access pattern exactly — see
     /// [`crate::Cursor`].
-    pub(crate) fn touch_node(&self, page: PageId) {
-        self.pager.with_page(self.file, page, |_| ());
+    pub(crate) fn try_touch_node(&self, page: PageId) -> Result<(), PageError> {
+        self.pager.try_with_page(self.file, page, |_| ())
     }
 
     /// Exact-match lookup.
@@ -145,10 +146,18 @@ impl BTree {
     /// (descend + lookup) exactly like the historical owned-decode path, so
     /// buffer-pool state and page-access counts are unchanged.
     pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.try_get(key).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`BTree::get`]: a page fault anywhere along the
+    /// descent surfaces as its typed [`PageError`] instead of a panic.
+    /// Access pattern — and hence page-access counts — identical to
+    /// [`BTree::get`].
+    pub fn try_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, PageError> {
         let mut table = OffsetTable::new();
         let mut page = self.root;
         let leaf_page = loop {
-            let guard = self.pin_node(page);
+            let guard = self.try_pin_node(page)?;
             let node = NodeRef::new(guard.bytes());
             if node.is_leaf() {
                 break page;
@@ -160,17 +169,17 @@ impl BTree {
             page = node.child(&table, idx);
             // Guard drops here, before the child fetch.
         };
-        let guard = self.pin_node(leaf_page);
+        let guard = self.try_pin_node(leaf_page)?;
         let node = NodeRef::new(guard.bytes());
         node.fill_offsets(&mut table);
         let idx = node.partition_point(&table, |k| k < key);
         if idx < node.count() {
             let (k, v) = node.leaf_entry(&table, idx);
             if k == key {
-                return Some(v.to_vec());
+                return Ok(Some(v.to_vec()));
             }
         }
-        None
+        Ok(None)
     }
 
     /// True if `key` is present.
@@ -330,6 +339,11 @@ impl BTree {
         crate::Cursor::seek(self, key)
     }
 
+    /// Fallible twin of [`BTree::seek`].
+    pub fn try_seek(&self, key: &[u8]) -> Result<crate::Cursor<'_>, PageError> {
+        crate::Cursor::try_seek(self, key)
+    }
+
     /// Cursor positioned at the first entry whose key does not satisfy the
     /// monotone predicate `before` (see [`crate::Cursor::seek_by`] for the
     /// contract).
@@ -337,9 +351,22 @@ impl BTree {
         crate::Cursor::seek_by(self, before)
     }
 
+    /// Fallible twin of [`BTree::seek_by`].
+    pub fn try_seek_by(
+        &self,
+        before: impl Fn(&[u8]) -> bool,
+    ) -> Result<crate::Cursor<'_>, PageError> {
+        crate::Cursor::try_seek_by(self, before)
+    }
+
     /// Cursor over the whole tree from the first entry.
     pub fn scan(&self) -> crate::Cursor<'_> {
         crate::Cursor::seek(self, &[])
+    }
+
+    /// Fallible twin of [`BTree::scan`].
+    pub fn try_scan(&self) -> Result<crate::Cursor<'_>, PageError> {
+        crate::Cursor::try_seek(self, &[])
     }
 
     /// Structural invariant check used by tests and debug assertions: key

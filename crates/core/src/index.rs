@@ -133,6 +133,13 @@ impl Oif {
         self.tree.pager()
     }
 
+    /// Walk every page reachable through this index's pager and verify its
+    /// checksum, quarantining corrupt pages. Bypasses the cache: counters
+    /// and the golden page-access gates are unaffected.
+    pub fn scrub(&self) -> pagestore::ScrubReport {
+        self.pager().scrub()
+    }
+
     /// Translate a new (ordered) id back to the original record id.
     pub fn original_id(&self, new_id: u64) -> u64 {
         self.id_map[(new_id - 1) as usize]

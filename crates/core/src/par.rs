@@ -23,6 +23,7 @@
 use crate::index::Oif;
 use crate::query::QueryScratch;
 use datagen::{ItemId, QueryKind};
+use pagestore::PageError;
 
 impl Oif {
     /// Evaluate one query of the given kind with caller-provided scratch.
@@ -32,10 +33,22 @@ impl Oif {
         qs: &[ItemId],
         scratch: &mut QueryScratch,
     ) -> Vec<u64> {
+        self.try_eval_with(kind, qs, scratch)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Oif::eval_with`]: a page fault surfaces as its
+    /// typed [`PageError`] instead of a panic.
+    pub fn try_eval_with(
+        &self,
+        kind: QueryKind,
+        qs: &[ItemId],
+        scratch: &mut QueryScratch,
+    ) -> Result<Vec<u64>, PageError> {
         match kind {
-            QueryKind::Subset => self.subset(qs),
-            QueryKind::Equality => self.equality(qs),
-            QueryKind::Superset => self.superset_with(qs, scratch),
+            QueryKind::Subset => self.try_subset(qs),
+            QueryKind::Equality => self.try_equality(qs),
+            QueryKind::Superset => self.try_superset_with(qs, scratch),
         }
     }
 
@@ -54,6 +67,20 @@ impl Oif {
     ) -> Vec<Vec<u64>> {
         pagestore::par_map_with(queries.len(), threads, QueryScratch::new, |scratch, i| {
             self.eval_with(kind, &queries[i], scratch)
+        })
+    }
+
+    /// Fallible twin of [`Oif::par_eval`]: each query's outcome is its own
+    /// `Result`, so one faulted page fails that query alone (with its typed
+    /// [`PageError`]) while the rest of the batch still returns answers.
+    pub fn try_par_eval(
+        &self,
+        kind: QueryKind,
+        queries: &[Vec<ItemId>],
+        threads: usize,
+    ) -> Vec<Result<Vec<u64>, PageError>> {
+        pagestore::par_map_with(queries.len(), threads, QueryScratch::new, |scratch, i| {
+            self.try_eval_with(kind, &queries[i], scratch)
         })
     }
 }

@@ -24,6 +24,7 @@ use crate::roi::{self, Roi};
 use codec::accum::CountAccumulator;
 use codec::postings::{Posting, PostingsDecoder};
 use datagen::ItemId;
+use pagestore::PageError;
 
 /// Reusable per-thread scratch state for query evaluation.
 ///
@@ -60,9 +61,17 @@ impl Oif {
     /// Subset query: original ids of records `t` with `qs ⊆ t.s`
     /// (Algorithm 1). `qs` must be sorted by item id and duplicate-free.
     pub fn subset(&self, qs: &[ItemId]) -> Vec<u64> {
+        self.try_subset(qs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Oif::subset`]: a page fault anywhere in the
+    /// evaluation surfaces as its typed [`PageError`] instead of a panic.
+    /// The access pattern (and so the paper's page-access counts) is
+    /// identical to the infallible form.
+    pub fn try_subset(&self, qs: &[ItemId]) -> Result<Vec<u64>, PageError> {
         debug_assert!(qs.windows(2).all(|w| w[0] < w[1]));
         if qs.is_empty() || self.num_records == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let q = self.order.ranks_of(qs);
         let n = q.len();
@@ -75,11 +84,11 @@ impl Oif {
             self.scan_region(q[0], &roi, |p| {
                 out.push(p.id);
                 Scan::Continue
-            });
+            })?;
             if let Some(r) = self.meta.region(q[0]) {
                 out.extend(r.l..=r.u);
             }
-            return self.to_original_sorted(out);
+            return Ok(self.to_original_sorted(out));
         }
 
         // Line 2: candidates from the last (least frequent) item's list.
@@ -87,24 +96,29 @@ impl Oif {
         self.scan_region(q[n - 1], &roi, |p| {
             candidates.push(p.id);
             Scan::Continue
-        });
+        })?;
 
         // Lines 3–15: intersect with the remaining lists in reverse rank
         // order, progressively narrowing the candidate id range.
         for idx in (0..n - 1).rev() {
             if candidates.is_empty() {
-                return Vec::new();
+                return Ok(Vec::new());
             }
-            candidates = self.intersect_with_item(&candidates, q[idx], &roi);
+            candidates = self.intersect_with_item(&candidates, q[idx], &roi)?;
         }
-        self.to_original_sorted(candidates)
+        Ok(self.to_original_sorted(candidates))
     }
 
     /// Equality query: original ids of records with `t.s = qs` (§4.2).
     pub fn equality(&self, qs: &[ItemId]) -> Vec<u64> {
+        self.try_equality(qs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Oif::equality`].
+    pub fn try_equality(&self, qs: &[ItemId]) -> Result<Vec<u64>, PageError> {
         debug_assert!(qs.windows(2).all(|w| w[0] < w[1]));
         if qs.is_empty() || self.num_records == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let q = self.order.ranks_of(qs);
         let n = q.len();
@@ -115,10 +129,10 @@ impl Oif {
             if self.config.use_metadata {
                 // §4.3 footnote: [l, u1] of the item's region is exactly its
                 // length-1 records; no page access at all.
-                return match self.meta.region(q[0]) {
+                return Ok(match self.meta.region(q[0]) {
                     Some(r) => self.to_original_sorted(r.singleton_range().collect()),
                     None => Vec::new(),
-                };
+                });
             }
             let mut out = Vec::new();
             self.scan_region(q[0], &roi, |p| {
@@ -126,8 +140,8 @@ impl Oif {
                     out.push(p.id);
                 }
                 Scan::Continue
-            });
-            return self.to_original_sorted(out);
+            })?;
+            return Ok(self.to_original_sorted(out));
         }
 
         // Candidates from the last list, filtered by length while
@@ -138,16 +152,16 @@ impl Oif {
                 candidates.push(p.id);
             }
             Scan::Continue
-        });
+        })?;
 
         // Intermediate lists (the smallest item's list "needs not be
         // accessed at all" when the metadata table is available).
         let last_idx = if self.config.use_metadata { 1 } else { 0 };
         for idx in (last_idx..n - 1).rev() {
             if candidates.is_empty() {
-                return Vec::new();
+                return Ok(Vec::new());
             }
-            candidates = self.intersect_with_item(&candidates, q[idx], &roi);
+            candidates = self.intersect_with_item(&candidates, q[idx], &roi)?;
         }
         if self.config.use_metadata {
             // An equality answer's smallest item is q[0] by definition.
@@ -156,7 +170,7 @@ impl Oif {
                 None => candidates.clear(),
             }
         }
-        self.to_original_sorted(candidates)
+        Ok(self.to_original_sorted(candidates))
     }
 
     /// Superset query: original ids of records with `t.s ⊆ qs`
@@ -165,13 +179,28 @@ impl Oif {
         self.superset_with(qs, &mut QueryScratch::new())
     }
 
+    /// Fallible twin of [`Oif::superset`].
+    pub fn try_superset(&self, qs: &[ItemId]) -> Result<Vec<u64>, PageError> {
+        self.try_superset_with(qs, &mut QueryScratch::new())
+    }
+
     /// [`Oif::superset`] with caller-provided scratch state, so a query
     /// batch reuses one accumulator allocation (see [`QueryScratch`]).
     /// Results are identical to the scratch-free form.
     pub fn superset_with(&self, qs: &[ItemId], scratch: &mut QueryScratch) -> Vec<u64> {
+        self.try_superset_with(qs, scratch)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Oif::superset_with`].
+    pub fn try_superset_with(
+        &self,
+        qs: &[ItemId],
+        scratch: &mut QueryScratch,
+    ) -> Result<Vec<u64>, PageError> {
         debug_assert!(qs.windows(2).all(|w| w[0] < w[1]));
         if qs.is_empty() || self.num_records == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let q = self.order.ranks_of(qs);
         let n = q.len();
@@ -203,11 +232,11 @@ impl Oif {
                         }
                     }
                     Scan::Continue
-                });
+                })?;
             }
         }
 
-        self.collect_superset(&q, &scratch.counts)
+        Ok(self.collect_superset(&q, &scratch.counts))
     }
 
     /// Shared tail of the superset modes: turn the accumulated
@@ -271,14 +300,29 @@ impl Oif {
         self.superset_pruned_with(qs, &mut QueryScratch::new())
     }
 
+    /// Fallible twin of [`Oif::superset_pruned`].
+    pub fn try_superset_pruned(&self, qs: &[ItemId]) -> Result<Vec<u64>, PageError> {
+        self.try_superset_pruned_with(qs, &mut QueryScratch::new())
+    }
+
     /// [`Oif::superset_pruned`] with caller-provided scratch state.
     pub fn superset_pruned_with(&self, qs: &[ItemId], scratch: &mut QueryScratch) -> Vec<u64> {
+        self.try_superset_pruned_with(qs, scratch)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Oif::superset_pruned_with`].
+    pub fn try_superset_pruned_with(
+        &self,
+        qs: &[ItemId],
+        scratch: &mut QueryScratch,
+    ) -> Result<Vec<u64>, PageError> {
         let Some(summary) = &self.summary else {
-            return self.superset_with(qs, scratch);
+            return self.try_superset_with(qs, scratch);
         };
         debug_assert!(qs.windows(2).all(|w| w[0] < w[1]));
         if qs.is_empty() || self.num_records == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let q = self.order.ranks_of(qs);
         let n = q.len();
@@ -319,7 +363,7 @@ impl Oif {
                     continue; // whole region dead — no descent at all
                 };
                 let seek = crate::block::encode_seek(rank, &effective.lower);
-                let mut cursor = self.tree().seek(&seek);
+                let mut cursor = self.tree().try_seek(&seek)?;
                 for b in range.start..=last_live {
                     if live(b, last_seen) {
                         let Some((key, value)) = cursor.peek() else {
@@ -339,12 +383,12 @@ impl Oif {
                         }
                     }
                     if b < last_live {
-                        cursor.advance();
+                        cursor.try_advance()?;
                     }
                 }
             }
         }
-        self.collect_superset(&q, &scratch.counts)
+        Ok(self.collect_superset(&q, &scratch.counts))
     }
 
     /// Intersect sorted `candidates` with the set of records containing the
@@ -357,11 +401,16 @@ impl Oif {
     /// candidates are skipped entirely when the estimated skip exceeds the
     /// cost of a fresh descent; otherwise the cursor walks sequentially
     /// (Alg. 1 lines 5–15, with the `[lidc, uidc]` range narrowing).
-    fn intersect_with_item(&self, candidates: &[u64], rank: Rank, _roi: &Roi) -> Vec<u64> {
+    fn intersect_with_item(
+        &self,
+        candidates: &[u64],
+        rank: Rank,
+        _roi: &Roi,
+    ) -> Result<Vec<u64>, PageError> {
         let mut kept = Vec::with_capacity(candidates.len());
         let region = self.meta.region(rank).filter(|_| self.config.use_metadata);
         if self.stored_postings_of_rank(rank) > 0 {
-            self.skip_intersect(candidates, rank, &mut kept);
+            self.skip_intersect(candidates, rank, &mut kept)?;
         }
         if let Some(r) = region {
             // Candidates inside the region contain the item as their
@@ -377,11 +426,16 @@ impl Oif {
                 kept.dedup();
             }
         }
-        kept
+        Ok(kept)
     }
 
     /// Core skip-scan merge of `candidates` against `rank`'s list.
-    fn skip_intersect(&self, candidates: &[u64], rank: Rank, kept: &mut Vec<u64>) {
+    fn skip_intersect(
+        &self,
+        candidates: &[u64],
+        rank: Rank,
+        kept: &mut Vec<u64>,
+    ) -> Result<(), PageError> {
         // Estimated ids spanned per block, for the skip-vs-walk decision.
         let blocks = self.blocks_per_rank[rank as usize].max(1) as u64;
         let id_span = self
@@ -410,16 +464,16 @@ impl Oif {
                 // (keeps page-access counts identical to the owned-decode
                 // era).
                 drop(cursor.take());
-                cursor = Some(self.tree().seek_by(|key| {
+                cursor = Some(self.tree().try_seek_by(|key| {
                     let kr = crate::block::key_rank(key);
                     kr < rank || (kr == rank && key_last_id(key) < target)
-                }));
+                })?);
             }
             let cur = cursor.as_mut().expect("cursor set above");
             let mut list_over = false;
             {
                 let Some((key, value)) = cur.peek() else {
-                    return;
+                    return Ok(());
                 };
                 if crate::block::key_rank(key) != rank {
                     list_over = true;
@@ -451,18 +505,24 @@ impl Oif {
             // historical owned cursor consumed it (possibly loading the
             // next leaf) before the stop check, and replaying that keeps
             // page-access counts identical.
-            cur.advance();
+            cur.try_advance()?;
             if list_over {
-                return;
+                return Ok(());
             }
         }
+        Ok(())
     }
 
     /// Seek to the first block of `rank`'s list whose tag ≥ `roi.lower`,
     /// then stream postings block by block until a block's tag exceeds
     /// `roi.upper` (that block is still delivered — its records may start
     /// inside the RoI) or the callback stops the scan.
-    fn scan_region(&self, rank: Rank, roi: &Roi, mut on_posting: impl FnMut(Posting) -> Scan) {
+    fn scan_region(
+        &self,
+        rank: Rank,
+        roi: &Roi,
+        mut on_posting: impl FnMut(Posting) -> Scan,
+    ) -> Result<(), PageError> {
         let effective = match self.config.block.tag_prefix {
             Some(n) => roi.prefix(n),
             None => roi.clone(),
@@ -474,7 +534,7 @@ impl Oif {
         // no per-block tag decode is needed.
         let mut upper_bytes = Vec::with_capacity(effective.upper.len() * 4);
         effective.upper.encode(&mut upper_bytes);
-        let mut cursor = self.tree().seek(&seek);
+        let mut cursor = self.tree().try_seek(&seek)?;
         loop {
             let done = {
                 let Some((key, value)) = cursor.peek() else {
@@ -500,11 +560,12 @@ impl Oif {
             // the historical owned cursor consumed each entry (possibly
             // loading the next leaf) before the loop body examined it, and
             // replaying that keeps page-access counts identical.
-            cursor.advance();
+            cursor.try_advance()?;
             if done {
-                return;
+                return Ok(());
             }
         }
+        Ok(())
     }
 
     /// Map new ids to original record ids, sorted ascending.

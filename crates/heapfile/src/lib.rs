@@ -14,7 +14,7 @@
 //! * a blob is always read in full, mirroring "Berkeley DB always retrieves
 //!   the whole tuple".
 
-use pagestore::{FileId, PageId, Pager, PAGE_SIZE};
+use pagestore::{FileId, PageError, PageId, Pager, PAGE_SIZE};
 use std::collections::HashMap;
 
 /// Location of one stored blob.
@@ -79,6 +79,13 @@ impl HeapFile {
         self.read_into(key, &mut out).then_some(out)
     }
 
+    /// Fallible twin of [`HeapFile::get`]: a page fault surfaces as its
+    /// typed [`PageError`] instead of a panic.
+    pub fn try_get(&self, key: u32) -> Result<Option<Vec<u8>>, PageError> {
+        let mut out = Vec::new();
+        Ok(self.try_read_into(key, &mut out)?.then_some(out))
+    }
+
     /// Read the whole blob stored under `key` into `out` (cleared first),
     /// reusing `out`'s allocation. Returns false when the key is absent.
     ///
@@ -86,8 +93,16 @@ impl HeapFile {
     /// multi-list merge performs no per-list allocation; each cached page
     /// is copied out exactly once (no intermediate page buffer).
     pub fn read_into(&self, key: u32, out: &mut Vec<u8>) -> bool {
+        self.try_read_into(key, out)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`HeapFile::read_into`]. On error `out` holds the
+    /// prefix read so far — callers must treat it as garbage. Access
+    /// pattern identical to the infallible path.
+    pub fn try_read_into(&self, key: u32, out: &mut Vec<u8>) -> Result<bool, PageError> {
         let Some(loc) = self.directory.get(&key).copied() else {
-            return false;
+            return Ok(false);
         };
         out.clear();
         out.reserve(loc.byte_len as usize);
@@ -95,13 +110,13 @@ impl HeapFile {
         let mut remaining = loc.byte_len as usize;
         for i in 0..n_pages {
             self.pager
-                .with_page(self.file, loc.first_page + i as u64, |page| {
+                .try_with_page(self.file, loc.first_page + i as u64, |page| {
                     let take = remaining.min(PAGE_SIZE);
                     out.extend_from_slice(&page[..take]);
                     remaining -= take;
-                });
+                })?;
         }
-        true
+        Ok(true)
     }
 
     /// Byte length of the blob under `key` without touching the disk.

@@ -3,7 +3,7 @@
 use codec::postings::{Compression, Posting, PostingsDecoder};
 use datagen::{Dataset, ItemId, Record};
 use heapfile::HeapFile;
-use pagestore::Pager;
+use pagestore::{PageError, Pager};
 
 /// A disk-resident classic inverted file over a set-valued database.
 pub struct InvertedFile {
@@ -38,6 +38,13 @@ impl InvertedFile {
     /// The buffer pool (for I/O statistics).
     pub fn pager(&self) -> &Pager {
         self.store.pager()
+    }
+
+    /// Walk every page reachable through this index's pager and verify its
+    /// checksum, quarantining corrupt pages. Bypasses the cache: counters
+    /// are unaffected.
+    pub fn scrub(&self) -> pagestore::ScrubReport {
+        self.pager().scrub()
     }
 
     pub fn num_records(&self) -> u64 {
@@ -91,21 +98,39 @@ impl InvertedFile {
         bytes: &mut Vec<u8>,
         out: &mut Vec<Posting>,
     ) {
+        self.try_fetch_list_into(item, bytes, out)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`InvertedFile::fetch_list_into`]: a page fault
+    /// surfaces as its typed [`PageError`]. On error `out` is cleared or
+    /// holds a garbage prefix — callers must discard it.
+    pub(crate) fn try_fetch_list_into(
+        &self,
+        item: ItemId,
+        bytes: &mut Vec<u8>,
+        out: &mut Vec<Posting>,
+    ) -> Result<(), PageError> {
         out.clear();
-        if !self.store.read_into(item, bytes) {
-            return;
+        if !self.store.try_read_into(item, bytes)? {
+            return Ok(());
         }
         let mut dec = PostingsDecoder::with_mode(bytes, self.compression);
         while let Some(p) = dec.next_posting().expect("index-owned list must decode") {
             out.push(p);
         }
+        Ok(())
     }
 
     /// Fetch `item`'s raw encoded list into `bytes` (cleared first);
     /// returns false when the item has no list. Lets callers stream-decode
     /// without materialising a postings vector at all.
-    pub(crate) fn fetch_bytes_into(&self, item: ItemId, bytes: &mut Vec<u8>) -> bool {
-        self.store.read_into(item, bytes)
+    pub(crate) fn try_fetch_bytes_into(
+        &self,
+        item: ItemId,
+        bytes: &mut Vec<u8>,
+    ) -> Result<bool, PageError> {
+        self.store.try_read_into(item, bytes)
     }
 
     /// Append a batch of new records (§4.4-style maintenance). Each

@@ -10,14 +10,26 @@
 use crate::index::InvertedFile;
 use crate::query::EvalScratch;
 use datagen::{ItemId, QueryKind};
+use pagestore::PageError;
 
 impl InvertedFile {
     /// Evaluate one query of the given kind with caller-provided scratch.
     pub fn eval_with(&self, kind: QueryKind, qs: &[ItemId], scratch: &mut EvalScratch) -> Vec<u64> {
+        self.try_eval_with(kind, qs, scratch)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`InvertedFile::eval_with`].
+    pub fn try_eval_with(
+        &self,
+        kind: QueryKind,
+        qs: &[ItemId],
+        scratch: &mut EvalScratch,
+    ) -> Result<Vec<u64>, PageError> {
         match kind {
-            QueryKind::Subset => self.subset(qs),
-            QueryKind::Equality => self.equality(qs),
-            QueryKind::Superset => self.superset_with(qs, scratch),
+            QueryKind::Subset => self.try_subset(qs),
+            QueryKind::Equality => self.try_equality(qs),
+            QueryKind::Superset => self.try_superset_with(qs, scratch),
         }
     }
 
@@ -35,6 +47,20 @@ impl InvertedFile {
     ) -> Vec<Vec<u64>> {
         pagestore::par_map_with(queries.len(), threads, EvalScratch::new, |scratch, i| {
             self.eval_with(kind, &queries[i], scratch)
+        })
+    }
+
+    /// Fallible twin of [`InvertedFile::par_eval`]: each query's outcome is
+    /// its own `Result`, so one faulted page fails that query alone while
+    /// the rest of the batch still returns answers.
+    pub fn try_par_eval(
+        &self,
+        kind: QueryKind,
+        queries: &[Vec<ItemId>],
+        threads: usize,
+    ) -> Vec<Result<Vec<u64>, PageError>> {
+        pagestore::par_map_with(queries.len(), threads, EvalScratch::new, |scratch, i| {
+            self.try_eval_with(kind, &queries[i], scratch)
         })
     }
 }

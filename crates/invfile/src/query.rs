@@ -11,6 +11,7 @@ use codec::accum::CountAccumulator;
 use codec::postings::PostingsDecoder;
 use codec::Posting;
 use datagen::ItemId;
+use pagestore::PageError;
 
 /// Reusable per-thread scratch state for IF query evaluation: the fetched
 /// list's byte buffer and the superset merge's count accumulator. Plain
@@ -36,16 +37,22 @@ impl InvertedFile {
     /// starting from the shortest list (cheapest candidate set), exactly as
     /// §2 describes. `qs` must be sorted and duplicate-free.
     pub fn subset(&self, qs: &[ItemId]) -> Vec<u64> {
+        self.try_subset(qs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`InvertedFile::subset`]: a page fault surfaces as
+    /// its typed [`PageError`] instead of a panic.
+    pub fn try_subset(&self, qs: &[ItemId]) -> Result<Vec<u64>, PageError> {
         debug_assert!(qs.windows(2).all(|w| w[0] < w[1]));
         if qs.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let mut items = qs.to_vec();
         // Shortest list first.
         items.sort_unstable_by_key(|&i| self.support(i));
         let mut bytes = Vec::new();
         let mut candidates = Vec::new();
-        self.fetch_list_into(items[0], &mut bytes, &mut candidates);
+        self.try_fetch_list_into(items[0], &mut bytes, &mut candidates)?;
         self.intersect_rest(&items[1..], candidates, bytes)
     }
 
@@ -54,16 +61,21 @@ impl InvertedFile {
     /// Same plan as subset, but postings whose record length differs from
     /// `|qs|` are pruned while traversing the lists (§2).
     pub fn equality(&self, qs: &[ItemId]) -> Vec<u64> {
+        self.try_equality(qs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`InvertedFile::equality`].
+    pub fn try_equality(&self, qs: &[ItemId]) -> Result<Vec<u64>, PageError> {
         debug_assert!(qs.windows(2).all(|w| w[0] < w[1]));
         if qs.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let want = qs.len() as u32;
         let mut items = qs.to_vec();
         items.sort_unstable_by_key(|&i| self.support(i));
         let mut bytes = Vec::new();
         let mut candidates = Vec::new();
-        self.fetch_list_into(items[0], &mut bytes, &mut candidates);
+        self.try_fetch_list_into(items[0], &mut bytes, &mut candidates)?;
         candidates.retain(|p| p.len == want);
         self.intersect_rest(&items[1..], candidates, bytes)
     }
@@ -75,20 +87,20 @@ impl InvertedFile {
         items: &[ItemId],
         mut candidates: Vec<Posting>,
         mut bytes: Vec<u8>,
-    ) -> Vec<u64> {
+    ) -> Result<Vec<u64>, PageError> {
         let mut list = Vec::new();
         let mut merged = Vec::new();
         for &item in items {
             if candidates.is_empty() {
                 // Still fetch nothing further: the merge-join is over. The
                 // paper's IF likewise stops on an empty intermediate result.
-                return Vec::new();
+                return Ok(Vec::new());
             }
-            self.fetch_list_into(item, &mut bytes, &mut list);
+            self.try_fetch_list_into(item, &mut bytes, &mut list)?;
             intersect_into(&candidates, &list, &mut merged);
             std::mem::swap(&mut candidates, &mut merged);
         }
-        candidates.into_iter().map(|p| p.id).collect()
+        Ok(candidates.into_iter().map(|p| p.id).collect())
     }
 
     /// Superset query: ids of records whose items are all contained in
@@ -101,10 +113,25 @@ impl InvertedFile {
         self.superset_with(qs, &mut EvalScratch::new())
     }
 
+    /// Fallible twin of [`InvertedFile::superset`].
+    pub fn try_superset(&self, qs: &[ItemId]) -> Result<Vec<u64>, PageError> {
+        self.try_superset_with(qs, &mut EvalScratch::new())
+    }
+
     /// [`InvertedFile::superset`] with caller-provided scratch, so a query
     /// batch reuses the list byte buffer and accumulator allocations.
     /// Results are identical to the scratch-free form.
     pub fn superset_with(&self, qs: &[ItemId], scratch: &mut EvalScratch) -> Vec<u64> {
+        self.try_superset_with(qs, scratch)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`InvertedFile::superset_with`].
+    pub fn try_superset_with(
+        &self,
+        qs: &[ItemId],
+        scratch: &mut EvalScratch,
+    ) -> Result<Vec<u64>, PageError> {
         debug_assert!(qs.windows(2).all(|w| w[0] < w[1]));
         // (id, len) -> occurrences, streamed list by list. Record ids are
         // the original (0-based) ids here, so they are stored shifted by
@@ -113,7 +140,7 @@ impl InvertedFile {
         scratch.counts.clear();
         let counts = &mut scratch.counts;
         for &item in qs {
-            if !self.fetch_bytes_into(item, bytes) {
+            if !self.try_fetch_bytes_into(item, bytes)? {
                 continue;
             }
             let mut dec = PostingsDecoder::with_mode(bytes, self.compression);
@@ -121,7 +148,7 @@ impl InvertedFile {
                 counts.add(p.id + 1, p.len);
             }
         }
-        Self::collect_superset(counts)
+        Ok(Self::collect_superset(counts))
     }
 
     /// [`InvertedFile::superset`] with length-aware list skipping — the
@@ -142,10 +169,25 @@ impl InvertedFile {
         self.superset_pruned_with(qs, &mut EvalScratch::new())
     }
 
+    /// Fallible twin of [`InvertedFile::superset_pruned`].
+    pub fn try_superset_pruned(&self, qs: &[ItemId]) -> Result<Vec<u64>, PageError> {
+        self.try_superset_pruned_with(qs, &mut EvalScratch::new())
+    }
+
     /// [`InvertedFile::superset_pruned`] with caller-provided scratch.
     pub fn superset_pruned_with(&self, qs: &[ItemId], scratch: &mut EvalScratch) -> Vec<u64> {
+        self.try_superset_pruned_with(qs, scratch)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`InvertedFile::superset_pruned_with`].
+    pub fn try_superset_pruned_with(
+        &self,
+        qs: &[ItemId],
+        scratch: &mut EvalScratch,
+    ) -> Result<Vec<u64>, PageError> {
         if !self.has_length_summaries() {
-            return self.superset_with(qs, scratch);
+            return self.try_superset_with(qs, scratch);
         }
         debug_assert!(qs.windows(2).all(|w| w[0] < w[1]));
         let cap = qs.len() as u32;
@@ -158,7 +200,7 @@ impl InvertedFile {
                 .min_len_per_item
                 .get(item as usize)
                 .is_some_and(|&m| m <= cap);
-            if !alive || !self.fetch_bytes_into(item, bytes) {
+            if !alive || !self.try_fetch_bytes_into(item, bytes)? {
                 continue;
             }
             let mut dec = PostingsDecoder::with_mode(bytes, self.compression);
@@ -168,7 +210,7 @@ impl InvertedFile {
                 }
             }
         }
-        Self::collect_superset(counts)
+        Ok(Self::collect_superset(counts))
     }
 
     /// Shared superset tail: records found in exactly `len` lists contain

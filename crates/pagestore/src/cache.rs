@@ -65,11 +65,12 @@
 
 use crate::cost::IoCostModel;
 use crate::disk::{FileId, PageId, PAGE_SIZE};
+use crate::error::{Clock, PageError, RealClock, RetryPolicy, ScrubFinding, ScrubReport};
 use crate::frame::{FrameSlot, PinnedSlot};
 use crate::stats::IoStats;
 use crate::storage::{Storage, StorageError};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -159,6 +160,19 @@ struct PolicyCore {
     cost: IoCostModel,
     /// Scratch for draining touch logs (allocation reused).
     touch_scratch: Vec<Touch>,
+    /// Bounded retry policy for transient page-fault read errors.
+    retry: RetryPolicy,
+    /// Time source for retry backoff (tests inject a recording clock).
+    clock: Arc<dyn Clock>,
+    /// Pages that failed an integrity check: `phys → (file, page)`.
+    /// Every later fault on one fails fast with [`PageError::Corrupt`]
+    /// instead of re-reading rot. A `BTreeMap` so scrub reports list them
+    /// in deterministic physical order.
+    quarantine: BTreeMap<u64, (FileId, PageId)>,
+    /// `Some(cause)` once a write-back has failed: the pool is in degraded
+    /// read-only mode — reads keep serving, mutations return
+    /// [`PageError::ReadOnly`] carrying this cause.
+    read_only: Option<Arc<str>>,
 }
 
 impl PolicyCore {
@@ -227,12 +241,16 @@ impl PolicyCore {
         self.push_tail(true, idx);
     }
 
-    /// Oldest cold frame with no outstanding pins, if any.
+    /// Oldest cold frame with no outstanding pins, if any. In degraded
+    /// read-only mode dirty frames are also skipped: they can never be
+    /// written back, so evicting them would lose committed data — the
+    /// pool evicts clean frames or grows instead.
     fn first_unpinned_cold(&self) -> Option<u32> {
+        let degraded = self.read_only.is_some();
         let mut idx = self.cold.head;
         while idx != NIL {
             let e = self.entry(idx);
-            if e.slot.pin_count() == 0 {
+            if e.slot.pin_count() == 0 && !(degraded && e.dirty) {
                 return Some(idx);
             }
             idx = e.next;
@@ -316,6 +334,10 @@ impl BufferPool {
                 stats: IoStats::default(),
                 cost,
                 touch_scratch: Vec::new(),
+                retry: RetryPolicy::default(),
+                clock: Arc::new(RealClock),
+                quarantine: BTreeMap::new(),
+                read_only: None,
             }),
         }
     }
@@ -370,6 +392,101 @@ impl BufferPool {
         self.policy.lock().cost = cost;
     }
 
+    /// Configure how transient page-fault read errors are retried.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        self.policy.lock().retry = policy;
+    }
+
+    /// The current transient-fault retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.policy.lock().retry
+    }
+
+    /// Inject the time source used for retry backoff (tests pass a
+    /// recording clock so no wall-clock time is spent).
+    pub fn set_retry_clock(&self, clock: Arc<dyn Clock>) {
+        self.policy.lock().clock = clock;
+    }
+
+    /// `Some(cause)` when the pool is in degraded read-only mode after a
+    /// failed write-back: reads keep serving, mutations return
+    /// [`PageError::ReadOnly`].
+    pub fn degraded(&self) -> Option<Arc<str>> {
+        self.policy.lock().read_only.clone()
+    }
+
+    /// Forget every quarantined page (e.g. after restoring the file from
+    /// a backup); returns how many were forgotten. The next access
+    /// re-reads and re-verifies each page from disk.
+    pub fn clear_quarantine(&self) -> usize {
+        let mut core = self.policy.lock();
+        let n = core.quarantine.len();
+        core.quarantine.clear();
+        n
+    }
+
+    /// Walk every allocated page of every file, verify it is readable and
+    /// integral, and report what is not — the operator-facing half of
+    /// graceful degradation.
+    ///
+    /// Reads go straight to the storage backend (transient errors retried
+    /// under the pool's [`RetryPolicy`]), bypassing the cache entirely: no
+    /// frame is evicted or installed and the miss counters do not move, so
+    /// a scrub can run against a live pool without perturbing the paper's
+    /// page-access accounting. Pages found corrupt are quarantined. Note
+    /// that dirty cached pages are verified against their last *committed*
+    /// on-disk image — the in-cache bytes are newer but not yet on the
+    /// medium.
+    pub fn scrub(&self) -> ScrubReport {
+        let mut core = self.policy.lock();
+        let core = &mut *core;
+        let mut report = ScrubReport::default();
+        let mut buf = Box::new([0u8; PAGE_SIZE]);
+        let policy = core.retry;
+        let clock = core.clock.clone();
+        for f in 0..core.disk.file_count() {
+            let file = FileId(f as u32);
+            for page in 0..core.disk.file_len(file) {
+                let phys = core.disk.phys(file, page);
+                report.pages_checked += 1;
+                let mut attempt: u32 = 1;
+                let outcome = loop {
+                    match core.disk.read_phys(phys, &mut buf) {
+                        Ok(()) => break Ok(()),
+                        Err(e) if e.is_transient() && attempt < policy.attempts.max(1) => {
+                            clock.sleep(policy.backoff_before(attempt));
+                            core.stats.retries += 1;
+                            attempt += 1;
+                        }
+                        Err(e) => break Err(e),
+                    }
+                };
+                match outcome {
+                    Ok(()) => {}
+                    Err(e) if e.is_corruption() => {
+                        core.quarantine.insert(phys, (file, page));
+                        report.corrupt.push(ScrubFinding {
+                            file,
+                            page,
+                            phys,
+                            cause: e.to_string(),
+                        });
+                    }
+                    Err(e) => report.unreadable.push(ScrubFinding {
+                        file,
+                        page,
+                        phys,
+                        cause: e.to_string(),
+                    }),
+                }
+            }
+        }
+        for (&phys, &(file, page)) in core.quarantine.iter() {
+            report.quarantined.push((file, page, phys));
+        }
+        report
+    }
+
     /// Store `bytes` under `key` in the backend's catalog (index non-paged
     /// state). Durable only after the next [`BufferPool::sync`].
     pub fn put_catalog(&self, key: &str, bytes: &[u8]) {
@@ -396,6 +513,14 @@ impl BufferPool {
     /// write-back does not do.
     pub fn sync(&self) -> Result<(), StorageError> {
         let mut core = self.policy.lock();
+        // A degraded pool refuses the barrier outright: a prior write-back
+        // already failed, so pretending the dirty set reached the medium
+        // would be a lie. (`try_sync` surfaces this as a typed error.)
+        if let Some(cause) = &core.read_only {
+            return Err(StorageError::Io(std::io::Error::other(format!(
+                "buffer pool is in degraded read-only mode: {cause}"
+            ))));
+        }
         // Flush the dirty set in ascending physical-page order. The map is
         // a HashMap, so iterating it directly would issue the writes in a
         // per-run-random order — a large sync then degenerates into random
@@ -415,7 +540,14 @@ impl BufferPool {
             // SAFETY: the policy lock is held, so no writer can mutate or
             // recycle the buffer while we read it.
             let bytes = unsafe { slot.bytes() };
-            core.disk.write_phys(phys, bytes)?;
+            if let Err(e) = core.disk.write_phys(phys, bytes) {
+                // The frame keeps its dirty flag — nothing was lost — but
+                // the pool flips to degraded read-only mode: the medium is
+                // refusing writes, so further mutations would only pile up
+                // unfsyncable state.
+                core.read_only = Some(Arc::from(e.to_string().as_str()));
+                return Err(e);
+            }
             core.entry_mut(idx).dirty = false;
             let write_cost = core.cost.write;
             core.stats.writes += 1;
@@ -423,7 +555,26 @@ impl BufferPool {
             core.stats.synced_bytes += PAGE_SIZE as u64;
             core.stats.io_time += write_cost;
         }
-        core.disk.sync()
+        if let Err(e) = core.disk.sync() {
+            core.read_only = Some(Arc::from(e.to_string().as_str()));
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Fallible twin of [`BufferPool::sync`], surfacing the failure as a
+    /// typed [`PageError::ReadOnly`] (any sync failure leaves the pool
+    /// degraded, so the read-only cause is the right shape).
+    pub fn try_sync(&self) -> Result<(), PageError> {
+        self.sync().map_err(|e| {
+            let cause = self
+                .policy
+                .lock()
+                .read_only
+                .clone()
+                .unwrap_or_else(|| Arc::from(e.to_string().as_str()));
+            PageError::ReadOnly { cause }
+        })
     }
 
     fn shard_of(&self, key: (FileId, PageId)) -> &Shard {
@@ -502,12 +653,31 @@ impl BufferPool {
     /// index. Counts a hit (touching immediately — the logs are already
     /// drained) or a classified, charged miss. The caller must have
     /// drained the touch logs.
-    fn fetch_locked(&self, core: &mut PolicyCore, file: FileId, page: PageId) -> u32 {
+    ///
+    /// Fault behaviour: quarantined pages fail fast *before* the miss is
+    /// classified or charged (a fault-free rerun sees identical counters);
+    /// a failed load leaves the already-charged miss in the stats — under
+    /// faults the counters describe attempted I/O, which is what the cost
+    /// model simulates.
+    fn try_fetch_locked(
+        &self,
+        core: &mut PolicyCore,
+        file: FileId,
+        page: PageId,
+    ) -> Result<u32, PageError> {
         let phys = core.disk.phys(file, page);
         if let Some(&idx) = core.map.get(&phys) {
             self.hits.fetch_add(1, Ordering::SeqCst);
             core.touch(idx);
-            return idx;
+            return Ok(idx);
+        }
+        if let Some(&(qf, qp)) = core.quarantine.get(&phys) {
+            return Err(PageError::Corrupt {
+                file: qf,
+                page: qp,
+                phys,
+                cause: "page is quarantined after an earlier integrity failure".into(),
+            });
         }
         // Miss: classify, charge, load.
         let sequential = core.last_fetched == Some(phys.wrapping_sub(1));
@@ -519,44 +689,73 @@ impl BufferPool {
             core.stats.io_time += core.cost.random_read;
         }
         core.last_fetched = Some(phys);
-        self.install(core, (file, page), phys, false)
+        self.try_install(core, (file, page), phys, false)
     }
 
     /// Pin the page into the cache and return the pinned slot. The fast
     /// path is latch-only; misses fall back to the policy lock.
-    fn acquire(&self, file: FileId, page: PageId) -> PinnedSlot {
+    fn try_acquire(&self, file: FileId, page: PageId) -> Result<PinnedSlot, PageError> {
         let key = (file, page);
         if let Some(pinned) = self.lookup_fast(key) {
-            return pinned;
+            return Ok(pinned);
         }
         let mut core = self.policy.lock();
         self.drain_touches(&mut core);
-        // `fetch_locked` re-checks the mapping, so a page another thread
-        // installed between our fast-path miss and the lock acquisition is
-        // correctly counted as a hit.
-        let idx = self.fetch_locked(&mut core, file, page);
+        // `try_fetch_locked` re-checks the mapping, so a page another
+        // thread installed between our fast-path miss and the lock
+        // acquisition is correctly counted as a hit.
+        let idx = self.try_fetch_locked(&mut core, file, page)?;
         let slot = core.entry(idx).slot.clone();
         // Pin under the policy lock: eviction also runs under it, so the
         // frame cannot be recycled before the pin lands.
         slot.pin();
-        PinnedSlot::adopt(slot)
+        Ok(PinnedSlot::adopt(slot))
+    }
+
+    fn acquire(&self, file: FileId, page: PageId) -> PinnedSlot {
+        self.try_acquire(file, page)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Append a zeroed page to `file` and install it in the cache as dirty
     /// (it still needs a write-back, which is charged when evicted or
-    /// flushed).
-    pub fn allocate_page(&self, file: FileId) -> PageId {
+    /// flushed). Refused with [`PageError::ReadOnly`] when the pool is
+    /// degraded.
+    pub fn try_allocate_page(&self, file: FileId) -> Result<PageId, PageError> {
         let mut core = self.policy.lock();
+        if let Some(cause) = &core.read_only {
+            return Err(PageError::ReadOnly {
+                cause: cause.clone(),
+            });
+        }
         self.drain_touches(&mut core);
         let page = core.disk.allocate_page(file);
         let phys = core.disk.phys(file, page);
-        self.install(&mut core, (file, page), phys, true);
-        page
+        // A zeroed install never reads the disk, so it cannot fail; `?`
+        // keeps the types honest if that ever changes.
+        self.try_install(&mut core, (file, page), phys, true)?;
+        Ok(page)
+    }
+
+    /// Panicking wrapper around [`BufferPool::try_allocate_page`].
+    pub fn allocate_page(&self, file: FileId) -> PageId {
+        self.try_allocate_page(file)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Read a whole page into `buf`.
     pub fn read_page(&self, file: FileId, page: PageId, buf: &mut [u8]) {
         self.with_page(file, page, |data| buf.copy_from_slice(data))
+    }
+
+    /// Fallible twin of [`BufferPool::read_page`].
+    pub fn try_read_page(
+        &self,
+        file: FileId,
+        page: PageId,
+        buf: &mut [u8],
+    ) -> Result<(), PageError> {
+        self.try_with_page(file, page, |data| buf.copy_from_slice(data))
     }
 
     /// Borrow a page's bytes without copying. The page is transiently
@@ -566,11 +765,29 @@ impl BufferPool {
         f(pinned.bytes())
     }
 
+    /// Fallible twin of [`BufferPool::with_page`]: a page fault surfaces
+    /// as a typed error instead of a panic and `f` is not run.
+    pub fn try_with_page<R>(
+        &self,
+        file: FileId,
+        page: PageId,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R, PageError> {
+        let pinned = self.try_acquire(file, page)?;
+        Ok(f(pinned.bytes()))
+    }
+
     /// Pin a page for zero-copy reading. Used by
     /// [`Pager::pin_page`](crate::Pager::pin_page) to build a
     /// [`PageGuard`](crate::PageGuard).
     pub(crate) fn pin_slot(&self, file: FileId, page: PageId) -> PinnedSlot {
         self.acquire(file, page)
+    }
+
+    /// Fallible twin of [`BufferPool::pin_slot`] — the foundation of
+    /// [`Pager::try_pin_page`](crate::Pager::try_pin_page).
+    pub(crate) fn try_pin_slot(&self, file: FileId, page: PageId) -> Result<PinnedSlot, PageError> {
+        self.try_acquire(file, page)
     }
 
     /// Pin a page, returning a pointer to its (stable) bytes and its
@@ -593,9 +810,31 @@ impl BufferPool {
 
     /// Release one pin on the frame holding physical page `phys`
     /// (counterpart of [`BufferPool::pin`]).
+    ///
+    /// Panics if `phys` is not cached — an unbalanced pin/unpin pair. The
+    /// message names the physical page and (when the reverse mapping still
+    /// exists) the logical file and page, since "which page was that?" is
+    /// the first question the panic raises.
     pub fn unpin(&self, phys: u64) {
         let core = self.policy.lock();
-        let idx = *core.map.get(&phys).expect("unpin of uncached page");
+        let idx = match core.map.get(&phys) {
+            Some(&idx) => idx,
+            None => {
+                // Cold path: reverse-map the physical page for the message.
+                let owner = (0..core.disk.file_count())
+                    .map(|f| FileId(f as u32))
+                    .find_map(|f| {
+                        (0..core.disk.file_len(f))
+                            .find(|&p| core.disk.phys(f, p) == phys)
+                            .map(|p| format!("page {p} of {f:?}"))
+                    })
+                    .unwrap_or_else(|| "not an allocated page of any file".to_string());
+                panic!(
+                    "unpin of uncached physical page {phys} ({owner}): pin/unpin calls \
+                     are unbalanced or the frame was dropped while pinned"
+                );
+            }
+        };
         core.entry(idx).slot.unpin();
     }
 
@@ -611,10 +850,24 @@ impl BufferPool {
     /// Overwrite a whole page. Panics if the page is pinned: a pinned
     /// frame's bytes are borrowed by [`PageGuard`](crate::PageGuard)s.
     pub fn write_page(&self, file: FileId, page: PageId, data: &[u8]) {
+        self.try_write_page(file, page, data)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`BufferPool::write_page`]: refused with
+    /// [`PageError::ReadOnly`] when the pool is degraded, and a failed
+    /// fetch of the target page surfaces as its typed error. Still panics
+    /// if the page is pinned (that is a caller bug, not a media fault).
+    pub fn try_write_page(&self, file: FileId, page: PageId, data: &[u8]) -> Result<(), PageError> {
         assert_eq!(data.len(), PAGE_SIZE, "write_page requires a full page");
         let mut core = self.policy.lock();
+        if let Some(cause) = &core.read_only {
+            return Err(PageError::ReadOnly {
+                cause: cause.clone(),
+            });
+        }
         self.drain_touches(&mut core);
-        let idx = self.fetch_locked(&mut core, file, page);
+        let idx = self.try_fetch_locked(&mut core, file, page)?;
         let entry = core.entry(idx);
         let shard = self.shard_of(entry.key);
         {
@@ -631,6 +884,7 @@ impl BufferPool {
             unsafe { entry.slot.buffer_mut().copy_from_slice(data) };
         }
         core.entry_mut(idx).dirty = true;
+        Ok(())
     }
 
     /// Write every dirty unpinned frame back to disk (charging write costs)
@@ -652,13 +906,20 @@ impl BufferPool {
 
     /// Write back (if dirty), unmap, unlink and free one frame. Returns
     /// false if a racing reader pinned the frame after it was selected (the
-    /// re-check under the shard write latch failed) — impossible
-    /// single-threaded.
+    /// re-check under the shard write latch failed — impossible
+    /// single-threaded), or if the frame is dirty but cannot be written
+    /// back (degraded read-only mode; the frame stays cached so reads keep
+    /// serving its bytes).
     fn drop_frame(&self, core: &mut PolicyCore, idx: u32) -> bool {
         let (key, phys) = {
             let e = core.entry(idx);
             (e.key, e.phys)
         };
+        // In degraded mode a dirty frame is unevictable: its write-back
+        // would fail and dropping it anyway would lose the only good copy.
+        if core.entry(idx).dirty && core.read_only.is_some() {
+            return false;
+        }
         {
             let shard = self.shard_of(key);
             let mut map = shard.map.write();
@@ -675,12 +936,19 @@ impl BufferPool {
             let slot = core.entry(idx).slot.clone();
             // SAFETY: frame is unmapped and unpinned — no shared borrows.
             let bytes = unsafe { slot.bytes() };
-            core.disk.write_phys(phys, bytes).unwrap_or_else(|e| {
-                panic!(
-                    "write-back of page {} of {:?} (physical page {phys}) failed: {e}",
-                    key.1, key.0
-                )
-            });
+            if let Err(e) = core.disk.write_phys(phys, bytes) {
+                // A failed write-back flips the pool into degraded
+                // read-only mode instead of panicking: restore the frame
+                // (remap, re-dirty — no bytes were lost) and record the
+                // cause; every later mutation returns `ReadOnly` with it
+                // while reads keep serving from cache and disk.
+                core.entry_mut(idx).dirty = true;
+                self.shard_of(key).map.write().insert(key, slot);
+                if core.read_only.is_none() {
+                    core.read_only = Some(Arc::from(e.to_string().as_str()));
+                }
+                return false;
+            }
             core.stats.writes += 1;
             core.stats.io_time += core.cost.write;
         }
@@ -692,48 +960,102 @@ impl BufferPool {
     /// Install a page in a (possibly recycled) frame slot, evicting first
     /// if the pool is full. Returns the entry index. The caller must hold
     /// the policy lock with touch logs drained.
-    fn install(
+    ///
+    /// A failed disk read is handled per the error taxonomy: transient
+    /// errors (including short reads) are retried under the pool's
+    /// [`RetryPolicy`] with deterministic doubling backoff; corruption
+    /// quarantines the page and fails fast forever after; anything else
+    /// surfaces as [`PageError::Io`]. On failure the cache is left
+    /// consistent — nothing is mapped and the recycled slot returns to the
+    /// free pool (evictions already performed stand; their write-backs
+    /// were real I/O).
+    fn try_install(
         &self,
         core: &mut PolicyCore,
         key: (FileId, PageId),
         phys: u64,
         zeroed_dirty: bool,
-    ) -> u32 {
+    ) -> Result<u32, PageError> {
         debug_assert!(!core.map.contains_key(&phys));
         while core.map.len() >= core.capacity {
             if !self.evict_one(core) {
-                // Every frame is pinned: grow past capacity instead of
-                // deadlocking; the overflow drains as pins are released.
+                // Every frame is pinned (or unevictable in degraded mode):
+                // grow past capacity instead of deadlocking; the overflow
+                // drains as pins are released.
                 break;
             }
         }
-        let read_into = |core: &mut PolicyCore, buf: &mut [u8; PAGE_SIZE]| {
-            core.disk.read_phys(phys, buf).unwrap_or_else(|e| {
-                panic!(
-                    "read of page {} of {:?} (physical page {phys}) failed: {e}",
-                    key.1, key.0
-                )
-            })
-        };
+        let read_into =
+            |core: &mut PolicyCore, buf: &mut [u8; PAGE_SIZE]| -> Result<(), PageError> {
+                let policy = core.retry;
+                let clock = core.clock.clone();
+                let mut attempt: u32 = 1;
+                loop {
+                    match core.disk.read_phys(phys, buf) {
+                        Ok(()) => return Ok(()),
+                        Err(e) if e.is_corruption() => {
+                            // Never retried — re-reading rotten bits is
+                            // wasted I/O. Quarantine so every later access
+                            // fails fast, naming the page.
+                            core.quarantine.insert(phys, key);
+                            return Err(PageError::Corrupt {
+                                file: key.0,
+                                page: key.1,
+                                phys,
+                                cause: e.to_string(),
+                            });
+                        }
+                        Err(e) if e.is_transient() => {
+                            if attempt >= policy.attempts.max(1) {
+                                return Err(PageError::Transient {
+                                    file: key.0,
+                                    page: key.1,
+                                    phys,
+                                    attempts: attempt,
+                                    cause: e.to_string(),
+                                });
+                            }
+                            clock.sleep(policy.backoff_before(attempt));
+                            core.stats.retries += 1;
+                            attempt += 1;
+                        }
+                        Err(e) => {
+                            return Err(PageError::Io {
+                                file: key.0,
+                                page: key.1,
+                                phys,
+                                cause: e.to_string(),
+                            });
+                        }
+                    }
+                }
+            };
         let slot = match core.free_slots.pop() {
             Some(slot) => {
                 // SAFETY: a recycled slot is unmapped with no pins — this
                 // Arc is its only reference, so the buffer is exclusive.
-                unsafe {
+                let read = unsafe {
                     slot.reset_for(phys);
                     let buf = slot.buffer_mut();
                     if zeroed_dirty {
                         buf.fill(0);
+                        Ok(())
                     } else {
-                        read_into(core, buf);
+                        read_into(core, buf)
                     }
+                };
+                if let Err(e) = read {
+                    // Still unmapped and unpinned; hand it back for the
+                    // next install (it is reset again on reuse).
+                    core.free_slots.push(slot);
+                    return Err(e);
                 }
                 slot
             }
             None => {
                 let mut data = Box::new([0u8; PAGE_SIZE]);
                 if !zeroed_dirty {
-                    read_into(core, &mut data);
+                    read_into(core, &mut data)?;
                 }
                 Arc::new(FrameSlot::new(data, phys))
             }
@@ -763,7 +1085,7 @@ impl BufferPool {
         // Publish to the mapping shard last, so concurrent readers only see
         // fully installed frames.
         self.shard_of(key).map.write().insert(key, slot);
-        idx
+        Ok(idx)
     }
 
     /// Evict the preferred victim (oldest unpinned cold frame, with an
@@ -1277,5 +1599,262 @@ mod tests {
         assert_eq!(p.stats().writes, 1);
         p.read_page(f, 0, &mut buf);
         assert_eq!(buf[9], 99);
+    }
+
+    // ------- fault handling: retries, quarantine, degraded mode -------
+
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// What the [`FlakyDisk`] below should do, shared with the test body.
+    #[derive(Default)]
+    struct FaultPlan {
+        /// Errors returned by the next `read_phys` calls, front first;
+        /// reads succeed once drained.
+        read_errors: Vec<StorageError>,
+        /// Physical pages that always read back corrupt.
+        corrupt: std::collections::HashSet<u64>,
+        /// When set, every `write_phys` fails hard.
+        fail_writes: bool,
+    }
+
+    /// A [`Disk`] whose faults are scripted by a shared [`FaultPlan`].
+    struct FlakyDisk {
+        inner: Disk,
+        plan: Arc<StdMutex<FaultPlan>>,
+    }
+
+    impl Storage for FlakyDisk {
+        fn create_file(&mut self) -> FileId {
+            self.inner.create_file()
+        }
+        fn file_count(&self) -> usize {
+            self.inner.file_count()
+        }
+        fn file_len(&self, file: FileId) -> u64 {
+            self.inner.file_len(file)
+        }
+        fn total_pages(&self) -> u64 {
+            self.inner.total_pages()
+        }
+        fn allocate_page(&mut self, file: FileId) -> PageId {
+            self.inner.allocate_page(file)
+        }
+        fn phys(&self, file: FileId, page: PageId) -> u64 {
+            self.inner.phys(file, page)
+        }
+        fn read_phys(&mut self, phys: u64, out: &mut [u8; PAGE_SIZE]) -> Result<(), StorageError> {
+            let mut plan = self.plan.lock().unwrap();
+            if !plan.read_errors.is_empty() {
+                return Err(plan.read_errors.remove(0));
+            }
+            if plan.corrupt.contains(&phys) {
+                return Err(StorageError::ChecksumMismatch {
+                    what: format!("page {phys}"),
+                    expected: 1,
+                    actual: 2,
+                });
+            }
+            self.inner.read_phys(phys, out)
+        }
+        fn write_phys(&mut self, phys: u64, data: &[u8]) -> Result<(), StorageError> {
+            if self.plan.lock().unwrap().fail_writes {
+                return Err(StorageError::Io(std::io::Error::other(
+                    "simulated dead sector",
+                )));
+            }
+            self.inner.write_phys(phys, data)
+        }
+        fn put_catalog(&mut self, key: &str, bytes: &[u8]) {
+            self.inner.put_catalog(key, bytes)
+        }
+        fn get_catalog(&self, key: &str) -> Option<Vec<u8>> {
+            self.inner.get_catalog(key)
+        }
+        fn catalog_keys(&self) -> Vec<String> {
+            self.inner.catalog_keys()
+        }
+    }
+
+    /// A [`Clock`] that records requested sleeps instead of sleeping.
+    struct TestClock(StdMutex<Vec<Duration>>);
+    impl Clock for TestClock {
+        fn sleep(&self, d: Duration) {
+            self.0.lock().unwrap().push(d);
+        }
+    }
+
+    fn flaky_pool(pages: usize) -> (BufferPool, FileId, Arc<StdMutex<FaultPlan>>, Arc<TestClock>) {
+        let plan = Arc::new(StdMutex::new(FaultPlan::default()));
+        let mut disk = Disk::new();
+        let f = disk.create_file();
+        let p = BufferPool::new(
+            FlakyDisk {
+                inner: disk,
+                plan: plan.clone(),
+            },
+            pages * PAGE_SIZE,
+            IoCostModel::free(),
+        );
+        let clock = Arc::new(TestClock(StdMutex::new(Vec::new())));
+        p.set_retry_clock(clock.clone());
+        (p, f, plan, clock)
+    }
+
+    fn transient(msg: &str) -> StorageError {
+        StorageError::Transient(std::io::Error::other(msg.to_string()))
+    }
+
+    #[test]
+    fn transient_read_faults_are_absorbed_by_retries_with_deterministic_backoff() {
+        let (p, f, plan, clock) = flaky_pool(4);
+        p.allocate_page(f);
+        p.write_page(f, 0, &[7u8; PAGE_SIZE]);
+        p.clear_cache();
+        p.reset_stats();
+        // Two hiccups, then the medium recovers: within the default
+        // 3-attempt policy, so the caller never sees an error.
+        plan.lock().unwrap().read_errors = vec![transient("blip 1"), transient("blip 2")];
+        let mut buf = vec![0u8; PAGE_SIZE];
+        p.try_read_page(f, 0, &mut buf).expect("retries absorb it");
+        assert_eq!(buf[0], 7);
+        assert_eq!(p.stats().retries, 2);
+        // Backoff under the injected clock: 1 ms, then doubled to 2 ms —
+        // no wall-clock time spent.
+        assert_eq!(
+            *clock.0.lock().unwrap(),
+            vec![Duration::from_millis(1), Duration::from_millis(2)]
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_last_error() {
+        let (p, f, plan, clock) = flaky_pool(4);
+        p.allocate_page(f);
+        p.clear_cache();
+        plan.lock().unwrap().read_errors = vec![
+            transient("blip 1"),
+            transient("blip 2"),
+            transient("blip 3"),
+        ];
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let err = p.try_read_page(f, 0, &mut buf).unwrap_err();
+        match &err {
+            PageError::Transient {
+                attempts, cause, ..
+            } => {
+                assert_eq!(*attempts, 3);
+                assert!(
+                    cause.contains("blip 3"),
+                    "must carry the LAST error: {cause}"
+                );
+            }
+            other => panic!("expected Transient, got {other:?}"),
+        }
+        assert_eq!(
+            clock.0.lock().unwrap().len(),
+            2,
+            "two sleeps between three attempts"
+        );
+        // The fault has cleared (the scripted errors are drained): the
+        // same query retried by the caller now succeeds.
+        p.try_read_page(f, 0, &mut buf).expect("medium healed");
+    }
+
+    #[test]
+    fn corruption_is_never_retried_and_quarantines_the_page() {
+        let (p, f, plan, clock) = flaky_pool(4);
+        p.allocate_page(f);
+        p.clear_cache();
+        p.reset_stats();
+        plan.lock().unwrap().corrupt.insert(0);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let err = p.try_read_page(f, 0, &mut buf).unwrap_err();
+        assert!(
+            matches!(err, PageError::Corrupt { .. }),
+            "expected Corrupt, got {err:?}"
+        );
+        assert!(clock.0.lock().unwrap().is_empty(), "rot is not retried");
+        assert_eq!(p.stats().retries, 0);
+        // Even after the medium is "repaired", the quarantine remembers —
+        // the page stays fenced until an operator clears it.
+        plan.lock().unwrap().corrupt.clear();
+        let err = p.try_read_page(f, 0, &mut buf).unwrap_err();
+        assert!(matches!(err, PageError::Corrupt { .. }));
+        assert!(err.to_string().contains("quarantine"), "got: {err}");
+        assert_eq!(p.clear_quarantine(), 1);
+        p.try_read_page(f, 0, &mut buf)
+            .expect("cleared quarantine re-reads the (repaired) page");
+    }
+
+    #[test]
+    fn failed_write_back_degrades_the_pool_to_read_only() {
+        let (p, f, plan, _clock) = flaky_pool(1);
+        p.allocate_page(f);
+        p.allocate_page(f);
+        let mut page = vec![0u8; PAGE_SIZE];
+        page[3] = 33;
+        p.write_page(f, 0, &page); // page 0 cached dirty
+        plan.lock().unwrap().fail_writes = true;
+        // Reading page 1 wants page 0's frame; the write-back fails, the
+        // pool degrades — but the read itself must still be served (the
+        // pool grows past capacity rather than losing the dirty frame).
+        let mut buf = vec![0u8; PAGE_SIZE];
+        p.try_read_page(f, 1, &mut buf).expect("reads keep serving");
+        let cause = p.degraded().expect("failed write-back must degrade");
+        assert!(cause.contains("dead sector"), "cause: {cause}");
+        // Mutations are refused with the original cause…
+        let err = p.try_write_page(f, 1, &page).unwrap_err();
+        assert!(matches!(err, PageError::ReadOnly { .. }), "got: {err:?}");
+        assert!(err.to_string().contains("dead sector"), "got: {err}");
+        assert!(matches!(
+            p.try_allocate_page(f),
+            Err(PageError::ReadOnly { .. })
+        ));
+        assert!(matches!(p.try_sync(), Err(PageError::ReadOnly { .. })));
+        // …and the dirty page's latest bytes are still readable.
+        p.try_read_page(f, 0, &mut buf)
+            .expect("dirty page readable");
+        assert_eq!(buf[3], 33);
+    }
+
+    #[test]
+    fn degraded_sync_via_infallible_entry_point_errors_not_panics() {
+        let (p, f, plan, _clock) = flaky_pool(1);
+        p.allocate_page(f);
+        p.write_page(f, 0, &[1u8; PAGE_SIZE]);
+        plan.lock().unwrap().fail_writes = true;
+        assert!(p.sync().is_err(), "failing flush surfaces an error");
+        assert!(p.degraded().is_some(), "failed sync flush degrades");
+        assert!(p.sync().is_err(), "degraded pool refuses further syncs");
+    }
+
+    #[test]
+    fn scrub_reports_exactly_the_damaged_pages_without_touching_counters() {
+        let (p, f, plan, clock) = flaky_pool(4);
+        for _ in 0..3 {
+            p.allocate_page(f);
+        }
+        p.sync().unwrap();
+        p.reset_stats();
+        plan.lock().unwrap().corrupt.insert(1);
+        let report = p.scrub();
+        assert_eq!(report.pages_checked, 3);
+        assert_eq!(report.corrupt.len(), 1);
+        assert_eq!(report.corrupt[0].page, 1);
+        assert_eq!(report.quarantined, vec![(f, 1, 1)]);
+        assert!(report.unreadable.is_empty());
+        assert!(!report.is_clean());
+        assert_eq!(p.stats().misses(), 0, "scrub must not move miss counters");
+        assert_eq!(p.stats().hits, 0);
+        // Repair + clear: the next scrub is clean, absorbing a transient
+        // hiccup along the way (and counting its retry).
+        plan.lock().unwrap().corrupt.clear();
+        assert_eq!(p.clear_quarantine(), 1);
+        clock.0.lock().unwrap().clear();
+        plan.lock().unwrap().read_errors = vec![transient("hiccup")];
+        let report = p.scrub();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.pages_checked, 3);
+        assert_eq!(clock.0.lock().unwrap().len(), 1, "scrub retried the hiccup");
     }
 }

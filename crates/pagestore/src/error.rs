@@ -1,0 +1,270 @@
+//! Typed page-fault errors, the transient-fault retry policy, and the
+//! scrub report — the vocabulary of the fallible read path.
+//!
+//! The buffer pool's historical contract was "storage errors abort the
+//! process": a flaky sector during a page fault panicked inside
+//! [`BufferPool`](crate::BufferPool) and took every in-flight query with
+//! it. The fallible path (`try_pin_page` / `try_write_page` / `try_sync`
+//! and the `try_*` twins up the stack) turns those aborts into values:
+//!
+//! * **transient** failures (`EIO`-style hiccups, short reads) are retried
+//!   under a bounded, deterministic [`RetryPolicy`] before surfacing as
+//!   [`PageError::Transient`] — a later retry of the same query may
+//!   succeed;
+//! * **corruption** (a page checksum mismatch) is never retried — re-reading
+//!   rotten bits is wasted I/O — and quarantines the page, so every later
+//!   access fails fast with [`PageError::Corrupt`] naming the page;
+//! * a failed **write-back** flips the pool into degraded *read-only* mode:
+//!   reads keep serving from cache and disk, every mutation returns
+//!   [`PageError::ReadOnly`] carrying the original cause.
+//!
+//! [`ScrubReport`] is the operator-facing half: `scrub()` walks every
+//! reachable page, verifies checksums, and reports exactly which pages are
+//! corrupt or quarantined.
+
+use crate::disk::{FileId, PageId};
+use crate::storage::PhysPage;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A page-level fault surfaced by the fallible (`try_*`) read path.
+///
+/// Every variant names the page so one corrupt leaf fails one query with a
+/// diagnosable error — never the whole process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageError {
+    /// A page fault failed with a transient I/O error even after the
+    /// configured retries. The page itself may be fine — retrying the
+    /// query later can succeed.
+    Transient {
+        file: FileId,
+        page: PageId,
+        phys: PhysPage,
+        /// Read attempts made (1 initial + retries) before giving up.
+        attempts: u32,
+        /// The last underlying error, rendered.
+        cause: String,
+    },
+    /// The page failed its integrity check (bit rot, torn write). The
+    /// page is quarantined: every later access fails fast with this
+    /// error until the quarantine is cleared.
+    Corrupt {
+        file: FileId,
+        page: PageId,
+        phys: PhysPage,
+        cause: String,
+    },
+    /// A non-transient, non-corruption I/O failure (e.g. permission
+    /// denied). Not retried, not quarantined.
+    Io {
+        file: FileId,
+        page: PageId,
+        phys: PhysPage,
+        cause: String,
+    },
+    /// The pool is in degraded read-only mode after a failed write-back;
+    /// the mutation was refused. Reads keep serving.
+    ReadOnly {
+        /// The original write-back failure that degraded the pool.
+        cause: Arc<str>,
+    },
+}
+
+impl std::fmt::Display for PageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PageError::Transient {
+                file,
+                page,
+                phys,
+                attempts,
+                cause,
+            } => write!(
+                f,
+                "read of page {page} of {file:?} (physical page {phys}) failed after \
+                 {attempts} attempt(s): {cause}"
+            ),
+            PageError::Corrupt {
+                file,
+                page,
+                phys,
+                cause,
+            } => write!(
+                f,
+                "page {page} of {file:?} (physical page {phys}) is corrupt and quarantined: \
+                 {cause}"
+            ),
+            PageError::Io {
+                file,
+                page,
+                phys,
+                cause,
+            } => write!(
+                f,
+                "read of page {page} of {file:?} (physical page {phys}) failed: {cause}"
+            ),
+            PageError::ReadOnly { cause } => write!(
+                f,
+                "buffer pool is in degraded read-only mode after a failed write-back \
+                 ({cause}); mutations are refused, reads keep serving"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PageError {}
+
+/// Bounded, deterministic retry policy for *transient* page-fault read
+/// errors.
+///
+/// A fault is attempted up to `attempts` times total; before retry *k*
+/// (1-based) the configured [`Clock`] sleeps `backoff << (k - 1)` — a
+/// doubling backoff whose whole sequence is a pure function of this
+/// struct, so tests can pin it exactly under an injected clock.
+/// Corruption is never retried, and the policy costs nothing when no
+/// fault occurs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total read attempts (minimum 1 — the initial try).
+    pub attempts: u32,
+    /// Delay before the first retry; doubles on each further retry.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts with a 1 ms initial backoff — absorbs one-shot
+    /// hiccups without stalling a genuinely failing device for long.
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every transient error surfaces immediately.
+    pub const fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// The delay slept before 1-based retry `retry` (deterministic
+    /// doubling, saturating so huge retry counts cannot overflow).
+    pub fn backoff_before(&self, retry: u32) -> Duration {
+        let shift = retry.saturating_sub(1).min(16);
+        self.backoff.saturating_mul(1u32 << shift)
+    }
+}
+
+/// Injectable time source for retry backoff — production sleeps on the
+/// wall clock, tests record the requested delays instead (no wall-clock
+/// time in tests).
+pub trait Clock: Send + Sync {
+    fn sleep(&self, d: Duration);
+}
+
+/// The production [`Clock`]: `std::thread::sleep`, skipping zero delays.
+pub struct RealClock;
+
+impl Clock for RealClock {
+    fn sleep(&self, d: Duration) {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// One damaged page found by `scrub()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubFinding {
+    pub file: FileId,
+    pub page: PageId,
+    pub phys: PhysPage,
+    /// The verification failure, rendered.
+    pub cause: String,
+}
+
+/// Result of walking every reachable page and verifying its integrity
+/// (`Pager::scrub` / the indexes' `scrub()` delegates).
+#[derive(Debug, Clone, Default)]
+pub struct ScrubReport {
+    /// Pages visited (every allocated page of every file).
+    pub pages_checked: u64,
+    /// Pages whose integrity check failed (now quarantined).
+    pub corrupt: Vec<ScrubFinding>,
+    /// Pages that could not be read at all (I/O errors after retries).
+    pub unreadable: Vec<ScrubFinding>,
+    /// Quarantined pages (`(file, page, phys)`), including ones found by
+    /// earlier faults, sorted by physical page.
+    pub quarantined: Vec<(FileId, PageId, PhysPage)>,
+}
+
+impl ScrubReport {
+    /// True when every page verified and nothing is quarantined.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt.is_empty() && self.unreadable.is_empty() && self.quarantined.is_empty()
+    }
+}
+
+impl std::fmt::Display for ScrubReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} page(s) checked, {} corrupt, {} unreadable, {} quarantined",
+            self.pages_checked,
+            self.corrupt.len(),
+            self.unreadable.len(),
+            self.quarantined.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_sequence_doubles_deterministically() {
+        let p = RetryPolicy {
+            attempts: 5,
+            backoff: Duration::from_millis(2),
+        };
+        let seq: Vec<Duration> = (1..5).map(|k| p.backoff_before(k)).collect();
+        assert_eq!(
+            seq,
+            vec![
+                Duration::from_millis(2),
+                Duration::from_millis(4),
+                Duration::from_millis(8),
+                Duration::from_millis(16),
+            ]
+        );
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let p = RetryPolicy {
+            attempts: u32::MAX,
+            backoff: Duration::from_secs(u64::MAX / 4),
+        };
+        // Huge retry indices clamp the shift and saturate the multiply.
+        let d = p.backoff_before(1000);
+        assert!(d >= p.backoff);
+    }
+
+    #[test]
+    fn errors_name_the_page() {
+        let e = PageError::Corrupt {
+            file: FileId(2),
+            page: 7,
+            phys: 40,
+            cause: "checksum mismatch".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("page 7") && msg.contains("FileId(2)") && msg.contains("40"));
+        assert!(msg.contains("quarantined"));
+    }
+}

@@ -40,7 +40,7 @@ use crate::FileStorage;
 use std::io;
 use std::sync::{Arc, Mutex};
 
-/// Crash schedule for a [`FaultFile`].
+/// Crash and fault schedule for a [`FaultFile`].
 #[derive(Debug, Clone, Default)]
 pub struct FaultConfig {
     /// Crash after this many mutating operations have fully reached the
@@ -52,6 +52,25 @@ pub struct FaultConfig {
     /// whole. In-flight `set_len` / `sync_all` are always dropped whole —
     /// there is no meaningful "half a truncation".
     pub tear_bytes: usize,
+    /// Read-operation indices (see [`FaultHandle::read_ops`]) that fail
+    /// with an injected *transient* error ([`io::ErrorKind::Interrupted`])
+    /// instead of returning data. The same read re-issued — the next read
+    /// index — succeeds, which is exactly what a retry does.
+    pub transient_reads: Vec<u64>,
+    /// Mutating-operation indices (same counter as `crash_after`) that
+    /// fail transiently: the attempt consumes its index but reaches
+    /// *neither* image, and the call returns [`io::ErrorKind::Interrupted`].
+    pub transient_writes: Vec<u64>,
+    /// Read-operation indices that fail with a *short read*
+    /// ([`io::ErrorKind::UnexpectedEof`]) — the medium returned fewer
+    /// bytes than asked. Classified transient by the retry policy.
+    pub short_reads: Vec<u64>,
+    /// When non-zero, roughly one in `transient_one_in` reads fails
+    /// transiently, chosen by a deterministic hash of
+    /// (`seed`, read index) — a seeded flaky medium for sweep tests.
+    pub transient_one_in: u64,
+    /// Seed for the `transient_one_in` hash (irrelevant when that is 0).
+    pub seed: u64,
 }
 
 impl FaultConfig {
@@ -69,7 +88,33 @@ impl FaultConfig {
         FaultConfig {
             crash_after: Some(ops),
             tear_bytes,
+            ..FaultConfig::default()
         }
+    }
+
+    /// A seeded flaky medium: roughly one in `one_in` reads fails with a
+    /// transient error, deterministically per (`seed`, read index).
+    pub fn flaky_reads(seed: u64, one_in: u64) -> Self {
+        FaultConfig {
+            transient_one_in: one_in,
+            seed,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// True when the deterministic flaky-read hash fires for `read_op`.
+    fn flaky_fires(&self, read_op: u64) -> bool {
+        if self.transient_one_in == 0 {
+            return false;
+        }
+        // SplitMix64 finalizer over (seed ^ index): stateless, identical
+        // across runs for the same seed, and well-mixed enough that
+        // `% one_in` sees no stride artefacts from sequential indices.
+        let mut h = self.seed ^ read_op;
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        h.is_multiple_of(self.transient_one_in)
     }
 }
 
@@ -77,15 +122,24 @@ struct FaultState {
     mem: Vec<u8>,
     disk: Vec<u8>,
     ops: u64,
+    read_ops: u64,
     cfg: FaultConfig,
 }
 
 impl FaultState {
     /// Gate one mutating operation: always applied to `mem`; applied to
     /// `disk` fully before the crash point, torn at it, dropped after.
-    fn mutate(&mut self, apply: impl Fn(&mut Vec<u8>, Option<usize>)) {
+    /// A scheduled transient failure consumes the op index but reaches
+    /// neither image.
+    fn mutate(&mut self, apply: impl Fn(&mut Vec<u8>, Option<usize>)) -> io::Result<()> {
         let op = self.ops;
         self.ops += 1;
+        if self.cfg.transient_writes.contains(&op) {
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                format!("injected transient fault on write op {op}"),
+            ));
+        }
         apply(&mut self.mem, None);
         match self.cfg.crash_after {
             None => apply(&mut self.disk, None),
@@ -95,6 +149,27 @@ impl FaultState {
             }
             Some(_) => {}
         }
+        Ok(())
+    }
+
+    /// Gate one read: counts it and reports any scheduled or seeded fault
+    /// for its index. `Ok(())` means the read may serve the memory image.
+    fn gate_read(&mut self) -> io::Result<()> {
+        let op = self.read_ops;
+        self.read_ops += 1;
+        if self.cfg.transient_reads.contains(&op) || self.cfg.flaky_fires(op) {
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                format!("injected transient fault on read op {op}"),
+            ));
+        }
+        if self.cfg.short_reads.contains(&op) {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("injected short read on read op {op}"),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -105,13 +180,20 @@ pub struct FaultHandle(Arc<Mutex<FaultState>>);
 impl FaultHandle {
     /// Mutating operations observed so far (including dropped ones).
     pub fn ops(&self) -> u64 {
-        self.0.lock().unwrap().ops
+        self.lock().ops
+    }
+
+    /// Read operations observed so far (including failed ones). Reads are
+    /// counted on their own axis so scheduling read faults never perturbs
+    /// the mutating-op indices `crash_after` keys on.
+    pub fn read_ops(&self) -> u64 {
+        self.lock().read_ops
     }
 
     /// True once the crash point has passed (some operation was dropped
     /// or torn).
     pub fn crashed(&self) -> bool {
-        let s = self.0.lock().unwrap();
+        let s = self.lock();
         s.cfg.crash_after.is_some_and(|k| s.ops > k)
     }
 
@@ -119,12 +201,41 @@ impl FaultHandle {
     /// find on disk. With no crash configured this is simply the current
     /// file contents, i.e. a "crash now" snapshot.
     pub fn disk_image(&self) -> Vec<u8> {
-        self.0.lock().unwrap().disk.clone()
+        self.lock().disk.clone()
     }
 
     /// The bytes the running process observes (every write applied).
     pub fn mem_image(&self) -> Vec<u8> {
-        self.0.lock().unwrap().mem.clone()
+        self.lock().mem.clone()
+    }
+
+    /// Replace the fault schedule mid-run — how a sweep clears injected
+    /// faults ("the medium healed") or arms a new round without rebuilding
+    /// the whole storage stack. Operation counters are *not* reset.
+    pub fn set_fault_config(&self, cfg: FaultConfig) {
+        self.lock().cfg = cfg;
+    }
+
+    /// Flip one bit of the backing file in **both** images — committed,
+    /// silent corruption (bit rot), not an in-flight fault. The next
+    /// checksummed read of the affected page reports
+    /// [`StorageError::ChecksumMismatch`]. No-op past end of file.
+    pub fn flip_bit(&self, offset: u64, bit: u8) {
+        let mut s = self.lock();
+        let Ok(i) = usize::try_from(offset) else {
+            return;
+        };
+        let mask = 1u8 << (bit & 7);
+        if let Some(b) = s.mem.get_mut(i) {
+            *b ^= mask;
+        }
+        if let Some(b) = s.disk.get_mut(i) {
+            *b ^= mask;
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        self.0.lock().expect("fault-state lock poisoned")
     }
 }
 
@@ -147,6 +258,7 @@ impl FaultFile {
             mem: bytes.clone(),
             disk: bytes,
             ops: 0,
+            read_ops: 0,
             cfg,
         }));
         (
@@ -156,44 +268,48 @@ impl FaultFile {
             FaultHandle(state),
         )
     }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        self.state.lock().expect("fault-state lock poisoned")
+    }
 }
 
 impl RawFile for FaultFile {
     fn read_at(&mut self, offset: u64, out: &mut [u8]) -> io::Result<()> {
         // Reads are not crash points: they do not change what is on disk,
         // so a crash "before a read" is identical to a crash before the
-        // next mutating operation.
-        read_image_at(&self.state.lock().unwrap().mem, offset, out)
+        // next mutating operation. They have their own fault axis, though
+        // — transient errors and short reads — gated per read index.
+        let mut s = self.lock();
+        s.gate_read()?;
+        read_image_at(&s.mem, offset, out)
     }
 
     fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
-        self.state.lock().unwrap().mutate(|image, tear| {
+        self.lock().mutate(|image, tear| {
             let n = tear.map_or(data.len(), |t| t.min(data.len()));
             write_image_at(image, offset, &data[..n]);
-        });
-        Ok(())
+        })
     }
 
     fn set_len(&mut self, len: u64) -> io::Result<()> {
         let len = usize::try_from(len).expect("length fits memory");
-        self.state.lock().unwrap().mutate(|image, tear| {
+        self.lock().mutate(|image, tear| {
             if tear.is_none() {
                 image.resize(len, 0);
             }
-        });
-        Ok(())
+        })
     }
 
     fn byte_len(&mut self) -> io::Result<u64> {
-        Ok(self.state.lock().unwrap().mem.len() as u64)
+        Ok(self.lock().mem.len() as u64)
     }
 
     fn sync_all(&mut self) -> io::Result<()> {
         // A barrier mutates nothing, but it is still a scheduling point
         // the sweep enumerates (and dropping it is how "the crash ate the
         // fsync" is modelled).
-        self.state.lock().unwrap().mutate(|_, _| {});
-        Ok(())
+        self.lock().mutate(|_, _| {})
     }
 }
 
@@ -353,6 +469,99 @@ mod tests {
         f.set_len(1).unwrap(); // in-flight: dropped, not "partially truncated"
         assert_eq!(h.disk_image(), b"xxxx");
         assert_eq!(h.mem_image(), b"x");
+    }
+
+    #[test]
+    fn transient_read_fails_once_then_succeeds() {
+        let (mut f, h) = FaultFile::new(FaultConfig {
+            transient_reads: vec![1],
+            ..FaultConfig::default()
+        });
+        f.write_at(0, b"data").unwrap();
+        let mut out = [0u8; 4];
+        f.read_at(0, &mut out).unwrap(); // read op 0: fine
+        let err = f.read_at(0, &mut out).unwrap_err(); // read op 1: injected
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        assert!(err.to_string().contains("read op 1"), "got: {err}");
+        f.read_at(0, &mut out).unwrap(); // the retry (read op 2) succeeds
+        assert_eq!(&out, b"data");
+        assert_eq!(h.read_ops(), 3);
+        assert_eq!(h.ops(), 1, "reads must not consume mutating-op indices");
+    }
+
+    #[test]
+    fn short_read_is_classified_transient() {
+        let (mut f, _h) = FaultFile::new(FaultConfig {
+            short_reads: vec![0],
+            ..FaultConfig::default()
+        });
+        f.write_at(0, b"data").unwrap();
+        let mut out = [0u8; 4];
+        let err = f.read_at(0, &mut out).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(StorageError::Io(err).is_transient());
+    }
+
+    #[test]
+    fn transient_write_reaches_neither_image_but_consumes_its_index() {
+        let (mut f, h) = FaultFile::new(FaultConfig {
+            transient_writes: vec![1],
+            ..FaultConfig::default()
+        });
+        f.write_at(0, b"aaaa").unwrap(); // op 0
+        let err = f.write_at(0, b"bbbb").unwrap_err(); // op 1: injected
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        assert_eq!(h.mem_image(), b"aaaa", "failed write must not apply");
+        assert_eq!(h.disk_image(), b"aaaa");
+        f.write_at(0, b"cccc").unwrap(); // op 2: the retry lands
+        assert_eq!(h.mem_image(), b"cccc");
+        assert_eq!(h.ops(), 3);
+    }
+
+    #[test]
+    fn flaky_reads_are_deterministic_per_seed() {
+        let cfg = FaultConfig::flaky_reads(42, 3);
+        let fired: Vec<u64> = (0..64).filter(|&i| cfg.flaky_fires(i)).collect();
+        assert!(!fired.is_empty(), "one-in-3 must fire within 64 reads");
+        assert_eq!(
+            fired,
+            (0..64)
+                .filter(|&i| FaultConfig::flaky_reads(42, 3).flaky_fires(i))
+                .collect::<Vec<_>>(),
+            "same seed, same schedule"
+        );
+        let other: Vec<u64> = (0..64)
+            .filter(|&i| FaultConfig::flaky_reads(7, 3).flaky_fires(i))
+            .collect();
+        assert_ne!(fired, other, "different seeds differ");
+    }
+
+    #[test]
+    fn set_fault_config_clears_faults_mid_run() {
+        let (mut f, h) = FaultFile::new(FaultConfig::flaky_reads(1, 1)); // every read fails
+        f.write_at(0, b"data").unwrap();
+        let mut out = [0u8; 4];
+        assert!(f.read_at(0, &mut out).is_err());
+        h.set_fault_config(FaultConfig::default()); // the medium heals
+        f.read_at(0, &mut out).unwrap();
+        assert_eq!(&out, b"data");
+    }
+
+    #[test]
+    fn flip_bit_turns_a_committed_page_into_a_checksum_mismatch() {
+        let (mut storage, h) = FaultStorage::create(FaultConfig::default()).unwrap();
+        let f = storage.create_file();
+        storage.allocate_page(f);
+        storage.write_phys(0, &[9u8; PAGE_SIZE]).unwrap();
+        storage.sync().unwrap();
+        // Locate the committed slot of phys page 0 from the frozen image
+        // and rot one payload bit in place.
+        let layout = FileStorage::layout_image(&h.disk_image()).unwrap();
+        let slot = layout.pages[0].expect("page 0 is committed");
+        h.flip_bit(slot + 100, 0);
+        let mut out = [0u8; PAGE_SIZE];
+        let err = storage.read_phys(0, &mut out).unwrap_err();
+        assert!(err.is_corruption(), "got: {err}");
     }
 
     #[test]

@@ -160,7 +160,7 @@ impl ShadowState {
                 }
             }
             if run_len == k {
-                found = Some(run_start.unwrap());
+                found = Some(run_start.expect("a full run implies a recorded start"));
                 break;
             }
         }
@@ -247,7 +247,7 @@ fn parse_superblock(raw: &[u8]) -> Result<SbInfo, StorageError> {
             &raw[..8]
         )));
     }
-    let version = u32::from_le_bytes(raw[8..12].try_into().unwrap());
+    let version = u32::from_le_bytes(raw[8..12].try_into().expect("4-byte slice"));
     let body_len = match version {
         VERSION_V1 => SUPERBLOCK_LEN_V1,
         VERSION_V2 => SUPERBLOCK_LEN_V2,
@@ -263,7 +263,11 @@ fn parse_superblock(raw: &[u8]) -> Result<SbInfo, StorageError> {
             raw.len()
         )));
     }
-    let expected = u64::from_le_bytes(raw[body_len - 8..body_len].try_into().unwrap());
+    let expected = u64::from_le_bytes(
+        raw[body_len - 8..body_len]
+            .try_into()
+            .expect("8-byte slice"),
+    );
     let actual = fnv1a(&raw[..body_len - 8]);
     if expected != actual {
         return Err(StorageError::ChecksumMismatch {
@@ -273,7 +277,7 @@ fn parse_superblock(raw: &[u8]) -> Result<SbInfo, StorageError> {
         });
     }
     let mut r = Reader::new(&raw[12..body_len - 8]);
-    let page_size = r.u32().unwrap();
+    let page_size = r.u32().expect("body length checked above");
     if page_size != PAGE_SIZE as u32 {
         return Err(StorageError::BadSuperblock(format!(
             "page size {page_size} (this build uses {PAGE_SIZE})"
@@ -281,18 +285,18 @@ fn parse_superblock(raw: &[u8]) -> Result<SbInfo, StorageError> {
     }
     Ok(match version {
         VERSION_V1 => SbInfo::V1 {
-            total_pages: r.u64().unwrap(),
-            trailer_off: r.u64().unwrap(),
-            trailer_len: r.u64().unwrap(),
-            trailer_checksum: r.u64().unwrap(),
+            total_pages: r.u64().expect("body length checked above"),
+            trailer_off: r.u64().expect("body length checked above"),
+            trailer_len: r.u64().expect("body length checked above"),
+            trailer_checksum: r.u64().expect("body length checked above"),
         },
         _ => SbInfo::V2 {
-            epoch: r.u64().unwrap(),
-            total_pages: r.u64().unwrap(),
-            slot_count: r.u64().unwrap(),
-            trailer_slot: r.u64().unwrap(),
-            trailer_len: r.u64().unwrap(),
-            trailer_checksum: r.u64().unwrap(),
+            epoch: r.u64().expect("body length checked above"),
+            total_pages: r.u64().expect("body length checked above"),
+            slot_count: r.u64().expect("body length checked above"),
+            trailer_slot: r.u64().expect("body length checked above"),
+            trailer_len: r.u64().expect("body length checked above"),
+            trailer_checksum: r.u64().expect("body length checked above"),
         },
     })
 }
@@ -408,7 +412,10 @@ impl FileStorage {
             // Surface the slot-A failure — that is where a v1 superblock
             // (and the first v2 epoch) lives, so its diagnosis is the
             // legible one.
-            return Err(slot_errors.into_iter().next().unwrap());
+            return Err(slot_errors
+                .into_iter()
+                .next()
+                .expect("both slots were parsed"));
         }
         // Newest epoch first.
         candidates.sort_by_key(|c| std::cmp::Reverse(c.epoch()));
@@ -436,7 +443,7 @@ impl FileStorage {
                 }
             }
         }
-        Err(trailer_error.unwrap())
+        Err(trailer_error.expect("non-empty candidates recorded a failure"))
     }
 
     /// Read and parse both superblock slots (best effort — short files
@@ -987,9 +994,21 @@ impl Storage for FileStorage {
 impl FileStorage {
     fn check_poison(&self) -> Result<(), StorageError> {
         match &self.poisoned {
-            Some(why) => Err(StorageError::Poisoned(why.clone())),
+            Some(why) => Err(StorageError::Poisoned {
+                path: self.path.display().to_string(),
+                cause: why.clone(),
+            }),
             None => Ok(()),
         }
+    }
+
+    /// The commit failure that poisoned this storage, if any. `None`
+    /// means the storage is healthy and writable; `Some(cause)` means
+    /// every further mutation is refused with [`StorageError::Poisoned`]
+    /// (naming this cause and the file's path) until the file is
+    /// reopened, which runs recovery.
+    pub fn poisoned(&self) -> Option<&str> {
+        self.poisoned.as_deref()
     }
 
     /// The physical-page list of `file`, with a legible panic on an
@@ -1043,9 +1062,21 @@ impl FileStorage {
     /// constructing a storage (the file is only read).
     pub fn layout(path: impl AsRef<Path>) -> Result<StorageLayout, StorageError> {
         let file = OpenOptions::new().read(true).open(path.as_ref())?;
-        let mut raw: Box<dyn RawFile> = Box::new(OsFile::new(file));
+        Self::layout_on(Box::new(OsFile::new(file)))
+    }
+
+    /// Inspect the metadata layout of a frozen byte image — how the fault
+    /// harness finds committed page slots to target with bit flips,
+    /// without writing the image to the filesystem first.
+    pub fn layout_image(bytes: &[u8]) -> Result<StorageLayout, StorageError> {
+        Self::layout_on(Box::new(MemFile::from_bytes(bytes.to_vec())))
+    }
+
+    /// Shared layout-inspection core over any [`RawFile`] (read-only).
+    fn layout_on(mut raw: Box<dyn RawFile>) -> Result<StorageLayout, StorageError> {
         let mut slots = Self::read_superblock_slots(&mut raw)?.into_iter();
-        let infos: [Option<SbInfo>; 2] = [slots.next().unwrap().ok(), slots.next().unwrap().ok()];
+        let mut slot_info = || slots.next().expect("both slots were parsed").ok();
+        let infos: [Option<SbInfo>; 2] = [slot_info(), slot_info()];
         let active = match (&infos[0], &infos[1]) {
             (Some(a), Some(b)) => usize::from(b.epoch() > a.epoch()),
             (Some(_), None) => 0,
@@ -1068,7 +1099,7 @@ impl FileStorage {
                 ..
             } => (slot_offset(*trailer_slot), *trailer_len),
         };
-        let info = infos[active].as_ref().unwrap();
+        let info = infos[active].as_ref().expect("active slot parsed");
         let trailer = extent(info);
         let previous_trailer = infos[1 - active].as_ref().map(&extent);
         let (version, sb_len) = match info {
@@ -1458,14 +1489,19 @@ mod tests {
         let f = s.create_file();
         s.allocate_page(f);
         s.write_phys(0, &[1u8; PAGE_SIZE]).unwrap();
+        assert!(s.poisoned().is_none(), "healthy storage probes as None");
         let err = s.sync().expect_err("commit must surface the fsync failure");
         assert!(err.to_string().contains("fsync"), "got: {err}");
-        // All further mutation is refused, naming the poisoning…
+        // The probe now names the originating failure…
+        let cause = s.poisoned().expect("failed commit sets the probe");
+        assert!(cause.contains("fsync"), "probe carries the cause: {cause}");
+        // …and all further mutation is refused, naming the poisoning.
         let err = s.write_phys(0, &[2u8; PAGE_SIZE]).unwrap_err();
-        assert!(matches!(err, StorageError::Poisoned(_)), "got: {err}");
+        assert!(matches!(err, StorageError::Poisoned { .. }), "got: {err}");
         assert!(err.to_string().contains("poisoned"), "got: {err}");
+        assert!(err.to_string().contains("fsync"), "got: {err}");
         let err = s.sync().unwrap_err();
-        assert!(matches!(err, StorageError::Poisoned(_)), "got: {err}");
+        assert!(matches!(err, StorageError::Poisoned { .. }), "got: {err}");
         // …while reads of the (coherent) in-memory state still serve.
         let mut out = [0u8; PAGE_SIZE];
         s.read_phys(0, &mut out).unwrap();

@@ -27,9 +27,15 @@
 //!
 //! [Terrovitis et al., EDBT 2011]: https://doi.org/10.1145/1951365.1951394
 
+// Library code must surface failures as typed errors (or `expect` a named
+// invariant), never swallow them into an anonymous `unwrap` panic. Tests
+// are exempt: there an unwrap *is* the assertion.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 mod cache;
 mod cost;
 mod disk;
+mod error;
 pub mod fault;
 mod file;
 mod frame;
@@ -42,6 +48,7 @@ mod storage;
 pub use cache::BufferPool;
 pub use cost::IoCostModel;
 pub use disk::{Disk, FileId, MemStorage, PageId, PAGE_SIZE};
+pub use error::{Clock, PageError, RealClock, RetryPolicy, ScrubFinding, ScrubReport};
 pub use fault::{FaultConfig, FaultFile, FaultHandle, FaultStorage};
 pub use file::{FileStorage, StorageLayout};
 pub use par::{par_map, par_map_with};
@@ -106,6 +113,12 @@ impl Pager {
         self.inner.allocate_page(file)
     }
 
+    /// Fallible twin of [`Pager::allocate_page`]: refused with
+    /// [`PageError::ReadOnly`] when the pool is degraded.
+    pub fn try_allocate_page(&self, file: FileId) -> Result<PageId, PageError> {
+        self.inner.try_allocate_page(file)
+    }
+
     /// Number of pages currently allocated to `file`.
     pub fn file_len(&self, file: FileId) -> u64 {
         self.inner.file_len(file)
@@ -143,10 +156,50 @@ impl Pager {
         PageGuard { pinned, phys }
     }
 
+    /// Fallible twin of [`Pager::pin_page`]: a page fault that fails even
+    /// after the pool's [`RetryPolicy`] surfaces as a typed [`PageError`]
+    /// naming the page — transient errors as
+    /// [`Transient`](PageError::Transient), integrity failures as
+    /// [`Corrupt`](PageError::Corrupt) (and the page is quarantined) —
+    /// instead of panicking. The access pattern, pin semantics and page
+    /// accounting are identical to `pin_page`.
+    pub fn try_pin_page(&self, file: FileId, page: PageId) -> Result<PageGuard, PageError> {
+        let pinned = self.inner.try_pin_slot(file, page)?;
+        let phys = pinned.slot().phys();
+        Ok(PageGuard { pinned, phys })
+    }
+
+    /// Fallible twin of [`Pager::read_page`].
+    pub fn try_read_page(
+        &self,
+        file: FileId,
+        page: PageId,
+        buf: &mut [u8],
+    ) -> Result<(), PageError> {
+        self.inner.try_read_page(file, page, buf)
+    }
+
+    /// Fallible twin of [`Pager::with_page`] (`f` is not run on a fault).
+    pub fn try_with_page<R>(
+        &self,
+        file: FileId,
+        page: PageId,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R, PageError> {
+        self.inner.try_with_page(file, page, f)
+    }
+
     /// Overwrite page `page` of `file` with `data` (must be `PAGE_SIZE`
     /// long).
     pub fn write_page(&self, file: FileId, page: PageId, data: &[u8]) {
         self.inner.write_page(file, page, data)
+    }
+
+    /// Fallible twin of [`Pager::write_page`]: refused with
+    /// [`PageError::ReadOnly`] when the pool is degraded (carrying the
+    /// original write-back failure as the cause).
+    pub fn try_write_page(&self, file: FileId, page: PageId, data: &[u8]) -> Result<(), PageError> {
+        self.inner.try_write_page(file, page, data)
     }
 
     /// Snapshot the I/O statistics.
@@ -195,9 +248,52 @@ impl Pager {
         self.inner.sync()
     }
 
+    /// Fallible twin of [`Pager::sync`], surfacing the failure as a typed
+    /// [`PageError::ReadOnly`] (any sync failure degrades the pool).
+    pub fn try_sync(&self) -> Result<(), PageError> {
+        self.inner.try_sync()
+    }
+
     /// Replace the I/O cost model (defaults follow a ~2010 commodity disk).
     pub fn set_cost_model(&self, model: IoCostModel) {
         self.inner.set_cost_model(model)
+    }
+
+    /// Configure how transient page-fault read errors are retried (see
+    /// [`RetryPolicy`]).
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        self.inner.set_retry_policy(policy)
+    }
+
+    /// The current transient-fault retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.inner.retry_policy()
+    }
+
+    /// Inject the time source used for retry backoff (tests pass a
+    /// recording clock so retries spend no wall-clock time).
+    pub fn set_retry_clock(&self, clock: Arc<dyn Clock>) {
+        self.inner.set_retry_clock(clock)
+    }
+
+    /// `Some(cause)` when the pool is in degraded read-only mode after a
+    /// failed write-back (reads keep serving; mutations return
+    /// [`PageError::ReadOnly`]).
+    pub fn degraded(&self) -> Option<Arc<str>> {
+        self.inner.degraded()
+    }
+
+    /// Forget every quarantined page (e.g. after restoring the backing
+    /// file); returns how many were forgotten.
+    pub fn clear_quarantine(&self) -> usize {
+        self.inner.clear_quarantine()
+    }
+
+    /// Walk every allocated page, verify readability and integrity, and
+    /// report corrupt / unreadable / quarantined pages. Bypasses the cache
+    /// (no counters move); see [`BufferPool::scrub`].
+    pub fn scrub(&self) -> ScrubReport {
+        self.inner.scrub()
     }
 }
 

@@ -117,11 +117,15 @@ impl<'a> Reader<'a> {
     }
 
     pub fn u32(&mut self) -> Option<u32> {
-        Some(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Some(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("take(4) is 4 bytes"),
+        ))
     }
 
     pub fn u64(&mut self) -> Option<u64> {
-        Some(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Some(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("take(8) is 8 bytes"),
+        ))
     }
 
     pub fn opt_u64(&mut self) -> Option<Option<u64>> {

@@ -27,6 +27,11 @@ pub struct IoStats {
     /// …and in bytes (`synced_pages * PAGE_SIZE`, kept separately so the
     /// report stays meaningful if page size ever varies).
     pub synced_bytes: u64,
+    /// Transient page-fault read errors absorbed by the retry policy
+    /// (each counted retry re-issued the read after a backoff sleep).
+    /// Always zero on a healthy medium — the fault-injection gate uses
+    /// this to prove retries actually happened.
+    pub retries: u64,
     /// Simulated I/O time accumulated by the cost model.
     pub io_time: Duration,
 }
@@ -59,6 +64,7 @@ impl IoStats {
             writes: self.writes.saturating_sub(earlier.writes),
             synced_pages: self.synced_pages.saturating_sub(earlier.synced_pages),
             synced_bytes: self.synced_bytes.saturating_sub(earlier.synced_bytes),
+            retries: self.retries.saturating_sub(earlier.retries),
             io_time: self.io_time.saturating_sub(earlier.io_time),
         }
     }
@@ -74,6 +80,7 @@ impl std::ops::Add for IoStats {
             writes: self.writes + rhs.writes,
             synced_pages: self.synced_pages + rhs.synced_pages,
             synced_bytes: self.synced_bytes + rhs.synced_bytes,
+            retries: self.retries + rhs.retries,
             io_time: self.io_time + rhs.io_time,
         }
     }

@@ -35,6 +35,11 @@ pub type PhysPage = u64;
 pub enum StorageError {
     /// An underlying I/O operation failed.
     Io(std::io::Error),
+    /// An I/O operation failed *transiently* — the medium hiccuped (an
+    /// `EINTR`/`EIO`-style blip, a timeout) but the data underneath may be
+    /// fine. The buffer pool retries these under its
+    /// [`RetryPolicy`](crate::RetryPolicy) before giving up.
+    Transient(std::io::Error),
     /// The file is not a storage file, or was written by an incompatible
     /// version / page size.
     BadSuperblock(String),
@@ -50,13 +55,52 @@ pub enum StorageError {
     /// and the file may disagree about which slots are reachable. The
     /// storage refuses further mutation; reopen the file to run recovery
     /// (which restores a fully committed epoch).
-    Poisoned(String),
+    Poisoned {
+        /// Path of the poisoned storage file (`"<image>"` for in-memory
+        /// images).
+        path: String,
+        /// The originating commit failure, rendered.
+        cause: String,
+    },
+}
+
+impl StorageError {
+    /// True for failures worth retrying: the explicit [`Transient`] class
+    /// plus I/O errors whose kind signals a blip rather than a verdict —
+    /// interrupted calls, timeouts, and short reads (`UnexpectedEof`, which
+    /// a racing writer or a flaky NFS mount can produce on data that reads
+    /// fine moments later).
+    ///
+    /// [`Transient`]: StorageError::Transient
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StorageError::Transient(_) => true,
+            StorageError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::UnexpectedEof
+            ),
+            _ => false,
+        }
+    }
+
+    /// True for integrity violations: the bytes came back but are rot.
+    /// Never retried (re-reading rotten bits is wasted I/O); the pool
+    /// quarantines the page instead.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, StorageError::ChecksumMismatch { .. })
+    }
 }
 
 impl std::fmt::Display for StorageError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::Transient(e) => {
+                write!(f, "transient storage I/O error: {e} (a retry may succeed)")
+            }
             StorageError::BadSuperblock(why) => write!(f, "bad storage superblock: {why}"),
             StorageError::ChecksumMismatch {
                 what,
@@ -67,10 +111,10 @@ impl std::fmt::Display for StorageError {
                 "checksum mismatch on {what}: expected {expected:#018x}, found {actual:#018x} \
                  (file is corrupt or truncated)"
             ),
-            StorageError::Poisoned(why) => write!(
+            StorageError::Poisoned { path, cause } => write!(
                 f,
-                "storage poisoned by a failed commit ({why}); refusing further writes — \
-                 reopen the file to recover a committed epoch"
+                "storage {path} poisoned by a failed commit ({cause}); refusing further \
+                 writes — reopen the file to recover a committed epoch"
             ),
         }
     }
@@ -79,7 +123,7 @@ impl std::fmt::Display for StorageError {
 impl std::error::Error for StorageError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            StorageError::Io(e) => Some(e),
+            StorageError::Io(e) | StorageError::Transient(e) => Some(e),
             _ => None,
         }
     }
@@ -181,5 +225,37 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains("page 17") && msg.contains("checksum"));
+    }
+
+    #[test]
+    fn poisoned_display_names_the_file_and_cause() {
+        let e = StorageError::Poisoned {
+            path: "/tmp/idx.oif".into(),
+            cause: "sync failed: disk full".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("poisoned"));
+        assert!(msg.contains("/tmp/idx.oif"), "must name the file: {msg}");
+        assert!(msg.contains("disk full"), "must carry the cause: {msg}");
+    }
+
+    #[test]
+    fn transient_classification() {
+        use std::io::{Error, ErrorKind};
+        assert!(StorageError::Transient(Error::other("blip")).is_transient());
+        assert!(StorageError::Io(Error::from(ErrorKind::Interrupted)).is_transient());
+        assert!(
+            StorageError::Io(Error::from(ErrorKind::UnexpectedEof)).is_transient(),
+            "short reads are transient"
+        );
+        assert!(!StorageError::Io(Error::from(ErrorKind::PermissionDenied)).is_transient());
+        let rot = StorageError::ChecksumMismatch {
+            what: "page 3".into(),
+            expected: 1,
+            actual: 2,
+        };
+        assert!(!rot.is_transient(), "corruption is never retried");
+        assert!(rot.is_corruption());
+        assert!(!StorageError::Transient(Error::other("blip")).is_corruption());
     }
 }

@@ -17,8 +17,8 @@
 
 use btree::{BTree, BulkLoader};
 use codec::postings::{Compression, Posting, PostingsDecoder, PostingsEncoder};
-use datagen::{Dataset, ItemId};
-use pagestore::Pager;
+use datagen::{Dataset, ItemId, QueryKind};
+use pagestore::{PageError, Pager};
 use std::collections::HashMap;
 
 /// Catalog key the unordered B-tree state is stored under.
@@ -115,6 +115,13 @@ impl UnorderedBTree {
         self.tree.pager()
     }
 
+    /// Walk every page reachable through this index's pager and verify its
+    /// checksum, quarantining corrupt pages. Bypasses the cache: counters
+    /// are unaffected.
+    pub fn scrub(&self) -> pagestore::ScrubReport {
+        self.pager().scrub()
+    }
+
     pub fn num_records(&self) -> u64 {
         self.num_records
     }
@@ -186,32 +193,45 @@ impl UnorderedBTree {
     }
 
     /// Scan the whole list of `item`, calling `f` on each posting; `f`
-    /// returning `false` stops early.
-    fn scan_list(&self, item: ItemId, mut f: impl FnMut(Posting) -> bool) {
-        let mut cursor = self.tree.seek(&encode_key(item, 0));
-        while let Some((key, value)) = cursor.next() {
+    /// returning `false` stops early. Production paths use the fallible
+    /// twin; this panicking form remains for tests.
+    #[cfg_attr(not(test), allow(dead_code))]
+    fn scan_list(&self, item: ItemId, f: impl FnMut(Posting) -> bool) {
+        self.try_scan_list(item, f)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`UnorderedBTree::scan_list`].
+    fn try_scan_list(
+        &self,
+        item: ItemId,
+        mut f: impl FnMut(Posting) -> bool,
+    ) -> Result<(), PageError> {
+        let mut cursor = self.tree.try_seek(&encode_key(item, 0))?;
+        while let Some((key, value)) = cursor.try_next()? {
             if key_item(&key) != item {
                 break;
             }
             let mut dec = PostingsDecoder::with_mode(&value, self.compression);
             while let Some(p) = dec.next_posting().expect("block must decode") {
                 if !f(p) {
-                    return;
+                    return Ok(());
                 }
             }
         }
+        Ok(())
     }
 
     /// Intersect sorted `candidates` with `item`'s list using id-keyed
     /// skip-seeks — the one capability this structure adds over the plain
     /// IF.
-    fn skip_intersect(&self, candidates: &[u64], item: ItemId) -> Vec<u64> {
+    fn skip_intersect(&self, candidates: &[u64], item: ItemId) -> Result<Vec<u64>, PageError> {
         let mut kept = Vec::with_capacity(candidates.len());
         let mut ci = 0usize;
         while ci < candidates.len() {
             // Seek the block that could contain the current candidate.
-            let mut cursor = self.tree.seek(&encode_key(item, candidates[ci]));
-            let Some((key, value)) = cursor.next() else {
+            let mut cursor = self.tree.try_seek(&encode_key(item, candidates[ci]))?;
+            let Some((key, value)) = cursor.try_next()? else {
                 break;
             };
             if key_item(&key) != item {
@@ -234,67 +254,83 @@ impl UnorderedBTree {
                 ci += 1;
             }
         }
-        kept
+        Ok(kept)
     }
 
     /// Subset query (candidates from the shortest list, then skip-seek
     /// intersections).
     pub fn subset(&self, qs: &[ItemId]) -> Vec<u64> {
+        self.try_subset(qs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`UnorderedBTree::subset`]: a page fault surfaces
+    /// as its typed [`PageError`] instead of a panic.
+    pub fn try_subset(&self, qs: &[ItemId]) -> Result<Vec<u64>, PageError> {
         debug_assert!(qs.windows(2).all(|w| w[0] < w[1]));
         if qs.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let mut items = qs.to_vec();
         items.sort_unstable_by_key(|&i| self.support(i));
         let mut candidates = Vec::new();
-        self.scan_list(items[0], |p| {
+        self.try_scan_list(items[0], |p| {
             candidates.push(p.id);
             true
-        });
+        })?;
         for &item in &items[1..] {
             if candidates.is_empty() {
-                return Vec::new();
+                return Ok(Vec::new());
             }
-            candidates = self.skip_intersect(&candidates, item);
+            candidates = self.skip_intersect(&candidates, item)?;
         }
-        candidates
+        Ok(candidates)
     }
 
     /// Equality query (subset plan + length filter).
     pub fn equality(&self, qs: &[ItemId]) -> Vec<u64> {
+        self.try_equality(qs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`UnorderedBTree::equality`].
+    pub fn try_equality(&self, qs: &[ItemId]) -> Result<Vec<u64>, PageError> {
         debug_assert!(qs.windows(2).all(|w| w[0] < w[1]));
         if qs.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let want = qs.len() as u32;
         let mut items = qs.to_vec();
         items.sort_unstable_by_key(|&i| self.support(i));
         let mut candidates = Vec::new();
-        self.scan_list(items[0], |p| {
+        self.try_scan_list(items[0], |p| {
             if p.len == want {
                 candidates.push(p.id);
             }
             true
-        });
+        })?;
         for &item in &items[1..] {
             if candidates.is_empty() {
-                return Vec::new();
+                return Ok(Vec::new());
             }
-            candidates = self.skip_intersect(&candidates, item);
+            candidates = self.skip_intersect(&candidates, item)?;
         }
-        candidates
+        Ok(candidates)
     }
 
     /// Superset query — whole lists must be scanned ("the scanning of the
     /// whole lists cannot be avoided", §5).
     pub fn superset(&self, qs: &[ItemId]) -> Vec<u64> {
+        self.try_superset(qs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`UnorderedBTree::superset`].
+    pub fn try_superset(&self, qs: &[ItemId]) -> Result<Vec<u64>, PageError> {
         debug_assert!(qs.windows(2).all(|w| w[0] < w[1]));
         let mut counts: HashMap<u64, (u32, u32)> = HashMap::new();
         for &item in qs {
-            self.scan_list(item, |p| {
+            self.try_scan_list(item, |p| {
                 counts.entry(p.id).or_insert((p.len, 0)).1 += 1;
                 true
-            });
+            })?;
         }
         let mut out: Vec<u64> = counts
             .into_iter()
@@ -302,7 +338,55 @@ impl UnorderedBTree {
             .map(|(id, _)| id)
             .collect();
         out.sort_unstable();
-        out
+        Ok(out)
+    }
+
+    /// Evaluate one query of the given kind.
+    pub fn eval(&self, kind: QueryKind, qs: &[ItemId]) -> Vec<u64> {
+        self.try_eval(kind, qs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`UnorderedBTree::eval`].
+    pub fn try_eval(&self, kind: QueryKind, qs: &[ItemId]) -> Result<Vec<u64>, PageError> {
+        match kind {
+            QueryKind::Subset => self.try_subset(qs),
+            QueryKind::Equality => self.try_equality(qs),
+            QueryKind::Superset => self.try_superset(qs),
+        }
+    }
+
+    /// Evaluate a batch of queries of one kind across `threads` workers
+    /// sharing this index (and its buffer pool). Returns the per-query
+    /// answers in input order — identical to the serial evaluation.
+    pub fn par_eval(
+        &self,
+        kind: QueryKind,
+        queries: &[Vec<ItemId>],
+        threads: usize,
+    ) -> Vec<Vec<u64>> {
+        pagestore::par_map_with(
+            queries.len(),
+            threads,
+            || (),
+            |_, i| self.eval(kind, &queries[i]),
+        )
+    }
+
+    /// Fallible twin of [`UnorderedBTree::par_eval`]: each query's outcome
+    /// is its own `Result`, so one faulted page fails that query alone
+    /// while the rest of the batch still returns answers.
+    pub fn try_par_eval(
+        &self,
+        kind: QueryKind,
+        queries: &[Vec<ItemId>],
+        threads: usize,
+    ) -> Vec<Result<Vec<u64>, PageError>> {
+        pagestore::par_map_with(
+            queries.len(),
+            threads,
+            || (),
+            |_, i| self.try_eval(kind, &queries[i]),
+        )
     }
 }
 

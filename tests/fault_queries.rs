@@ -1,0 +1,407 @@
+//! Error-injection query sweep: the fallible read path under a faulty
+//! medium, end to end over all three index structures.
+//!
+//! Each index (OIF, classic inverted file, unordered B-tree) is built on
+//! its own shadow-paged [`FileStorage`] whose physical I/O runs through a
+//! [`FaultFile`](set_containment::pagestore::fault::FaultFile), then the
+//! paper's query workloads are replayed while the harness injects
+//!
+//! * scheduled transient read errors and short reads — absorbed by the
+//!   pool's bounded retry, answers bit-for-bit identical;
+//! * a seeded flaky medium (roughly one in N reads fails) — every query
+//!   either returns the bit-for-bit correct answer or a typed
+//!   [`PageError::Transient`], never a wrong answer, never a panic, and
+//!   once the medium heals the same queries all succeed;
+//! * committed single-bit flips — affected queries fail with
+//!   [`PageError::Corrupt`], `scrub()` reports *exactly* the flipped
+//!   pages, quarantine outlives the repair until the operator clears it.
+
+use set_containment::codec::postings::Compression;
+use set_containment::datagen::{Dataset, QueryKind, SyntheticSpec, WorkloadSpec};
+use set_containment::invfile::InvertedFile;
+use set_containment::oif::Oif;
+use set_containment::pagestore::{
+    Clock, FaultConfig, FaultHandle, FaultStorage, FileStorage, PageError, Pager, ScrubReport,
+};
+use set_containment::ubtree::UnorderedBTree;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Backoff time source that spends no wall-clock time: the sweep injects
+/// thousands of transient faults and must not sleep through them.
+struct NoSleep;
+impl Clock for NoSleep {
+    fn sleep(&self, _d: Duration) {}
+}
+
+fn dataset() -> Dataset {
+    SyntheticSpec {
+        num_records: 1500,
+        vocab_size: 60,
+        zipf: 0.8,
+        len_min: 1,
+        len_max: 10,
+        seed: 41,
+    }
+    .generate()
+}
+
+/// The fixed query workload: a few queries of every kind.
+fn workload(d: &Dataset) -> Vec<(QueryKind, Vec<Vec<u32>>)> {
+    QueryKind::ALL
+        .into_iter()
+        .map(|kind| {
+            let qs = WorkloadSpec {
+                kind,
+                qs_size: 3,
+                count: 6,
+                seed: 23,
+            }
+            .generate(d)
+            .queries;
+            (kind, qs)
+        })
+        .collect()
+}
+
+/// One index structure under fault injection, behind a uniform surface.
+trait IndexUnderTest {
+    fn name(&self) -> &'static str;
+    fn pager(&self) -> &Pager;
+    fn try_eval(&self, kind: QueryKind, qs: &[u32]) -> Result<Vec<u64>, PageError>;
+    fn scrub(&self) -> ScrubReport;
+}
+
+impl IndexUnderTest for Oif {
+    fn name(&self) -> &'static str {
+        "oif"
+    }
+    fn pager(&self) -> &Pager {
+        Oif::pager(self)
+    }
+    fn try_eval(&self, kind: QueryKind, qs: &[u32]) -> Result<Vec<u64>, PageError> {
+        self.try_eval_with(kind, qs, &mut Default::default())
+    }
+    fn scrub(&self) -> ScrubReport {
+        Oif::scrub(self)
+    }
+}
+
+impl IndexUnderTest for InvertedFile {
+    fn name(&self) -> &'static str {
+        "invfile"
+    }
+    fn pager(&self) -> &Pager {
+        InvertedFile::pager(self)
+    }
+    fn try_eval(&self, kind: QueryKind, qs: &[u32]) -> Result<Vec<u64>, PageError> {
+        self.try_eval_with(kind, qs, &mut Default::default())
+    }
+    fn scrub(&self) -> ScrubReport {
+        InvertedFile::scrub(self)
+    }
+}
+
+impl IndexUnderTest for UnorderedBTree {
+    fn name(&self) -> &'static str {
+        "ubtree"
+    }
+    fn pager(&self) -> &Pager {
+        UnorderedBTree::pager(self)
+    }
+    fn try_eval(&self, kind: QueryKind, qs: &[u32]) -> Result<Vec<u64>, PageError> {
+        UnorderedBTree::try_eval(self, kind, qs)
+    }
+    fn scrub(&self) -> ScrubReport {
+        UnorderedBTree::scrub(self)
+    }
+}
+
+/// Build one index of each structure, each on its own faultable durable
+/// stack, synced so the on-disk image is committed and no dirty frames
+/// remain (read faults then never interact with write-back).
+fn build_all(d: &Dataset) -> Vec<(Box<dyn IndexUnderTest>, FaultHandle)> {
+    let fault_pager = || {
+        let (storage, h) = FaultStorage::create(FaultConfig::default()).expect("create in-proc");
+        let pager = Pager::with_storage(storage, 32 * 1024);
+        pager.set_retry_clock(Arc::new(NoSleep));
+        (pager, h)
+    };
+    let mut out: Vec<(Box<dyn IndexUnderTest>, FaultHandle)> = Vec::new();
+
+    let (pager, h) = fault_pager();
+    let oif = Oif::build_with(d, Default::default(), Some(pager));
+    oif.persist().expect("fault-free persist");
+    out.push((Box::new(oif), h));
+
+    let (pager, h) = fault_pager();
+    let inv = InvertedFile::build_with(d, pager, Compression::VByteDGap);
+    inv.persist().expect("fault-free persist");
+    out.push((Box::new(inv), h));
+
+    let (pager, h) = fault_pager();
+    let ub = UnorderedBTree::build_with(d, 512, pager, Compression::VByteDGap);
+    ub.persist().expect("fault-free persist");
+    out.push((Box::new(ub), h));
+
+    out
+}
+
+type Reference = Vec<(QueryKind, Vec<(Vec<u32>, Vec<u64>)>)>;
+
+/// Fault-free reference answers for every (kind, query) pair.
+fn reference(idx: &dyn IndexUnderTest, wl: &[(QueryKind, Vec<Vec<u32>>)]) -> Reference {
+    idx.pager().clear_cache();
+    wl.iter()
+        .map(|(kind, qs)| {
+            let answers = qs
+                .iter()
+                .map(|q| {
+                    let a = idx
+                        .try_eval(*kind, q)
+                        .expect("fault-free evaluation cannot fail");
+                    (q.clone(), a)
+                })
+                .collect();
+            (*kind, answers)
+        })
+        .collect()
+}
+
+/// Replay the whole workload; every answer must be bit-for-bit correct
+/// (used for the scheduled-fault modes, where retries absorb every fault).
+fn assert_all_exact(idx: &dyn IndexUnderTest, reference: &Reference, ctx: &str) {
+    for (kind, qs) in reference {
+        for (q, want) in qs {
+            let got = idx
+                .try_eval(*kind, q)
+                .unwrap_or_else(|e| panic!("[{} {ctx}] {kind:?} {q:?}: {e}", idx.name()));
+            assert_eq!(&got, want, "[{} {ctx}] {kind:?} {q:?}", idx.name());
+        }
+    }
+}
+
+#[test]
+fn scheduled_transient_reads_are_absorbed_by_retries() {
+    let d = dataset();
+    let wl = workload(&d);
+    for (idx, h) in build_all(&d) {
+        let reference = reference(idx.as_ref(), &wl);
+        // Fail every fourth read in the upcoming window. A retry re-issues
+        // the read on the next index, which is clean, so the bounded retry
+        // (3 attempts) absorbs every injected fault.
+        let cur = h.read_ops();
+        h.set_fault_config(FaultConfig {
+            transient_reads: (cur..cur + 4096).step_by(4).collect(),
+            ..FaultConfig::default()
+        });
+        idx.pager().clear_cache();
+        idx.pager().reset_stats();
+        assert_all_exact(idx.as_ref(), &reference, "transient reads");
+        assert!(
+            idx.pager().stats().retries > 0,
+            "[{}] the schedule must actually have fired",
+            idx.name()
+        );
+        assert!(
+            idx.pager().degraded().is_none(),
+            "[{}] read faults must never degrade the pool",
+            idx.name()
+        );
+    }
+}
+
+#[test]
+fn scheduled_short_reads_are_classified_transient_and_retried() {
+    let d = dataset();
+    let wl = workload(&d);
+    for (idx, h) in build_all(&d) {
+        let reference = reference(idx.as_ref(), &wl);
+        let cur = h.read_ops();
+        h.set_fault_config(FaultConfig {
+            short_reads: (cur..cur + 4096).step_by(4).collect(),
+            ..FaultConfig::default()
+        });
+        idx.pager().clear_cache();
+        idx.pager().reset_stats();
+        assert_all_exact(idx.as_ref(), &reference, "short reads");
+        assert!(
+            idx.pager().stats().retries > 0,
+            "[{}] the schedule must actually have fired",
+            idx.name()
+        );
+    }
+}
+
+/// A fixed seed matrix: deterministic, and aggressive enough (one in three
+/// reads fails) that some queries exhaust the bounded retry and surface a
+/// typed error — which is exactly what the contract sweep needs to see.
+const FLAKY_SEEDS: [u64; 4] = [0xA1, 0x5EED, 0xDEAD_BEEF, 7];
+
+#[test]
+fn flaky_medium_never_yields_a_wrong_answer_and_heals_clean() {
+    let d = dataset();
+    let wl = workload(&d);
+    let mut errors = 0u64;
+    for (idx, h) in build_all(&d) {
+        let reference = reference(idx.as_ref(), &wl);
+        for seed in FLAKY_SEEDS {
+            h.set_fault_config(FaultConfig::flaky_reads(seed, 3));
+            idx.pager().clear_cache();
+            for (kind, qs) in &reference {
+                for (q, want) in qs {
+                    // The contract: bit-for-bit correct, or a typed
+                    // transient error. Anything else fails the test (a
+                    // panic aborts it, a wrong answer asserts).
+                    match idx.try_eval(*kind, q) {
+                        Ok(got) => {
+                            assert_eq!(&got, want, "[{} seed {seed:#x}] {kind:?} {q:?}", idx.name())
+                        }
+                        Err(e) => {
+                            assert!(
+                                matches!(e, PageError::Transient { .. }),
+                                "[{} seed {seed:#x}] {kind:?} {q:?}: flaky reads must \
+                                 surface as Transient, got {e}",
+                                idx.name()
+                            );
+                            errors += 1;
+                        }
+                    }
+                }
+            }
+            // The medium heals: the same queries, retried, all succeed.
+            h.set_fault_config(FaultConfig::default());
+            idx.pager().clear_cache();
+            assert_all_exact(idx.as_ref(), &reference, "healed");
+        }
+        assert!(
+            idx.pager().degraded().is_none(),
+            "[{}] read faults must never degrade the pool",
+            idx.name()
+        );
+    }
+    assert!(
+        errors > 0,
+        "the seed matrix must exhaust retries at least once or the \
+         error half of the contract was never exercised"
+    );
+}
+
+#[test]
+fn flaky_medium_under_parallel_batches_fails_queries_not_the_batch() {
+    let d = dataset();
+    let wl = workload(&d);
+
+    let (storage, h) = FaultStorage::create(FaultConfig::default()).expect("create in-proc");
+    let pager = Pager::with_storage(storage, 32 * 1024);
+    pager.set_retry_clock(Arc::new(NoSleep));
+    let idx = Oif::build_with(&d, Default::default(), Some(pager));
+    idx.persist().expect("fault-free persist");
+
+    for (kind, qs) in &wl {
+        let want = idx.par_eval(*kind, qs, 4);
+        h.set_fault_config(FaultConfig::flaky_reads(0xFA11, 3));
+        idx.pager().clear_cache();
+        let got = idx.try_par_eval(*kind, qs, 4);
+        h.set_fault_config(FaultConfig::default());
+        assert_eq!(got.len(), qs.len());
+        for (i, r) in got.into_iter().enumerate() {
+            match r {
+                Ok(a) => assert_eq!(a, want[i], "{kind:?} query {i}"),
+                Err(e) => assert!(
+                    matches!(e, PageError::Transient { .. }),
+                    "{kind:?} query {i}: {e}"
+                ),
+            }
+        }
+        // The batch as a whole survives a faulty member: healed, every
+        // query answers again.
+        idx.pager().clear_cache();
+        assert_eq!(idx.par_eval(*kind, qs, 4), want, "{kind:?} healed batch");
+    }
+}
+
+#[test]
+fn bit_flips_quarantine_and_scrub_reports_exactly_them() {
+    let d = dataset();
+    let wl = workload(&d);
+    for (idx, h) in build_all(&d) {
+        let reference = reference(idx.as_ref(), &wl);
+
+        // Locate committed page slots in the on-disk image and flip one
+        // bit inside every other slot: committed, silent bit rot.
+        let layout = FileStorage::layout_image(&h.disk_image()).expect("committed image");
+        let committed: Vec<(u64, u64)> = layout
+            .pages
+            .iter()
+            .enumerate()
+            .filter_map(|(phys, slot)| slot.map(|off| (phys as u64, off)))
+            .collect();
+        assert!(committed.len() >= 4, "[{}] degenerate index", idx.name());
+        let flipped: Vec<(u64, u64)> = committed.iter().copied().step_by(2).collect();
+        for &(_, off) in &flipped {
+            h.flip_bit(off + 37, 3);
+        }
+        let mut flipped_phys: Vec<u64> = flipped.iter().map(|&(p, _)| p).collect();
+        flipped_phys.sort_unstable();
+
+        // Contract under corruption: correct answer or typed Corrupt error.
+        idx.pager().clear_cache();
+        let mut corrupt_errors = 0u64;
+        for (kind, qs) in &reference {
+            for (q, want) in qs {
+                match idx.try_eval(*kind, q) {
+                    Ok(got) => assert_eq!(&got, want, "[{}] {kind:?} {q:?}", idx.name()),
+                    Err(e) => {
+                        assert!(
+                            matches!(e, PageError::Corrupt { .. }),
+                            "[{}] {kind:?} {q:?}: bit rot must surface as Corrupt, got {e}",
+                            idx.name()
+                        );
+                        corrupt_errors += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            corrupt_errors > 0,
+            "[{}] with every other page corrupted some query must hit one",
+            idx.name()
+        );
+
+        // Scrub finds exactly the flipped pages — no more, no fewer.
+        let report = idx.scrub();
+        let mut found: Vec<u64> = report.corrupt.iter().map(|f| f.phys).collect();
+        found.sort_unstable();
+        assert_eq!(found, flipped_phys, "[{}] scrub corrupt set", idx.name());
+        assert!(report.unreadable.is_empty(), "[{}]", idx.name());
+        let mut quarantined: Vec<u64> = report.quarantined.iter().map(|&(_, _, p)| p).collect();
+        quarantined.sort_unstable();
+        assert_eq!(quarantined, flipped_phys, "[{}] quarantine set", idx.name());
+
+        // Repair the medium (flip the bits back). Quarantine must outlive
+        // the repair: the damaged pages stay fenced until the operator
+        // clears them.
+        for &(_, off) in &flipped {
+            h.flip_bit(off + 37, 3);
+        }
+        idx.pager().clear_cache();
+        let (qf, qp, _) = report.quarantined[0];
+        match idx.pager().try_pin_page(qf, qp) {
+            Err(PageError::Corrupt { .. }) => {}
+            Err(e) => panic!("[{}] expected Corrupt from quarantine, got {e}", idx.name()),
+            Ok(_) => panic!(
+                "[{}] quarantined page served after repair without operator clearance",
+                idx.name()
+            ),
+        }
+
+        // Operator clears the quarantine: everything serves again and a
+        // fresh scrub is clean.
+        assert_eq!(idx.pager().clear_quarantine(), flipped_phys.len());
+        idx.pager().clear_cache();
+        assert_all_exact(idx.as_ref(), &reference, "repaired");
+        let healed = idx.scrub();
+        assert!(healed.is_clean(), "[{}] {healed}", idx.name());
+    }
+}

@@ -311,4 +311,81 @@ proptest! {
         prop_assert_eq!(delta.subset(&q), want_sub);
         prop_assert_eq!(delta.superset(&q), want_sup);
     }
+
+    #[test]
+    fn degraded_pool_refuses_writes_serves_reads_never_panics(
+        ops in proptest::collection::vec(
+            (any::<bool>(), 0u64..4, any::<u8>(), any::<bool>()), 1..48),
+    ) {
+        // Once a write-back fails, the pool degrades to read-only: every
+        // arbitrary mix of reads, writes, allocations and cache drops
+        // afterwards must (a) never panic, (b) refuse every mutation with
+        // a typed ReadOnly error, and (c) serve every committed page's
+        // exact bytes.
+        use set_containment::pagestore::{
+            FaultConfig, FaultStorage, PageError, PAGE_SIZE,
+        };
+
+        let (storage, h) = FaultStorage::create(FaultConfig::default()).unwrap();
+        // Two-frame cache: misses must evict, so degraded reads exercise
+        // the dirty-frame-is-unevictable path, not just cache hits.
+        let pager = Pager::with_storage(storage, 2 * PAGE_SIZE);
+        let f = pager.create_file();
+        let mut committed: Vec<Vec<u8>> = Vec::new();
+        for i in 0..4u64 {
+            prop_assert_eq!(pager.allocate_page(f), i);
+            let data: Vec<u8> = (0..PAGE_SIZE).map(|j| (i as u8) ^ (j as u8)).collect();
+            pager.write_page(f, i, &data);
+            committed.push(data);
+        }
+        pager.sync().unwrap();
+
+        // The medium turns write-dead: every further mutating operation
+        // fails. Dirty one page and sync — the failed write-back must
+        // degrade the pool with a typed error, not a panic.
+        let cur = h.ops();
+        h.set_fault_config(FaultConfig {
+            transient_writes: (cur..cur + 100_000).collect(),
+            ..FaultConfig::default()
+        });
+        pager.write_page(f, 0, &committed[0]);
+        prop_assert!(matches!(pager.try_sync(), Err(PageError::ReadOnly { .. })));
+        let cause = pager.degraded().expect("failed sync must degrade the pool");
+        prop_assert!(
+            cause.contains("injected transient fault on write"),
+            "degraded cause must carry the original error, got: {}", cause
+        );
+
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for (is_write, page, byte, drop_cache) in ops {
+            if drop_cache {
+                // Must not panic: clean frames drop, the dirty frame is
+                // unevictable (its only good copy) and stays.
+                pager.clear_cache();
+            }
+            if is_write {
+                let mut data = committed[page as usize].clone();
+                data[0] = byte;
+                match pager.try_write_page(f, page, &data) {
+                    Err(PageError::ReadOnly { .. }) => {}
+                    Err(e) => prop_assert!(false, "write must be refused as ReadOnly, got {}", e),
+                    Ok(()) => prop_assert!(false, "degraded pool accepted a write"),
+                }
+                prop_assert!(matches!(
+                    pager.try_allocate_page(f),
+                    Err(PageError::ReadOnly { .. })
+                ));
+            } else {
+                pager
+                    .try_read_page(f, page, &mut buf)
+                    .expect("committed pages must stay readable in degraded mode");
+                prop_assert_eq!(
+                    &buf, &committed[page as usize],
+                    "degraded read of page {} returned wrong bytes", page
+                );
+            }
+        }
+        // The degraded cause is sticky — still the original write fault.
+        prop_assert!(pager.degraded().is_some());
+    }
 }
