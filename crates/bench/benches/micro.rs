@@ -135,14 +135,12 @@ fn bench_parallel(c: &mut Criterion) {
     .generate();
     // A generous cache so the batch is CPU-bound: scaling, not thrashing,
     // is what these rows track.
-    let idx = oif::Oif::build_with(
-        &d,
-        oif::OifConfig {
+    let idx = oif::Oif::builder(&d)
+        .config(oif::OifConfig {
             cache_bytes: 1 << 20,
             ..oif::OifConfig::default()
-        },
-        None,
-    );
+        })
+        .build();
     // A batch large enough (~320 queries, several ms of work) that the
     // scoped-thread spawn cost per par_eval call is noise, not the
     // measurement: individual queries are ~15 µs, so small batches would

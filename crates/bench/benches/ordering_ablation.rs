@@ -79,17 +79,15 @@ fn main() {
     );
     let qs = workload(&d, QueryKind::Subset, 4, 901);
     for target in [128usize, 256, 512, 1024, 2048] {
-        let idx = Oif::build_with(
-            &d,
-            OifConfig {
+        let idx = Oif::builder(&d)
+            .config(OifConfig {
                 block: BlockConfig {
                     target_bytes: target,
                     tag_prefix: None,
                 },
                 ..OifConfig::default()
-            },
-            None,
-        );
+            })
+            .build();
         let m: Measurement = measure(idx.pager(), &qs, |q| idx.subset(q));
         println!(
             "{target:>8} | {:>8.1} pages/query | tree {:>7} pages, {:>8} blocks",
@@ -104,17 +102,15 @@ fn main() {
         "x = stored tag prefix ranks, y = avg page accesses / tree bytes",
     );
     for prefix in [None, Some(1), Some(2), Some(4), Some(8)] {
-        let idx = Oif::build_with(
-            &d,
-            OifConfig {
+        let idx = Oif::builder(&d)
+            .config(OifConfig {
                 block: BlockConfig {
                     target_bytes: 512,
                     tag_prefix: prefix,
                 },
                 ..OifConfig::default()
-            },
-            None,
-        );
+            })
+            .build();
         let m = measure(idx.pager(), &qs, |q| idx.subset(q));
         println!(
             "{:>8} | {:>8.1} pages/query | tree {:>9} bytes",
@@ -128,14 +124,12 @@ fn main() {
         "metadata ablation — all predicates, |qs| = 4",
         "metadata on/off, y = avg page accesses",
     );
-    let no_meta = Oif::build_with(
-        &d,
-        OifConfig {
+    let no_meta = Oif::builder(&d)
+        .config(OifConfig {
             use_metadata: false,
             ..OifConfig::default()
-        },
-        None,
-    );
+        })
+        .build();
     for kind in QueryKind::ALL {
         let qs = workload(&d, kind, 4, 902);
         let on = measure(oifx.pager(), &qs, |q| match kind {

@@ -71,7 +71,7 @@ fn main() {
     {
         let path = temp_db("oif");
         let t0 = Instant::now();
-        let built = oif::Oif::build_with(&d, Default::default(), Some(file_pager(&path)));
+        let built = oif::Oif::builder(&d).pager(file_pager(&path)).build();
         built.persist().expect("persist");
         let build = t0.elapsed();
         drop(built);
@@ -96,11 +96,10 @@ fn main() {
     {
         let path = temp_db("if");
         let t0 = Instant::now();
-        let built = invfile::InvertedFile::build_with(
-            &d,
-            file_pager(&path),
-            codec::postings::Compression::VByteDGap,
-        );
+        let built = invfile::InvertedFile::builder(&d)
+            .pager(file_pager(&path))
+            .compression(codec::postings::Compression::VByteDGap)
+            .build();
         built.persist().expect("persist");
         let build = t0.elapsed();
         drop(built);
@@ -125,12 +124,10 @@ fn main() {
     {
         let path = temp_db("ubtree");
         let t0 = Instant::now();
-        let built = ubtree::UnorderedBTree::build_with(
-            &d,
-            512,
-            file_pager(&path),
-            codec::postings::Compression::VByteDGap,
-        );
+        let built = ubtree::UnorderedBTree::builder(&d)
+            .pager(file_pager(&path))
+            .compression(codec::postings::Compression::VByteDGap)
+            .build();
         built.persist().expect("persist");
         let build = t0.elapsed();
         drop(built);

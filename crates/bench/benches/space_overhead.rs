@@ -27,14 +27,12 @@ fn main() {
 
     let ifile = invfile::InvertedFile::build(&d);
     let oifx = Oif::build(&d);
-    let oif_nometa = Oif::build_with(
-        &d,
-        OifConfig {
+    let oif_nometa = Oif::builder(&d)
+        .config(OifConfig {
             use_metadata: false,
             ..OifConfig::default()
-        },
-        None,
-    );
+        })
+        .build();
     let space = oifx.space();
 
     println!("\n{:<38} {:>12} {:>10}", "structure", "bytes", "% of data");

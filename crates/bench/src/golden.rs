@@ -326,19 +326,16 @@ struct ContractTwins {
 impl ContractTwins {
     fn build(p: &Built) -> Self {
         ContractTwins {
-            big_if: invfile::InvertedFile::build_with(
-                &p.dataset,
-                Pager::with_cache_bytes(CONTRACT_CACHE_BYTES),
-                codec::postings::Compression::VByteDGap,
-            ),
-            big_oif: oif::Oif::build_with(
-                &p.dataset,
-                oif::OifConfig {
+            big_if: invfile::InvertedFile::builder(&p.dataset)
+                .pager(Pager::with_cache_bytes(CONTRACT_CACHE_BYTES))
+                .compression(codec::postings::Compression::VByteDGap)
+                .build(),
+            big_oif: oif::Oif::builder(&p.dataset)
+                .config(oif::OifConfig {
                     cache_bytes: CONTRACT_CACHE_BYTES,
                     ..oif::OifConfig::default()
-                },
-                None,
-            ),
+                })
+                .build(),
         }
     }
 }

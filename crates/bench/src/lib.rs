@@ -188,6 +188,23 @@ pub fn par_measure(
     }
 }
 
+/// [`measure`] for any [`ContainmentIndex`](oif::ContainmentIndex): one
+/// scratch reused across the batch, the index's own pager counted. The
+/// trait impls delegate to the same inherent entry points the original
+/// per-structure closures called, so this helper is page-identical to
+/// them — which is what lets every figure bench drive all structures
+/// through one code path.
+pub fn measure_index<I: oif::ContainmentIndex>(
+    idx: &I,
+    kind: QueryKind,
+    queries: &[Vec<u32>],
+) -> Measurement {
+    let mut scratch = I::Scratch::default();
+    measure(idx.pager(), queries, |q| {
+        idx.eval_with(kind, q, &mut scratch)
+    })
+}
+
 /// Generate the paper's query workload for one (kind, size) point.
 pub fn workload(d: &Dataset, kind: QueryKind, qs_size: usize, seed: u64) -> Vec<Vec<u32>> {
     WorkloadSpec {
@@ -238,17 +255,10 @@ pub fn run_point(
     let ifile = invfile::InvertedFile::build(d);
     let oifx = oif::Oif::build(d);
     let qs = workload(d, kind, qs_size, seed);
-    let m_if = measure(ifile.pager(), &qs, |q| match kind {
-        QueryKind::Subset => ifile.subset(q),
-        QueryKind::Equality => ifile.equality(q),
-        QueryKind::Superset => ifile.superset(q),
-    });
-    let m_oif = measure(oifx.pager(), &qs, |q| match kind {
-        QueryKind::Subset => oifx.subset(q),
-        QueryKind::Equality => oifx.equality(q),
-        QueryKind::Superset => oifx.superset(q),
-    });
-    (m_if, m_oif)
+    (
+        measure_index(&ifile, kind, &qs),
+        measure_index(&oifx, kind, &qs),
+    )
 }
 
 /// The four synthetic sweeps of Figs. 8–10, shared by the three figure
@@ -317,16 +327,8 @@ pub fn run_synthetic_figure(kind: QueryKind, fig: &str) {
         if qs.is_empty() {
             continue;
         }
-        let a = measure(ifile.pager(), &qs, |q| match kind {
-            QueryKind::Subset => ifile.subset(q),
-            QueryKind::Equality => ifile.equality(q),
-            QueryKind::Superset => ifile.superset(q),
-        });
-        let b = measure(oifx.pager(), &qs, |q| match kind {
-            QueryKind::Subset => oifx.subset(q),
-            QueryKind::Equality => oifx.equality(q),
-            QueryKind::Superset => oifx.superset(q),
-        });
+        let a = measure_index(&ifile, kind, &qs);
+        let b = measure_index(&oifx, kind, &qs);
         rows.push((qs_size, (a, b)));
     }
     for (x, (a, b)) in &rows {
@@ -400,6 +402,40 @@ mod tests {
             let m = par_measure(idx.pager(), &qs, threads, |q| idx.subset(q));
             assert_eq!(m.results, serial, "{threads} threads");
             assert!(m.pages > 0.0);
+        }
+    }
+
+    #[test]
+    fn measure_index_is_page_identical_to_direct_calls() {
+        let d = SyntheticSpec {
+            num_records: 3000,
+            vocab_size: 120,
+            zipf: 0.8,
+            len_min: 2,
+            len_max: 10,
+            seed: 9,
+        }
+        .generate();
+        let oifx = oif::Oif::build(&d);
+        let ifile = invfile::InvertedFile::build(&d);
+        for kind in QueryKind::ALL {
+            let qs = workload(&d, kind, 3, 6);
+            let direct = measure(oifx.pager(), &qs, |q| match kind {
+                QueryKind::Subset => oifx.subset(q),
+                QueryKind::Equality => oifx.equality(q),
+                QueryKind::Superset => oifx.superset(q),
+            });
+            let generic = measure_index(&oifx, kind, &qs);
+            assert_eq!(direct.pages, generic.pages, "oif {kind:?}");
+            assert_eq!(direct.seq, generic.seq, "oif {kind:?}");
+            assert_eq!(direct.random, generic.random, "oif {kind:?}");
+            let direct = measure(ifile.pager(), &qs, |q| match kind {
+                QueryKind::Subset => ifile.subset(q),
+                QueryKind::Equality => ifile.equality(q),
+                QueryKind::Superset => ifile.superset(q),
+            });
+            let generic = measure_index(&ifile, kind, &qs);
+            assert_eq!(direct.pages, generic.pages, "if {kind:?}");
         }
     }
 

@@ -264,7 +264,7 @@ mod tests {
             use_metadata: false,
             ..OifConfig::default()
         };
-        let idx = Oif::build_with(&d, cfg, None);
+        let idx = Oif::builder(&d).config(cfg).build();
         assert_eq!(idx.stored_postings_of(0), 12);
         assert_eq!(idx.stored_postings_of(1), 9);
         assert_eq!(idx.stored_postings_of(2), 8);
@@ -283,14 +283,12 @@ mod tests {
         }
         .generate();
         let with = Oif::build(&d);
-        let without = Oif::build_with(
-            &d,
-            OifConfig {
+        let without = Oif::builder(&d)
+            .config(OifConfig {
                 use_metadata: false,
                 ..OifConfig::default()
-            },
-            None,
-        );
+            })
+            .build();
         assert_eq!(
             with.stored_postings() + d.records.len() as u64,
             without.stored_postings()
@@ -308,28 +306,24 @@ mod tests {
             seed: 4,
         }
         .generate();
-        let small = Oif::build_with(
-            &d,
-            OifConfig {
+        let small = Oif::builder(&d)
+            .config(OifConfig {
                 block: BlockConfig {
                     target_bytes: 64,
                     tag_prefix: None,
                 },
                 ..OifConfig::default()
-            },
-            None,
-        );
-        let large = Oif::build_with(
-            &d,
-            OifConfig {
+            })
+            .build();
+        let large = Oif::builder(&d)
+            .config(OifConfig {
                 block: BlockConfig {
                     target_bytes: 2048,
                     tag_prefix: None,
                 },
                 ..OifConfig::default()
-            },
-            None,
-        );
+            })
+            .build();
         assert!(small.tree().len() > large.tree().len() * 4);
     }
 

@@ -27,7 +27,7 @@ pub struct DeltaOif {
 impl DeltaOif {
     /// Build the main index over `base`.
     pub fn build(base: Dataset, config: OifConfig) -> Self {
-        let main = Oif::build_with(&base, config, None);
+        let main = Oif::builder(&base).config(config).build();
         DeltaOif {
             main,
             base,
@@ -70,7 +70,9 @@ impl DeltaOif {
         }
         self.base.records.append(&mut self.delta);
         self.base.records.sort_by_key(|r| r.id);
-        self.main = Oif::build_with(&self.base, self.main.config().clone(), None);
+        self.main = Oif::builder(&self.base)
+            .config(self.main.config().clone())
+            .build();
     }
 
     fn delta_view(&self) -> Dataset {

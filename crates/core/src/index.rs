@@ -86,17 +86,101 @@ pub struct Oif {
     pub(crate) data_bytes: u64,
 }
 
+/// Builder-style [`Oif`] construction: start from
+/// [`Oif::builder`], override what the experiment needs, finish with
+/// [`build`](OifBuilder::build).
+///
+/// ```
+/// use datagen::Dataset;
+/// use oif::Oif;
+///
+/// let data = Dataset::paper_fig1();
+/// let index = Oif::builder(&data).cache_bytes(64 * 1024).build();
+/// assert_eq!(index.num_records(), 18);
+/// ```
+pub struct OifBuilder<'a> {
+    dataset: &'a Dataset,
+    config: OifConfig,
+    pager: Option<Pager>,
+}
+
+impl OifBuilder<'_> {
+    /// Replace the whole configuration at once.
+    pub fn config(mut self, config: OifConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Block sizing / tag truncation.
+    pub fn block(mut self, block: BlockConfig) -> Self {
+        self.config.block = block;
+        self
+    }
+
+    /// Keep the per-item `[l, u]` metadata regions (default on; off
+    /// isolates the Theorem-1 gain in ablations).
+    pub fn use_metadata(mut self, on: bool) -> Self {
+        self.config.use_metadata = on;
+        self
+    }
+
+    /// Buffer-pool budget in bytes (default: the paper's 32 KiB). Ignored
+    /// when an explicit [`pager`](OifBuilder::pager) is supplied.
+    pub fn cache_bytes(mut self, bytes: usize) -> Self {
+        self.config.cache_bytes = bytes;
+        self
+    }
+
+    /// Posting compression (default: v-byte over d-gaps).
+    pub fn compression(mut self, compression: Compression) -> Self {
+        self.config.compression = compression;
+        self
+    }
+
+    /// Build onto an existing pager (durable storage, shared pools, fault
+    /// injection) instead of a fresh in-memory pool.
+    pub fn pager(mut self, pager: Pager) -> Self {
+        self.pager = Some(pager);
+        self
+    }
+
+    /// Run the offline build (§3) and return the index.
+    pub fn build(self) -> Oif {
+        let pager = self
+            .pager
+            .unwrap_or_else(|| Pager::with_cache_bytes(self.config.cache_bytes));
+        crate::build::build(self.dataset, self.config, pager)
+    }
+}
+
 impl Oif {
     /// Build with default configuration.
     pub fn build(dataset: &Dataset) -> Self {
-        Self::build_with(dataset, OifConfig::default(), None)
+        Self::builder(dataset).build()
+    }
+
+    /// Start a builder-style construction over `dataset` with the default
+    /// [`OifConfig`].
+    pub fn builder(dataset: &Dataset) -> OifBuilder<'_> {
+        OifBuilder {
+            dataset,
+            config: OifConfig::default(),
+            pager: None,
+        }
     }
 
     /// Build with explicit configuration; `pager` defaults to a fresh pool
     /// of `config.cache_bytes`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Oif::builder(dataset)…build()` instead of the three-argument shape"
+    )]
     pub fn build_with(dataset: &Dataset, config: OifConfig, pager: Option<Pager>) -> Self {
-        let pager = pager.unwrap_or_else(|| Pager::with_cache_bytes(config.cache_bytes));
-        crate::build::build(dataset, config, pager)
+        let mut b = Self::builder(dataset).config(config);
+        if let Some(p) = pager {
+            b = b.pager(p);
+        }
+        b.build()
     }
 
     pub fn num_records(&self) -> u64 {
@@ -141,8 +225,24 @@ impl Oif {
     }
 
     /// Translate a new (ordered) id back to the original record id.
+    ///
+    /// New ids are 1-based (Fig. 3). Panics with a named message for
+    /// `new_id == 0` or `new_id > num_records` — use
+    /// [`Oif::original_id_checked`] for a non-panicking lookup.
     pub fn original_id(&self, new_id: u64) -> u64 {
-        self.id_map[(new_id - 1) as usize]
+        self.original_id_checked(new_id).unwrap_or_else(|| {
+            panic!(
+                "original_id: new_id {new_id} out of range (new ids are 1..={})",
+                self.id_map.len()
+            )
+        })
+    }
+
+    /// `Option`-returning twin of [`Oif::original_id`]: `None` for
+    /// `new_id == 0` (new ids are 1-based) and for ids past the map.
+    pub fn original_id_checked(&self, new_id: u64) -> Option<u64> {
+        let slot = usize::try_from(new_id.checked_sub(1)?).ok()?;
+        self.id_map.get(slot).copied()
     }
 
     /// Number of postings stored in the block tree for `item` (excludes the
@@ -195,5 +295,72 @@ impl std::fmt::Debug for Oif {
             .field("blocks", &self.tree.len())
             .field("stored_postings", &self.stored_postings())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::paper_fig1()
+    }
+
+    #[test]
+    fn original_id_round_trips_valid_ids() {
+        let idx = Oif::build(&sample());
+        for new_id in 1..=idx.num_records() {
+            let orig = idx.original_id(new_id);
+            assert_eq!(idx.original_id_checked(new_id), Some(orig));
+            // paper_fig1 ids live in 101..=118.
+            assert!((101..=118).contains(&orig), "{orig}");
+        }
+    }
+
+    #[test]
+    fn original_id_checked_rejects_both_edges() {
+        let idx = Oif::build(&sample());
+        assert_eq!(idx.original_id_checked(0), None, "new ids are 1-based");
+        assert_eq!(idx.original_id_checked(idx.num_records() + 1), None);
+        assert_eq!(idx.original_id_checked(u64::MAX), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "original_id: new_id 0 out of range (new ids are 1..=18)")]
+    fn original_id_zero_panics_with_named_message() {
+        // Regression: `new_id - 1` used to underflow (debug) or index
+        // id_map[u64::MAX as usize] (release) with a bare index message.
+        Oif::build(&sample()).original_id(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "original_id: new_id 19 out of range (new ids are 1..=18)")]
+    fn original_id_past_the_map_panics_with_named_message() {
+        Oif::build(&sample()).original_id(19);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_build_with_matches_builder() {
+        let d = sample();
+        let via_builder = Oif::builder(&d).build();
+        let via_deprecated = Oif::build_with(&d, OifConfig::default(), None);
+        assert_eq!(via_deprecated.config(), via_builder.config());
+        assert_eq!(via_deprecated.subset(&[0, 3]), via_builder.subset(&[0, 3]));
+        assert_eq!(
+            via_deprecated.superset(&[0, 2]),
+            via_builder.superset(&[0, 2])
+        );
+    }
+
+    #[test]
+    fn builder_overrides_land_in_the_config() {
+        let d = sample();
+        let idx = Oif::builder(&d)
+            .cache_bytes(64 * 1024)
+            .use_metadata(false)
+            .build();
+        assert_eq!(idx.config().cache_bytes, 64 * 1024);
+        assert!(!idx.config().use_metadata);
     }
 }

@@ -43,6 +43,7 @@
 
 pub mod block;
 pub mod build;
+pub mod containment;
 pub mod delta;
 pub mod index;
 pub mod meta;
@@ -54,8 +55,9 @@ pub mod roi;
 pub mod seqform;
 
 pub use block::BlockConfig;
+pub use containment::{ContainmentIndex, DynContainmentIndex, IndexStats, Persist};
 pub use delta::DeltaOif;
-pub use index::{Oif, OifConfig, SpaceBreakdown};
+pub use index::{Oif, OifBuilder, OifConfig, SpaceBreakdown};
 pub use order::{ItemOrder, Rank};
 pub use query::QueryScratch;
 pub use seqform::SeqForm;

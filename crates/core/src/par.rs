@@ -20,6 +20,7 @@
 //! accesses are hits, never what they read). The workspace-level
 //! `parallel_matches_serial` stress suite asserts this end to end.
 
+use crate::containment::ContainmentIndex;
 use crate::index::Oif;
 use crate::query::QueryScratch;
 use datagen::{ItemId, QueryKind};
@@ -38,18 +39,15 @@ impl Oif {
     }
 
     /// Fallible twin of [`Oif::eval_with`]: a page fault surfaces as its
-    /// typed [`PageError`] instead of a panic.
+    /// typed [`PageError`] instead of a panic. Thin wrapper over the
+    /// [`ContainmentIndex`] impl, which owns the kind dispatch.
     pub fn try_eval_with(
         &self,
         kind: QueryKind,
         qs: &[ItemId],
         scratch: &mut QueryScratch,
     ) -> Result<Vec<u64>, PageError> {
-        match kind {
-            QueryKind::Subset => self.try_subset(qs),
-            QueryKind::Equality => self.try_equality(qs),
-            QueryKind::Superset => self.try_superset_with(qs, scratch),
-        }
+        ContainmentIndex::try_eval_with(self, kind, qs, scratch)
     }
 
     /// Evaluate a batch of queries of one kind across `threads` workers
@@ -79,9 +77,7 @@ impl Oif {
         queries: &[Vec<ItemId>],
         threads: usize,
     ) -> Vec<Result<Vec<u64>, PageError>> {
-        pagestore::par_map_with(queries.len(), threads, QueryScratch::new, |scratch, i| {
-            self.try_eval_with(kind, &queries[i], scratch)
-        })
+        ContainmentIndex::try_par_eval(self, kind, queries, threads)
     }
 }
 

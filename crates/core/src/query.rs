@@ -615,7 +615,7 @@ mod tests {
     fn paper_worked_examples() {
         let d = Dataset::paper_fig1();
         for cfg in configs() {
-            let idx = Oif::build_with(&d, cfg.clone(), None);
+            let idx = Oif::builder(&d).config(cfg.clone()).build();
             assert_eq!(idx.subset(&[0, 3]), vec![101, 104, 114], "{cfg:?}");
             assert_eq!(idx.superset(&[0, 2]), vec![106, 113], "{cfg:?}");
             assert_eq!(idx.equality(&[0, 3]), vec![114], "{cfg:?}");
@@ -627,7 +627,7 @@ mod tests {
     fn single_item_queries() {
         let d = Dataset::paper_fig1();
         for cfg in configs() {
-            let idx = Oif::build_with(&d, cfg.clone(), None);
+            let idx = Oif::builder(&d).config(cfg.clone()).build();
             let mut want = brute::subset(&d, &[2]);
             want.sort_unstable();
             assert_eq!(idx.subset(&[2]), want, "{cfg:?}");
@@ -670,7 +670,7 @@ mod tests {
         }
         .generate();
         for cfg in configs() {
-            let idx = Oif::build_with(&d, cfg.clone(), None);
+            let idx = Oif::builder(&d).config(cfg.clone()).build();
             for kind in QueryKind::ALL {
                 for size in [1usize, 2, 4, 7] {
                     let ws = WorkloadSpec {
@@ -710,7 +710,7 @@ mod tests {
         }
         .generate();
         for cfg in configs() {
-            let idx = Oif::build_with(&d, cfg.clone(), None);
+            let idx = Oif::builder(&d).config(cfg.clone()).build();
             let owned: Vec<(Vec<u8>, Vec<u8>)> = idx.tree().scan().collect();
             let mut borrowed = Vec::new();
             let mut c = idx.tree().scan();
@@ -735,7 +735,7 @@ mod tests {
         }
         .generate();
         for cfg in configs() {
-            let idx = Oif::build_with(&d, cfg.clone(), None);
+            let idx = Oif::builder(&d).config(cfg.clone()).build();
             assert!(idx.block_summary().is_some());
             let mut scratch = crate::QueryScratch::new();
             for size in [1usize, 2, 4, 7] {
@@ -782,14 +782,12 @@ mod tests {
             seed: 7,
         }
         .generate();
-        let idx = Oif::build_with(
-            &d,
-            OifConfig {
+        let idx = Oif::builder(&d)
+            .config(OifConfig {
                 cache_bytes: 64 << 20,
                 ..OifConfig::default()
-            },
-            None,
-        );
+            })
+            .build();
         let pager = idx.pager().clone();
         let cold = |eval: &mut dyn FnMut(&[u32]) -> Vec<u64>, qs: &[Vec<u32>]| -> Vec<u64> {
             qs.iter()

@@ -99,8 +99,12 @@ mod tests {
             seed: 5,
         }
         .generate();
-        let c = InvertedFile::build_with(&d, Pager::new(), Compression::VByteDGap);
-        let r = InvertedFile::build_with(&d, Pager::new(), Compression::Raw);
+        let c = InvertedFile::builder(&d)
+            .compression(Compression::VByteDGap)
+            .build();
+        let r = InvertedFile::builder(&d)
+            .compression(Compression::Raw)
+            .build();
         assert!(
             c.list_bytes() * 2 < r.list_bytes(),
             "compressed {} raw {}",

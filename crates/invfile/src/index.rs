@@ -23,16 +23,74 @@ pub struct InvertedFile {
     pub(crate) max_id: u64,
 }
 
+/// Builder-style [`InvertedFile`] construction: start from
+/// [`InvertedFile::builder`], override what the experiment needs, finish
+/// with [`build`](InvertedFileBuilder::build).
+pub struct InvertedFileBuilder<'a> {
+    dataset: &'a Dataset,
+    pager: Option<Pager>,
+    cache_bytes: usize,
+    compression: Compression,
+}
+
+impl InvertedFileBuilder<'_> {
+    /// Buffer-pool budget in bytes (default: the paper's 32 KiB). Ignored
+    /// when an explicit [`pager`](InvertedFileBuilder::pager) is supplied.
+    pub fn cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
+
+    /// Posting compression (default: v-byte over d-gaps).
+    pub fn compression(mut self, compression: Compression) -> Self {
+        self.compression = compression;
+        self
+    }
+
+    /// Build onto an existing pager (durable storage, shared pools, fault
+    /// injection) instead of a fresh in-memory pool.
+    pub fn pager(mut self, pager: Pager) -> Self {
+        self.pager = Some(pager);
+        self
+    }
+
+    /// Build the inverted file.
+    pub fn build(self) -> InvertedFile {
+        let pager = self
+            .pager
+            .unwrap_or_else(|| Pager::with_cache_bytes(self.cache_bytes));
+        crate::build::build(self.dataset, pager, self.compression)
+    }
+}
+
 impl InvertedFile {
     /// Build from a dataset with default settings (32 KiB cache, v-byte
     /// d-gap compression).
     pub fn build(dataset: &Dataset) -> Self {
-        crate::build::build(dataset, Pager::new(), Compression::VByteDGap)
+        Self::builder(dataset).build()
+    }
+
+    /// Start a builder-style construction over `dataset` with default
+    /// settings.
+    pub fn builder(dataset: &Dataset) -> InvertedFileBuilder<'_> {
+        InvertedFileBuilder {
+            dataset,
+            pager: None,
+            cache_bytes: 32 * 1024,
+            compression: Compression::VByteDGap,
+        }
     }
 
     /// Build with explicit pager and compression (for experiments).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `InvertedFile::builder(dataset)…build()` instead"
+    )]
     pub fn build_with(dataset: &Dataset, pager: Pager, compression: Compression) -> Self {
-        crate::build::build(dataset, pager, compression)
+        Self::builder(dataset)
+            .pager(pager)
+            .compression(compression)
+            .build()
     }
 
     /// The buffer pool (for I/O statistics).
@@ -240,7 +298,9 @@ mod tests {
             seed: 3,
         }
         .generate();
-        let idx = InvertedFile::build_with(&d, Pager::new(), Compression::Raw);
+        let idx = InvertedFile::builder(&d)
+            .compression(Compression::Raw)
+            .build();
         let s = d.supports();
         for item in 0..50u32 {
             assert_eq!(idx.fetch_list(item).len() as u64, s[item as usize]);

@@ -18,11 +18,12 @@
 //! superset.
 
 mod build;
+mod containment;
 mod index;
 mod par;
 pub mod persist;
 mod query;
 
 pub use build::build;
-pub use index::InvertedFile;
+pub use index::{InvertedFile, InvertedFileBuilder};
 pub use query::EvalScratch;

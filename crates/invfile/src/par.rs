@@ -10,6 +10,7 @@
 use crate::index::InvertedFile;
 use crate::query::EvalScratch;
 use datagen::{ItemId, QueryKind};
+use oif::ContainmentIndex;
 use pagestore::PageError;
 
 impl InvertedFile {
@@ -19,18 +20,15 @@ impl InvertedFile {
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Fallible twin of [`InvertedFile::eval_with`].
+    /// Fallible twin of [`InvertedFile::eval_with`]. Thin wrapper over the
+    /// [`ContainmentIndex`] impl, which owns the kind dispatch.
     pub fn try_eval_with(
         &self,
         kind: QueryKind,
         qs: &[ItemId],
         scratch: &mut EvalScratch,
     ) -> Result<Vec<u64>, PageError> {
-        match kind {
-            QueryKind::Subset => self.try_subset(qs),
-            QueryKind::Equality => self.try_equality(qs),
-            QueryKind::Superset => self.try_superset_with(qs, scratch),
-        }
+        ContainmentIndex::try_eval_with(self, kind, qs, scratch)
     }
 
     /// Evaluate a batch of queries of one kind across `threads` workers
@@ -59,9 +57,7 @@ impl InvertedFile {
         queries: &[Vec<ItemId>],
         threads: usize,
     ) -> Vec<Result<Vec<u64>, PageError>> {
-        pagestore::par_map_with(queries.len(), threads, EvalScratch::new, |scratch, i| {
-            self.try_eval_with(kind, &queries[i], scratch)
-        })
+        ContainmentIndex::try_par_eval(self, kind, queries, threads)
     }
 }
 

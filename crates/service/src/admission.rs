@@ -1,0 +1,106 @@
+//! A counting admission gate bounding in-flight batches per shard.
+//!
+//! Every batch entering a shard takes a [`Permit`]; once `capacity`
+//! permits are out, further callers block until one drops. This bounds
+//! the number of evaluation thread-groups competing for one shard's
+//! buffer pool, which is what keeps a burst of batches from thrashing
+//! the (deliberately tiny, paper-faithful) per-shard cache.
+
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug, Default)]
+struct GateState {
+    in_flight: usize,
+    high_water: usize,
+}
+
+/// Blocking counting gate; see the module docs.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    capacity: usize,
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+impl AdmissionGate {
+    /// A gate admitting at most `capacity` concurrent holders (clamped to
+    /// at least 1).
+    pub fn new(capacity: usize) -> Self {
+        AdmissionGate {
+            capacity: capacity.max(1),
+            state: Mutex::new(GateState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until a slot is free, then take it. The slot is held until
+    /// the returned [`Permit`] drops.
+    pub fn admit(&self) -> Permit<'_> {
+        let mut s = self.state.lock().unwrap();
+        while s.in_flight >= self.capacity {
+            s = self.cv.wait(s).unwrap();
+        }
+        s.in_flight += 1;
+        s.high_water = s.high_water.max(s.in_flight);
+        Permit { gate: self }
+    }
+
+    /// Maximum number of permits ever held at once — lets tests assert the
+    /// bound actually bit.
+    pub fn high_water(&self) -> usize {
+        self.state.lock().unwrap().high_water
+    }
+
+    /// Permits currently out.
+    pub fn in_flight(&self) -> usize {
+        self.state.lock().unwrap().in_flight
+    }
+}
+
+/// RAII admission slot; dropping it frees the slot and wakes one waiter.
+pub struct Permit<'a> {
+    gate: &'a AdmissionGate,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut s = self.gate.state.lock().unwrap();
+        s.in_flight -= 1;
+        drop(s);
+        self.gate.cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounds_concurrency_and_records_high_water() {
+        let gate = Arc::new(AdmissionGate::new(2));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let g = Arc::clone(&gate);
+            handles.push(std::thread::spawn(move || {
+                let _p = g.admit();
+                assert!(g.in_flight() <= 2);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(gate.high_water() <= 2);
+        assert_eq!(gate.in_flight(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let gate = AdmissionGate::new(0);
+        let p = gate.admit();
+        assert_eq!(gate.in_flight(), 1);
+        drop(p);
+        assert_eq!(gate.in_flight(), 0);
+    }
+}

@@ -27,6 +27,8 @@ pub const CATALOG_KEY: &str = "ubtree";
 /// Format version of the serialized state.
 const STATE_VERSION: u32 = 1;
 
+mod containment;
+
 /// Block-tree index over unordered inverted lists.
 pub struct UnorderedBTree {
     tree: BTree,
@@ -34,6 +36,54 @@ pub struct UnorderedBTree {
     num_records: u64,
     vocab_size: usize,
     compression: Compression,
+}
+
+/// Builder-style [`UnorderedBTree`] construction: start from
+/// [`UnorderedBTree::builder`], override what the experiment needs, finish
+/// with [`build`](UnorderedBTreeBuilder::build).
+pub struct UnorderedBTreeBuilder<'a> {
+    dataset: &'a Dataset,
+    block_bytes: usize,
+    pager: Option<Pager>,
+    cache_bytes: usize,
+    compression: Compression,
+}
+
+impl UnorderedBTreeBuilder<'_> {
+    /// Byte budget per list block (default 512, the OIF's block size — the
+    /// §5 ablation requires "the same block size").
+    pub fn block_bytes(mut self, bytes: usize) -> Self {
+        self.block_bytes = bytes;
+        self
+    }
+
+    /// Buffer-pool budget in bytes (default: the paper's 32 KiB). Ignored
+    /// when an explicit [`pager`](UnorderedBTreeBuilder::pager) is supplied.
+    pub fn cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
+
+    /// Posting compression (default: v-byte over d-gaps).
+    pub fn compression(mut self, compression: Compression) -> Self {
+        self.compression = compression;
+        self
+    }
+
+    /// Build onto an existing pager (durable storage, shared pools, fault
+    /// injection) instead of a fresh in-memory pool.
+    pub fn pager(mut self, pager: Pager) -> Self {
+        self.pager = Some(pager);
+        self
+    }
+
+    /// Build the unordered B-tree index.
+    pub fn build(self) -> UnorderedBTree {
+        let pager = self
+            .pager
+            .unwrap_or_else(|| Pager::with_cache_bytes(self.cache_bytes));
+        UnorderedBTree::build_impl(self.dataset, self.block_bytes, pager, self.compression)
+    }
 }
 
 fn encode_key(item: ItemId, last_id: u64) -> [u8; 12] {
@@ -51,11 +101,40 @@ impl UnorderedBTree {
     /// Build with the default 512 B block budget on a fresh 32 KiB-cache
     /// pager.
     pub fn build(dataset: &Dataset) -> Self {
-        Self::build_with(dataset, 512, Pager::new(), Compression::VByteDGap)
+        Self::builder(dataset).build()
+    }
+
+    /// Start a builder-style construction over `dataset` with default
+    /// settings.
+    pub fn builder(dataset: &Dataset) -> UnorderedBTreeBuilder<'_> {
+        UnorderedBTreeBuilder {
+            dataset,
+            block_bytes: 512,
+            pager: None,
+            cache_bytes: 32 * 1024,
+            compression: Compression::VByteDGap,
+        }
     }
 
     /// Build with explicit block budget, pager and compression.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `UnorderedBTree::builder(dataset)…build()` instead"
+    )]
     pub fn build_with(
+        dataset: &Dataset,
+        block_bytes: usize,
+        pager: Pager,
+        compression: Compression,
+    ) -> Self {
+        Self::builder(dataset)
+            .block_bytes(block_bytes)
+            .pager(pager)
+            .compression(compression)
+            .build()
+    }
+
+    fn build_impl(
         dataset: &Dataset,
         block_bytes: usize,
         pager: Pager,
@@ -346,13 +425,10 @@ impl UnorderedBTree {
         self.try_eval(kind, qs).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Fallible twin of [`UnorderedBTree::eval`].
+    /// Fallible twin of [`UnorderedBTree::eval`]. Thin wrapper over the
+    /// [`oif::ContainmentIndex`] impl, which owns the kind dispatch.
     pub fn try_eval(&self, kind: QueryKind, qs: &[ItemId]) -> Result<Vec<u64>, PageError> {
-        match kind {
-            QueryKind::Subset => self.try_subset(qs),
-            QueryKind::Equality => self.try_equality(qs),
-            QueryKind::Superset => self.try_superset(qs),
-        }
+        oif::ContainmentIndex::try_eval(self, kind, qs)
     }
 
     /// Evaluate a batch of queries of one kind across `threads` workers
@@ -381,12 +457,7 @@ impl UnorderedBTree {
         queries: &[Vec<ItemId>],
         threads: usize,
     ) -> Vec<Result<Vec<u64>, PageError>> {
-        pagestore::par_map_with(
-            queries.len(),
-            threads,
-            || (),
-            |_, i| self.try_eval(kind, &queries[i]),
-        )
+        oif::ContainmentIndex::try_par_eval(self, kind, queries, threads)
     }
 }
 

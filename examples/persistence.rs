@@ -43,7 +43,7 @@ fn main() {
         let pager = Pager::with_storage(storage, 32 * 1024);
         println!("building the OIF into {} ...", path.display());
         let t0 = Instant::now();
-        let index = Oif::build_with(&data, Default::default(), Some(pager));
+        let index = Oif::builder(&data).pager(pager).build();
         index.persist().expect("persist + sync");
         build_time = t0.elapsed();
         println!(

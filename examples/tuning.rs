@@ -80,7 +80,7 @@ fn main() {
     );
     let mut baseline_answers = None;
     for (label, cfg) in variants {
-        let idx = Oif::build_with(&data, cfg, None);
+        let idx = Oif::builder(&data).config(cfg).build();
         let pager = idx.pager().clone();
         let mut total_pages = 0u64;
         let mut answers = Vec::new();

@@ -14,4 +14,5 @@ pub use heapfile;
 pub use invfile;
 pub use oif;
 pub use pagestore;
+pub use service;
 pub use ubtree;

@@ -18,7 +18,6 @@
 //! the empty pre-first-persist storage — and a further
 //! `batch_insert` + `persist` from the recovered state must succeed.
 
-use set_containment::codec::postings::Compression;
 use set_containment::datagen::{Dataset, QueryKind, Record, SyntheticSpec, WorkloadSpec};
 use set_containment::invfile::InvertedFile;
 use set_containment::pagestore::{FaultConfig, FaultHandle, FaultStorage, FileStorage, Pager};
@@ -94,7 +93,7 @@ fn run_workload(d: &Dataset, cfg: FaultConfig) -> (FaultHandle, Vec<u64>) {
     let (storage, handle) = FaultStorage::create(cfg).expect("create succeeds in-process");
     let mut commits = vec![handle.ops()];
     let pager = Pager::with_storage(storage, 32 * 1024);
-    let mut idx = InvertedFile::build_with(d, pager, Compression::VByteDGap);
+    let mut idx = InvertedFile::builder(d).pager(pager).build();
     idx.persist().expect("in-process persist always succeeds");
     commits.push(handle.ops());
     for batch in batches(d) {

@@ -3,7 +3,6 @@
 //! to the brute-force reference on every dataset family of §5, and the OIF
 //! must actually deliver the I/O advantage the paper claims.
 
-use set_containment::codec::postings::Compression;
 use set_containment::datagen::{brute, Dataset, QueryKind, SyntheticSpec, WorkloadSpec};
 use set_containment::invfile::InvertedFile;
 use set_containment::oif::{BlockConfig, Oif, OifConfig};
@@ -12,14 +11,12 @@ use set_containment::ubtree::UnorderedBTree;
 fn check_all_indexes(d: &Dataset, sizes: &[usize], seed: u64) {
     let ifile = InvertedFile::build(d);
     let oif = Oif::build(d);
-    let oif_nometa = Oif::build_with(
-        d,
-        OifConfig {
+    let oif_nometa = Oif::builder(d)
+        .config(OifConfig {
             use_metadata: false,
             ..OifConfig::default()
-        },
-        None,
-    );
+        })
+        .build();
     let ub = UnorderedBTree::build(d);
     for kind in QueryKind::ALL {
         for &size in sizes {
@@ -273,20 +270,15 @@ fn unordered_btree_is_more_compact_than_oif() {
     // The paper's compactness claim is about key overhead: id-only keys vs
     // whole-record tags. Compare at equal posting counts (OIF without its
     // metadata table, which would otherwise strip one posting per record).
-    let oif_nometa = Oif::build_with(
-        &d,
-        OifConfig {
+    let oif_nometa = Oif::builder(&d)
+        .config(OifConfig {
             use_metadata: false,
             ..OifConfig::default()
-        },
-        None,
-    );
-    let ub = UnorderedBTree::build_with(
-        &d,
-        512,
-        set_containment::pagestore::Pager::new(),
-        Compression::VByteDGap,
-    );
+        })
+        .build();
+    let ub = UnorderedBTree::builder(&d)
+        .pager(set_containment::pagestore::Pager::new())
+        .build();
     assert!(
         ub.bytes_on_disk() <= oif_nometa.space().tree_bytes,
         "ubtree {} vs OIF(no meta) tree {}",
@@ -341,17 +333,15 @@ fn block_config_sweep_preserves_answers() {
     let reference: Vec<Vec<u64>> = ws.queries.iter().map(|q| brute::subset(&d, q)).collect();
     for target in [64usize, 256, 1024, 4096] {
         for prefix in [None, Some(1), Some(3)] {
-            let idx = Oif::build_with(
-                &d,
-                OifConfig {
+            let idx = Oif::builder(&d)
+                .config(OifConfig {
                     block: BlockConfig {
                         target_bytes: target,
                         tag_prefix: prefix,
                     },
                     ..OifConfig::default()
-                },
-                None,
-            );
+                })
+                .build();
             for (q, want) in ws.queries.iter().zip(&reference) {
                 assert_eq!(
                     &idx.subset(q),

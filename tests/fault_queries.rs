@@ -16,12 +16,11 @@
 //!   [`PageError::Corrupt`], `scrub()` reports *exactly* the flipped
 //!   pages, quarantine outlives the repair until the operator clears it.
 
-use set_containment::codec::postings::Compression;
 use set_containment::datagen::{Dataset, QueryKind, SyntheticSpec, WorkloadSpec};
 use set_containment::invfile::InvertedFile;
-use set_containment::oif::Oif;
+use set_containment::oif::{DynContainmentIndex, Oif};
 use set_containment::pagestore::{
-    Clock, FaultConfig, FaultHandle, FaultStorage, FileStorage, PageError, Pager, ScrubReport,
+    Clock, FaultConfig, FaultHandle, FaultStorage, FileStorage, PageError, Pager,
 };
 use set_containment::ubtree::UnorderedBTree;
 use std::sync::Arc;
@@ -64,83 +63,32 @@ fn workload(d: &Dataset) -> Vec<(QueryKind, Vec<Vec<u32>>)> {
         .collect()
 }
 
-/// One index structure under fault injection, behind a uniform surface.
-trait IndexUnderTest {
-    fn name(&self) -> &'static str;
-    fn pager(&self) -> &Pager;
-    fn try_eval(&self, kind: QueryKind, qs: &[u32]) -> Result<Vec<u64>, PageError>;
-    fn scrub(&self) -> ScrubReport;
-}
-
-impl IndexUnderTest for Oif {
-    fn name(&self) -> &'static str {
-        "oif"
-    }
-    fn pager(&self) -> &Pager {
-        Oif::pager(self)
-    }
-    fn try_eval(&self, kind: QueryKind, qs: &[u32]) -> Result<Vec<u64>, PageError> {
-        self.try_eval_with(kind, qs, &mut Default::default())
-    }
-    fn scrub(&self) -> ScrubReport {
-        Oif::scrub(self)
-    }
-}
-
-impl IndexUnderTest for InvertedFile {
-    fn name(&self) -> &'static str {
-        "invfile"
-    }
-    fn pager(&self) -> &Pager {
-        InvertedFile::pager(self)
-    }
-    fn try_eval(&self, kind: QueryKind, qs: &[u32]) -> Result<Vec<u64>, PageError> {
-        self.try_eval_with(kind, qs, &mut Default::default())
-    }
-    fn scrub(&self) -> ScrubReport {
-        InvertedFile::scrub(self)
-    }
-}
-
-impl IndexUnderTest for UnorderedBTree {
-    fn name(&self) -> &'static str {
-        "ubtree"
-    }
-    fn pager(&self) -> &Pager {
-        UnorderedBTree::pager(self)
-    }
-    fn try_eval(&self, kind: QueryKind, qs: &[u32]) -> Result<Vec<u64>, PageError> {
-        UnorderedBTree::try_eval(self, kind, qs)
-    }
-    fn scrub(&self) -> ScrubReport {
-        UnorderedBTree::scrub(self)
-    }
-}
-
 /// Build one index of each structure, each on its own faultable durable
 /// stack, synced so the on-disk image is committed and no dirty frames
-/// remain (read faults then never interact with write-back).
-fn build_all(d: &Dataset) -> Vec<(Box<dyn IndexUnderTest>, FaultHandle)> {
+/// remain (read faults then never interact with write-back). The three
+/// structures ride in one heterogeneous vec behind the object-safe
+/// [`DynContainmentIndex`] erasure — the sweep below is written once.
+fn build_all(d: &Dataset) -> Vec<(Box<dyn DynContainmentIndex>, FaultHandle)> {
     let fault_pager = || {
         let (storage, h) = FaultStorage::create(FaultConfig::default()).expect("create in-proc");
         let pager = Pager::with_storage(storage, 32 * 1024);
         pager.set_retry_clock(Arc::new(NoSleep));
         (pager, h)
     };
-    let mut out: Vec<(Box<dyn IndexUnderTest>, FaultHandle)> = Vec::new();
+    let mut out: Vec<(Box<dyn DynContainmentIndex>, FaultHandle)> = Vec::new();
 
     let (pager, h) = fault_pager();
-    let oif = Oif::build_with(d, Default::default(), Some(pager));
+    let oif = Oif::builder(d).pager(pager).build();
     oif.persist().expect("fault-free persist");
     out.push((Box::new(oif), h));
 
     let (pager, h) = fault_pager();
-    let inv = InvertedFile::build_with(d, pager, Compression::VByteDGap);
+    let inv = InvertedFile::builder(d).pager(pager).build();
     inv.persist().expect("fault-free persist");
     out.push((Box::new(inv), h));
 
     let (pager, h) = fault_pager();
-    let ub = UnorderedBTree::build_with(d, 512, pager, Compression::VByteDGap);
+    let ub = UnorderedBTree::builder(d).pager(pager).build();
     ub.persist().expect("fault-free persist");
     out.push((Box::new(ub), h));
 
@@ -150,7 +98,7 @@ fn build_all(d: &Dataset) -> Vec<(Box<dyn IndexUnderTest>, FaultHandle)> {
 type Reference = Vec<(QueryKind, Vec<(Vec<u32>, Vec<u64>)>)>;
 
 /// Fault-free reference answers for every (kind, query) pair.
-fn reference(idx: &dyn IndexUnderTest, wl: &[(QueryKind, Vec<Vec<u32>>)]) -> Reference {
+fn reference(idx: &dyn DynContainmentIndex, wl: &[(QueryKind, Vec<Vec<u32>>)]) -> Reference {
     idx.pager().clear_cache();
     wl.iter()
         .map(|(kind, qs)| {
@@ -170,13 +118,13 @@ fn reference(idx: &dyn IndexUnderTest, wl: &[(QueryKind, Vec<Vec<u32>>)]) -> Ref
 
 /// Replay the whole workload; every answer must be bit-for-bit correct
 /// (used for the scheduled-fault modes, where retries absorb every fault).
-fn assert_all_exact(idx: &dyn IndexUnderTest, reference: &Reference, ctx: &str) {
+fn assert_all_exact(idx: &dyn DynContainmentIndex, reference: &Reference, ctx: &str) {
     for (kind, qs) in reference {
         for (q, want) in qs {
             let got = idx
                 .try_eval(*kind, q)
-                .unwrap_or_else(|e| panic!("[{} {ctx}] {kind:?} {q:?}: {e}", idx.name()));
-            assert_eq!(&got, want, "[{} {ctx}] {kind:?} {q:?}", idx.name());
+                .unwrap_or_else(|e| panic!("[{} {ctx}] {kind:?} {q:?}: {e}", idx.kind_name()));
+            assert_eq!(&got, want, "[{} {ctx}] {kind:?} {q:?}", idx.kind_name());
         }
     }
 }
@@ -201,12 +149,12 @@ fn scheduled_transient_reads_are_absorbed_by_retries() {
         assert!(
             idx.pager().stats().retries > 0,
             "[{}] the schedule must actually have fired",
-            idx.name()
+            idx.kind_name()
         );
         assert!(
             idx.pager().degraded().is_none(),
             "[{}] read faults must never degrade the pool",
-            idx.name()
+            idx.kind_name()
         );
     }
 }
@@ -228,7 +176,7 @@ fn scheduled_short_reads_are_classified_transient_and_retried() {
         assert!(
             idx.pager().stats().retries > 0,
             "[{}] the schedule must actually have fired",
-            idx.name()
+            idx.kind_name()
         );
     }
 }
@@ -255,14 +203,19 @@ fn flaky_medium_never_yields_a_wrong_answer_and_heals_clean() {
                     // panic aborts it, a wrong answer asserts).
                     match idx.try_eval(*kind, q) {
                         Ok(got) => {
-                            assert_eq!(&got, want, "[{} seed {seed:#x}] {kind:?} {q:?}", idx.name())
+                            assert_eq!(
+                                &got,
+                                want,
+                                "[{} seed {seed:#x}] {kind:?} {q:?}",
+                                idx.kind_name()
+                            )
                         }
                         Err(e) => {
                             assert!(
                                 matches!(e, PageError::Transient { .. }),
                                 "[{} seed {seed:#x}] {kind:?} {q:?}: flaky reads must \
                                  surface as Transient, got {e}",
-                                idx.name()
+                                idx.kind_name()
                             );
                             errors += 1;
                         }
@@ -277,7 +230,7 @@ fn flaky_medium_never_yields_a_wrong_answer_and_heals_clean() {
         assert!(
             idx.pager().degraded().is_none(),
             "[{}] read faults must never degrade the pool",
-            idx.name()
+            idx.kind_name()
         );
     }
     assert!(
@@ -295,7 +248,7 @@ fn flaky_medium_under_parallel_batches_fails_queries_not_the_batch() {
     let (storage, h) = FaultStorage::create(FaultConfig::default()).expect("create in-proc");
     let pager = Pager::with_storage(storage, 32 * 1024);
     pager.set_retry_clock(Arc::new(NoSleep));
-    let idx = Oif::build_with(&d, Default::default(), Some(pager));
+    let idx = Oif::builder(&d).pager(pager).build();
     idx.persist().expect("fault-free persist");
 
     for (kind, qs) in &wl {
@@ -337,7 +290,11 @@ fn bit_flips_quarantine_and_scrub_reports_exactly_them() {
             .enumerate()
             .filter_map(|(phys, slot)| slot.map(|off| (phys as u64, off)))
             .collect();
-        assert!(committed.len() >= 4, "[{}] degenerate index", idx.name());
+        assert!(
+            committed.len() >= 4,
+            "[{}] degenerate index",
+            idx.kind_name()
+        );
         let flipped: Vec<(u64, u64)> = committed.iter().copied().step_by(2).collect();
         for &(_, off) in &flipped {
             h.flip_bit(off + 37, 3);
@@ -351,12 +308,12 @@ fn bit_flips_quarantine_and_scrub_reports_exactly_them() {
         for (kind, qs) in &reference {
             for (q, want) in qs {
                 match idx.try_eval(*kind, q) {
-                    Ok(got) => assert_eq!(&got, want, "[{}] {kind:?} {q:?}", idx.name()),
+                    Ok(got) => assert_eq!(&got, want, "[{}] {kind:?} {q:?}", idx.kind_name()),
                     Err(e) => {
                         assert!(
                             matches!(e, PageError::Corrupt { .. }),
                             "[{}] {kind:?} {q:?}: bit rot must surface as Corrupt, got {e}",
-                            idx.name()
+                            idx.kind_name()
                         );
                         corrupt_errors += 1;
                     }
@@ -366,18 +323,28 @@ fn bit_flips_quarantine_and_scrub_reports_exactly_them() {
         assert!(
             corrupt_errors > 0,
             "[{}] with every other page corrupted some query must hit one",
-            idx.name()
+            idx.kind_name()
         );
 
         // Scrub finds exactly the flipped pages — no more, no fewer.
         let report = idx.scrub();
         let mut found: Vec<u64> = report.corrupt.iter().map(|f| f.phys).collect();
         found.sort_unstable();
-        assert_eq!(found, flipped_phys, "[{}] scrub corrupt set", idx.name());
-        assert!(report.unreadable.is_empty(), "[{}]", idx.name());
+        assert_eq!(
+            found,
+            flipped_phys,
+            "[{}] scrub corrupt set",
+            idx.kind_name()
+        );
+        assert!(report.unreadable.is_empty(), "[{}]", idx.kind_name());
         let mut quarantined: Vec<u64> = report.quarantined.iter().map(|&(_, _, p)| p).collect();
         quarantined.sort_unstable();
-        assert_eq!(quarantined, flipped_phys, "[{}] quarantine set", idx.name());
+        assert_eq!(
+            quarantined,
+            flipped_phys,
+            "[{}] quarantine set",
+            idx.kind_name()
+        );
 
         // Repair the medium (flip the bits back). Quarantine must outlive
         // the repair: the damaged pages stay fenced until the operator
@@ -389,10 +356,13 @@ fn bit_flips_quarantine_and_scrub_reports_exactly_them() {
         let (qf, qp, _) = report.quarantined[0];
         match idx.pager().try_pin_page(qf, qp) {
             Err(PageError::Corrupt { .. }) => {}
-            Err(e) => panic!("[{}] expected Corrupt from quarantine, got {e}", idx.name()),
+            Err(e) => panic!(
+                "[{}] expected Corrupt from quarantine, got {e}",
+                idx.kind_name()
+            ),
             Ok(_) => panic!(
                 "[{}] quarantined page served after repair without operator clearance",
-                idx.name()
+                idx.kind_name()
             ),
         }
 
@@ -402,6 +372,6 @@ fn bit_flips_quarantine_and_scrub_reports_exactly_them() {
         idx.pager().clear_cache();
         assert_all_exact(idx.as_ref(), &reference, "repaired");
         let healed = idx.scrub();
-        assert!(healed.is_clean(), "[{}] {healed}", idx.name());
+        assert!(healed.is_clean(), "[{}] {healed}", idx.kind_name());
     }
 }

@@ -4,14 +4,16 @@
 //! path.
 //!
 //! This is the workspace-level acceptance test of the parallel query
-//! engine: queries are read-only, so whatever eviction interleavings the
-//! shared cache goes through, every answer must be bit-identical to the
-//! single-threaded evaluation.
+//! engine — written once against [`ContainmentIndex`] and run against all
+//! three structures: queries are read-only, so whatever eviction
+//! interleavings the shared cache goes through, every answer must be
+//! bit-identical to the single-threaded evaluation.
 
 use set_containment::datagen::{QueryKind, SyntheticSpec, WorkloadSpec};
 use set_containment::invfile::InvertedFile;
-use set_containment::oif::{Oif, QueryScratch};
+use set_containment::oif::{ContainmentIndex, Oif, QueryScratch};
 use set_containment::pagestore::par_map_with;
+use set_containment::ubtree::UnorderedBTree;
 
 fn dataset() -> set_containment::datagen::Dataset {
     SyntheticSpec {
@@ -52,21 +54,22 @@ fn mixed_workload(d: &set_containment::datagen::Dataset) -> Vec<(QueryKind, Vec<
     mixed
 }
 
-#[test]
-fn oif_mixed_kinds_across_threads_match_serial() {
-    let d = dataset();
-    let idx = Oif::build(&d);
-    let mixed = mixed_workload(&d);
-    let serial: Vec<Vec<u64>> = {
-        let mut scratch = QueryScratch::new();
-        mixed
-            .iter()
-            .map(|(kind, q)| idx.eval_with(*kind, q, &mut scratch))
-            .collect()
-    };
+/// Serial evaluation of a mixed batch with one reused scratch — the
+/// reference answers.
+fn serial_answers<I: ContainmentIndex>(idx: &I, mixed: &[(QueryKind, Vec<u32>)]) -> Vec<Vec<u64>> {
+    let mut scratch = I::Scratch::default();
+    mixed
+        .iter()
+        .map(|(kind, q)| idx.eval_with(*kind, q, &mut scratch))
+        .collect()
+}
 
+/// The generic stress driver: mixed kinds across thread counts must match
+/// the serial evaluation exactly, for any `ContainmentIndex`.
+fn mixed_kinds_match_serial<I: ContainmentIndex>(idx: &I, mixed: &[(QueryKind, Vec<u32>)]) {
+    let serial = serial_answers(idx, mixed);
     for threads in [4usize, 8] {
-        let results = par_map_with(mixed.len(), threads, QueryScratch::new, |scratch, i| {
+        let results = par_map_with(mixed.len(), threads, I::Scratch::default, |scratch, i| {
             let (kind, q) = &mixed[i];
             idx.eval_with(*kind, q, scratch)
         });
@@ -78,6 +81,24 @@ fn oif_mixed_kinds_across_threads_match_serial() {
             );
         }
     }
+}
+
+#[test]
+fn oif_mixed_kinds_across_threads_match_serial() {
+    let d = dataset();
+    mixed_kinds_match_serial(&Oif::build(&d), &mixed_workload(&d));
+}
+
+#[test]
+fn invfile_mixed_kinds_across_threads_match_serial() {
+    let d = dataset();
+    mixed_kinds_match_serial(&InvertedFile::build(&d), &mixed_workload(&d));
+}
+
+#[test]
+fn ubtree_mixed_kinds_across_threads_match_serial() {
+    let d = dataset();
+    mixed_kinds_match_serial(&UnorderedBTree::build(&d), &mixed_workload(&d));
 }
 
 #[test]
@@ -101,30 +122,6 @@ fn oif_par_eval_repeated_rounds_stay_identical() {
             assert_eq!(par, serial, "{kind:?} round {round}");
         }
     }
-}
-
-#[test]
-fn invfile_mixed_kinds_across_threads_match_serial() {
-    let d = dataset();
-    let idx = InvertedFile::build(&d);
-    let mixed = mixed_workload(&d);
-    let serial: Vec<Vec<u64>> = {
-        let mut scratch = set_containment::invfile::EvalScratch::new();
-        mixed
-            .iter()
-            .map(|(kind, q)| idx.eval_with(*kind, q, &mut scratch))
-            .collect()
-    };
-    let results = par_map_with(
-        mixed.len(),
-        6,
-        set_containment::invfile::EvalScratch::new,
-        |scratch, i| {
-            let (kind, q) = &mixed[i];
-            idx.eval_with(*kind, q, scratch)
-        },
-    );
-    assert_eq!(results, serial);
 }
 
 #[test]

@@ -99,7 +99,7 @@ fn oif_reopen_matches_fresh_build_bit_for_bit() {
 
     // Build on the file backend, persist, drop every handle.
     {
-        let built = Oif::build_with(&d, Default::default(), Some(file_pager(&tmp.0)));
+        let built = Oif::builder(&d).pager(file_pager(&tmp.0)).build();
         built.persist().expect("persist + sync");
     }
 
@@ -140,7 +140,7 @@ fn oif_pruned_superset_reopens_bit_for_bit() {
     let d = dataset();
     let tmp = TempFile::new("oif-pruned");
     {
-        let built = Oif::build_with(&d, Default::default(), Some(file_pager(&tmp.0)));
+        let built = Oif::builder(&d).pager(file_pager(&tmp.0)).build();
         built.persist().expect("persist + sync");
     }
     let fresh = Oif::build(&d);
@@ -165,11 +165,10 @@ fn invfile_reopen_matches_fresh_build_bit_for_bit() {
     let d = dataset();
     let tmp = TempFile::new("invfile");
     {
-        let built = InvertedFile::build_with(
-            &d,
-            file_pager(&tmp.0),
-            set_containment::codec::postings::Compression::VByteDGap,
-        );
+        let built = InvertedFile::builder(&d)
+            .pager(file_pager(&tmp.0))
+            .compression(set_containment::codec::postings::Compression::VByteDGap)
+            .build();
         built.persist().expect("persist + sync");
     }
     let fresh = InvertedFile::build(&d);
@@ -199,12 +198,10 @@ fn ubtree_reopen_matches_fresh_build_bit_for_bit() {
     let d = dataset();
     let tmp = TempFile::new("ubtree");
     {
-        let built = UnorderedBTree::build_with(
-            &d,
-            512,
-            file_pager(&tmp.0),
-            set_containment::codec::postings::Compression::VByteDGap,
-        );
+        let built = UnorderedBTree::builder(&d)
+            .pager(file_pager(&tmp.0))
+            .compression(set_containment::codec::postings::Compression::VByteDGap)
+            .build();
         built.persist().expect("persist + sync");
     }
     let fresh = UnorderedBTree::build(&d);
@@ -238,18 +235,15 @@ fn three_indexes_share_one_storage_file() {
     let tmp = TempFile::new("shared");
     {
         let pager = file_pager(&tmp.0);
-        let oif = Oif::build_with(&d, Default::default(), Some(pager.clone()));
-        let ifile = InvertedFile::build_with(
-            &d,
-            pager.clone(),
-            set_containment::codec::postings::Compression::VByteDGap,
-        );
-        let ub = UnorderedBTree::build_with(
-            &d,
-            512,
-            pager.clone(),
-            set_containment::codec::postings::Compression::VByteDGap,
-        );
+        let oif = Oif::builder(&d).pager(pager.clone()).build();
+        let ifile = InvertedFile::builder(&d)
+            .pager(pager.clone())
+            .compression(set_containment::codec::postings::Compression::VByteDGap)
+            .build();
+        let ub = UnorderedBTree::builder(&d)
+            .pager(pager.clone())
+            .compression(set_containment::codec::postings::Compression::VByteDGap)
+            .build();
         oif.persist().unwrap();
         ifile.persist().unwrap();
         ub.persist().unwrap();
@@ -301,7 +295,7 @@ fn v1_files_still_open_with_identical_answers_and_counts() {
             FileStorage::create_v1(&tmp.0).expect("create v1 storage"),
             32 * 1024,
         );
-        let built = Oif::build_with(&d, Default::default(), Some(pager));
+        let built = Oif::builder(&d).pager(pager).build();
         built.persist().expect("persist + sync (v1 in-place)");
     }
     let storage = FileStorage::open(&tmp.0).expect("v1 file opens");
@@ -385,7 +379,7 @@ fn torn_write_matrix_recovers_previous_epoch_or_fails_naming_structure() {
     let d = dataset();
     let tmp = TempFile::new("matrix");
     {
-        let built = Oif::build_with(&d, Default::default(), Some(file_pager(&tmp.0)));
+        let built = Oif::builder(&d).pager(file_pager(&tmp.0)).build();
         built.persist().expect("persist + sync"); // commits epoch A
         built.pager().put_catalog("marker", b"B");
         built.pager().sync().expect("sync"); // commits epoch B

@@ -84,7 +84,7 @@ proptest! {
             use_metadata,
             ..OifConfig::default()
         };
-        let idx = Oif::build_with(&d, cfg, None);
+        let idx = Oif::builder(&d).config(cfg).build();
         prop_assert_eq!(idx.subset(&q), brute::subset(&d, &q));
         prop_assert_eq!(idx.equality(&q), brute::equality(&d, &q));
         prop_assert_eq!(idx.superset(&q), brute::superset(&d, &q));
@@ -109,7 +109,7 @@ proptest! {
         };
 
         // Memory backend.
-        let oif = Oif::build_with(&d, cfg.clone(), None);
+        let oif = Oif::builder(&d).config(cfg.clone()).build();
         let ifile = InvertedFile::build(&d);
         for q in &queries {
             let want = brute::superset(&d, q);
@@ -131,7 +131,7 @@ proptest! {
         {
             let storage = FileStorage::create(&path).unwrap();
             let pager = Pager::with_storage(storage, cfg.cache_bytes);
-            let built = Oif::build_with(&d, cfg.clone(), Some(pager.clone()));
+            let built = Oif::builder(&d).config(cfg.clone()).pager(pager.clone()).build();
             built.persist().unwrap();
             let ifile_file = set_containment::invfile::build(
                 &d,
