@@ -169,20 +169,6 @@ impl Oif {
         }
     }
 
-    /// Build with explicit configuration; `pager` defaults to a fresh pool
-    /// of `config.cache_bytes`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Oif::builder(dataset)…build()` instead of the three-argument shape"
-    )]
-    pub fn build_with(dataset: &Dataset, config: OifConfig, pager: Option<Pager>) -> Self {
-        let mut b = Self::builder(dataset).config(config);
-        if let Some(p) = pager {
-            b = b.pager(p);
-        }
-        b.build()
-    }
-
     pub fn num_records(&self) -> u64 {
         self.num_records
     }
@@ -337,20 +323,6 @@ mod tests {
     #[should_panic(expected = "original_id: new_id 19 out of range (new ids are 1..=18)")]
     fn original_id_past_the_map_panics_with_named_message() {
         Oif::build(&sample()).original_id(19);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_build_with_matches_builder() {
-        let d = sample();
-        let via_builder = Oif::builder(&d).build();
-        let via_deprecated = Oif::build_with(&d, OifConfig::default(), None);
-        assert_eq!(via_deprecated.config(), via_builder.config());
-        assert_eq!(via_deprecated.subset(&[0, 3]), via_builder.subset(&[0, 3]));
-        assert_eq!(
-            via_deprecated.superset(&[0, 2]),
-            via_builder.superset(&[0, 2])
-        );
     }
 
     #[test]

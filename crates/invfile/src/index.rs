@@ -81,18 +81,6 @@ impl InvertedFile {
         }
     }
 
-    /// Build with explicit pager and compression (for experiments).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `InvertedFile::builder(dataset)…build()` instead"
-    )]
-    pub fn build_with(dataset: &Dataset, pager: Pager, compression: Compression) -> Self {
-        Self::builder(dataset)
-            .pager(pager)
-            .compression(compression)
-            .build()
-    }
-
     /// The buffer pool (for I/O statistics).
     pub fn pager(&self) -> &Pager {
         self.store.pager()

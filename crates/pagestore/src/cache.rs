@@ -69,10 +69,10 @@ use crate::error::{Clock, PageError, RealClock, RetryPolicy, ScrubFinding, Scrub
 use crate::frame::{FrameSlot, PinnedSlot};
 use crate::stats::IoStats;
 use crate::storage::{Storage, StorageError};
-use parking_lot::{Mutex, RwLock};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Sentinel for "no frame" in the intrusive lists.
@@ -301,6 +301,14 @@ pub struct BufferPool {
     /// Cache hits (the lock-free side of [`IoStats`]).
     hits: AtomicU64,
     policy: Mutex<PolicyCore>,
+    /// Mutation hook for the model-checker teeth test: when set, the
+    /// evictor skips its pin re-check under the shard write latch —
+    /// reintroducing the exact race the protocol exists to prevent — so
+    /// `tests/model.rs` can assert the checker finds a failing schedule.
+    /// A plain std atomic on purpose: flipping it is test setup, not a
+    /// modeled step. Never compiled into production builds.
+    #[cfg(feature = "model")]
+    model_break_evictor_pin_recheck: std::sync::atomic::AtomicBool,
 }
 
 impl BufferPool {
@@ -339,6 +347,34 @@ impl BufferPool {
                 quarantine: BTreeMap::new(),
                 read_only: None,
             }),
+            #[cfg(feature = "model")]
+            model_break_evictor_pin_recheck: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Disable the evictor's pin re-check (model builds only; see the
+    /// field doc). The checker must then find the pinned-reader-vs-evictor
+    /// race deterministically — the mutation test that proves the model
+    /// suite has teeth.
+    #[cfg(feature = "model")]
+    pub fn model_break_evictor_pin_recheck(&self) {
+        self.model_break_evictor_pin_recheck
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether the evictor's pin re-check is active (always, outside model
+    /// builds).
+    #[inline]
+    fn evictor_pin_recheck_enabled(&self) -> bool {
+        #[cfg(feature = "model")]
+        {
+            !self
+                .model_break_evictor_pin_recheck
+                .load(std::sync::atomic::Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "model"))]
+        {
+            true
         }
     }
 
@@ -838,6 +874,21 @@ impl BufferPool {
         core.entry(idx).slot.unpin();
     }
 
+    /// Fallible twin of [`BufferPool::unpin`]: releases one pin and
+    /// returns `true` when `phys` is cached, `false` (a no-op) when it is
+    /// not — for callers that want to balance pins without risking the
+    /// unbalanced-pair panic.
+    pub fn unpin_checked(&self, phys: u64) -> bool {
+        let core = self.policy.lock();
+        match core.map.get(&phys) {
+            Some(&idx) => {
+                core.entry(idx).slot.unpin();
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Pin count of the frame caching `(file, page)`, if cached.
     pub fn pin_count(&self, file: FileId, page: PageId) -> Option<u32> {
         let core = self.policy.lock();
@@ -924,7 +975,7 @@ impl BufferPool {
             let shard = self.shard_of(key);
             let mut map = shard.map.write();
             let e = core.entry(idx);
-            if e.slot.pin_count() != 0 {
+            if self.evictor_pin_recheck_enabled() && e.slot.pin_count() != 0 {
                 return false;
             }
             // Unpinned under the write latch ⇒ no reader holds or can
@@ -1497,6 +1548,20 @@ mod tests {
         assert_eq!(p.stats().hits, 1, "pinned page must not be evicted");
         assert_eq!(bytes, &before[..], "pinned bytes must be stable");
         p.unpin(phys);
+    }
+
+    #[test]
+    fn unpin_checked_balances_or_reports_uncached() {
+        let (p, f) = pool(2);
+        p.allocate_page(f);
+        let (_, phys) = p.pin(f, 0);
+        assert_eq!(p.pin_count(f, 0), Some(1));
+        assert!(p.unpin_checked(phys), "cached page must release its pin");
+        assert_eq!(p.pin_count(f, 0), Some(0));
+        assert!(
+            !p.unpin_checked(u64::MAX),
+            "uncached physical page is a no-op, not a panic"
+        );
     }
 
     #[test]

@@ -25,8 +25,8 @@
 //! have no reader about to materialise a view of it.
 
 use crate::disk::PAGE_SIZE;
+use crate::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One cached page frame. See the module docs for the latch protocol.

@@ -44,6 +44,7 @@ mod raw;
 pub mod ser;
 mod stats;
 mod storage;
+mod sync;
 
 pub use cache::BufferPool;
 pub use cost::IoCostModel;
@@ -105,6 +106,13 @@ impl Pager {
     /// Create a new logical file (segment) on the underlying disk.
     pub fn create_file(&self) -> FileId {
         self.inner.create_file()
+    }
+
+    /// Mutation hook for the model suite's teeth test (model builds only):
+    /// see [`BufferPool::model_break_evictor_pin_recheck`].
+    #[cfg(feature = "model")]
+    pub fn model_break_evictor_pin_recheck(&self) {
+        self.inner.model_break_evictor_pin_recheck()
     }
 
     /// Append a fresh zeroed page to `file`, returning its page id within the

@@ -6,7 +6,7 @@
 //! buffer pool, which is what keeps a burst of batches from thrashing
 //! the (deliberately tiny, paper-faithful) per-shard cache.
 
-use std::sync::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 
 #[derive(Debug, Default)]
 struct GateState {
@@ -36,9 +36,9 @@ impl AdmissionGate {
     /// Block until a slot is free, then take it. The slot is held until
     /// the returned [`Permit`] drops.
     pub fn admit(&self) -> Permit<'_> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.state.lock();
         while s.in_flight >= self.capacity {
-            s = self.cv.wait(s).unwrap();
+            s = self.cv.wait(s);
         }
         s.in_flight += 1;
         s.high_water = s.high_water.max(s.in_flight);
@@ -48,12 +48,12 @@ impl AdmissionGate {
     /// Maximum number of permits ever held at once — lets tests assert the
     /// bound actually bit.
     pub fn high_water(&self) -> usize {
-        self.state.lock().unwrap().high_water
+        self.state.lock().high_water
     }
 
     /// Permits currently out.
     pub fn in_flight(&self) -> usize {
-        self.state.lock().unwrap().in_flight
+        self.state.lock().in_flight
     }
 }
 
@@ -64,7 +64,7 @@ pub struct Permit<'a> {
 
 impl Drop for Permit<'_> {
     fn drop(&mut self) {
-        let mut s = self.gate.state.lock().unwrap();
+        let mut s = self.gate.state.lock();
         s.in_flight -= 1;
         drop(s);
         self.gate.cv.notify_one();

@@ -26,9 +26,12 @@
 //! See `DESIGN.md` at the repository root for how this layer sits on the
 //! rest of the workspace.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 mod admission;
 pub mod planner;
 mod shard;
+mod sync;
 
 pub use admission::{AdmissionGate, Permit};
 pub use planner::{estimated_pages, IndexKind, PlannerMode};

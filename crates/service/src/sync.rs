@@ -1,0 +1,18 @@
+//! The crate's synchronization layer, switched at compile time.
+//!
+//! Production builds (the default) use the `parking_lot` primitives;
+//! under the test-only `model` cargo feature the same names resolve to
+//! the `loom` model-checker shims, turning every lock acquisition and
+//! condvar wait into a deterministic schedule point (see
+//! `tests/model.rs`). Both layers expose the same API — `lock()` returns
+//! the guard directly, `Condvar::wait` consumes and returns the guard —
+//! so code written against this module compiles unchanged either way.
+//!
+//! Everything concurrency-relevant in this crate must import its
+//! primitives from here, never from `parking_lot`/`std::sync` directly.
+
+#[cfg(feature = "model")]
+pub(crate) use loom::sync::{Condvar, Mutex};
+
+#[cfg(not(feature = "model"))]
+pub(crate) use parking_lot::{Condvar, Mutex};

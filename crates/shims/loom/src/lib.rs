@@ -1,71 +1,1716 @@
-//! Offline stand-in for the `loom` crate (see `crates/shims/`).
+//! Offline stand-in for the `loom` crate — a real, deterministic model
+//! checker (see `crates/shims/`).
 //!
-//! Real `loom` exhaustively model-checks every interleaving of a small
-//! concurrent program by re-running it under a scheduler it controls; that
-//! requires the code under test to use loom's `thread`/`sync` types. The
-//! build container has no registry access, so this shim keeps tests
-//! written against loom's API compiling and *useful*, if weaker: `model`
-//! re-runs the test body many times on real OS threads, sampling
-//! interleavings instead of enumerating them, and `thread`/`sync` re-export
-//! the `std` equivalents. `yield_now` (real loom's scheduling point) maps
-//! to `std::thread::yield_now`, which perturbs real schedules enough to
-//! surface most ordering bugs over the repetitions.
+//! Unlike the original sampling shim (which reran a body 64 times on OS
+//! threads and hoped the kernel scheduler perturbed something), this
+//! version *controls* the schedule. Every shimmed operation —
+//! [`thread::spawn`], [`sync::Mutex`], [`sync::RwLock`], [`sync::Condvar`],
+//! the [`sync::atomic`] types — is a cooperative **schedule point**: the
+//! calling thread announces the operation to a central scheduler, which
+//! decides who runs next. Exactly one logical thread executes at any
+//! moment, so an execution is fully described by the sequence of
+//! scheduling decisions, and [`model`] explores the space of interleavings
+//! by bounded-exhaustive depth-first search over those decisions.
 //!
-//! If networked builds ever become available, swapping the workspace
-//! dependency for real loom upgrades these tests to exhaustive
-//! model-checking with no source change (modulo loom's iteration bounds).
+//! What you get over the old shim:
+//!
+//! * **Exhaustive enumeration** of every interleaving of a small model
+//!   (optionally under a *preemption bound* — schedules with at most N
+//!   involuntary context switches — which is where most real bugs live).
+//! * **Deadlock detection**: a state where no thread can make progress
+//!   fails the model with a description of who waits on what.
+//! * **Replayable failures**: any panic, assertion failure or deadlock is
+//!   reported with a *schedule string* (the chosen thread id at every
+//!   branching decision, e.g. `"1.0.0.1"`). Feeding that string back via
+//!   [`replay`], [`Builder::replay`] or the `LOOM_REPLAY` env var reruns
+//!   the exact interleaving byte-for-byte.
+//! * **Seeded-random fallback** ([`Builder::random`]) for models too large
+//!   to enumerate: deterministic pseudo-random schedules, still fully
+//!   replayable.
+//!
+//! # Mechanics
+//!
+//! Logical threads are real OS threads, but a token (the `current` field
+//! of the scheduler core) serializes them: a thread runs only while it
+//! holds the token, and hands it back at every schedule point. Blocking
+//! operations (lock acquisition, condvar wait, join) park the thread in
+//! the scheduler; the scheduler only ever *grants* a resource as part of
+//! picking a thread to run, so blocked threads never spin and every
+//! decision advances exactly one operation. A decision records the set of
+//! enabled threads; backtracking rewinds to the deepest decision with an
+//! untried candidate and replays the prefix (deterministically — the model
+//! body must be deterministic modulo scheduling, which is also what makes
+//! replay exact).
+//!
+//! Memory-model caveat: atomics are sequentially consistent under the
+//! checker regardless of the `Ordering` argument (the token handoff
+//! synchronizes everything). Races that only exist under weak orderings
+//! are out of scope; interleaving bugs — the overwhelmingly common kind —
+//! are in scope.
+//!
+//! Outside a [`model`] body every shimmed type degrades to plain `std`
+//! behaviour, so code compiled against the shim (e.g. `pagestore` with the
+//! `model` feature off, or unit tests of this crate's host) runs at full
+//! speed with zero scheduling overhead.
 
-/// How many times the shim re-runs a model body to sample interleavings.
-pub const SHIM_ITERATIONS: usize = 64;
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc as StdArc, Condvar as StdCondvar, Mutex as StdMutex, Once};
 
-/// Run `f` repeatedly, sampling thread interleavings. (Real loom explores
-/// them exhaustively under a controlled scheduler.)
-pub fn model<F>(f: F)
-where
-    F: Fn() + Sync + Send + 'static,
-{
-    for _ in 0..SHIM_ITERATIONS {
-        f();
+/// Default DFS budget: executions explored before giving up on
+/// exhaustiveness.
+const DEFAULT_MAX_SCHEDULES: usize = 100_000;
+/// Default per-execution step budget (scheduling decisions); exceeding it
+/// fails the model (likely a livelock or a model far too large).
+const DEFAULT_MAX_STEPS: usize = 50_000;
+
+// ---------------------------------------------------------------------------
+// Public API: Builder / Report / Failure
+// ---------------------------------------------------------------------------
+
+/// How a model run failed. Carried by [`Failure`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FailureKind {
+    /// A model thread panicked (assertion failure, explicit panic, …).
+    Panic,
+    /// No thread could make progress and not all threads had finished.
+    Deadlock,
+    /// One execution exceeded the per-schedule step budget.
+    StepLimit,
+    /// A replayed schedule diverged from the recorded decisions (the model
+    /// body is nondeterministic, or the schedule string is stale).
+    ReplayDivergence,
+}
+
+/// A failing interleaving, with everything needed to rerun it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    pub kind: FailureKind,
+    /// Human-readable description (panic message + location, or the
+    /// deadlock wait-for sets).
+    pub message: String,
+    /// The replayable schedule string: chosen thread id at every decision
+    /// where more than one thread was enabled, joined by `.`.
+    pub schedule: String,
+    /// The thread that panicked, when `kind == Panic`.
+    pub thread: Option<usize>,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            FailureKind::Panic => "panic",
+            FailureKind::Deadlock => "deadlock",
+            FailureKind::StepLimit => "step limit exceeded",
+            FailureKind::ReplayDivergence => "replay divergence",
+        };
+        writeln!(f, "== loom: model checking failed ==")?;
+        writeln!(f, "kind:     {kind}")?;
+        writeln!(f, "message:  {}", self.message)?;
+        writeln!(f, "schedule: \"{}\"", self.schedule)?;
+        write!(
+            f,
+            "replay:   rerun under LOOM_REPLAY=\"{}\" or loom::replay(\"{}\", body)",
+            self.schedule, self.schedule
+        )
     }
 }
 
-pub mod thread {
-    pub use std::thread::{current, park, sleep, spawn, yield_now, JoinHandle};
+/// Summary of a completed (non-failing) exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Number of complete executions run.
+    pub schedules: usize,
+    /// True when the DFS enumerated every schedule (under the configured
+    /// preemption bound) within the budget. Random and replay modes never
+    /// set this.
+    pub exhausted: bool,
 }
 
+/// Configures and runs a model check. `Builder::new().check(body)` is the
+/// explicit form of [`model`]`(body)`.
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Maximum involuntary context switches per schedule (`None` =
+    /// unbounded). Bounding to 2–3 keeps big models tractable and still
+    /// catches almost all real interleaving bugs.
+    pub preemption_bound: Option<usize>,
+    /// DFS budget: maximum executions before returning a non-exhausted
+    /// [`Report`].
+    pub max_schedules: usize,
+    /// Per-execution decision budget; exceeding it is a model failure.
+    pub max_steps: usize,
+    /// `Some(iterations)` switches to seeded-random mode.
+    pub random_iterations: Option<usize>,
+    /// Seed for random mode.
+    pub random_seed: u64,
+    /// Replay exactly this schedule string instead of exploring.
+    pub replay: Option<String>,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: None,
+            max_schedules: DEFAULT_MAX_SCHEDULES,
+            max_steps: DEFAULT_MAX_STEPS,
+            random_iterations: None,
+            random_seed: 0,
+            replay: None,
+        }
+    }
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bound the number of preemptions (involuntary switches) per schedule.
+    pub fn preemption_bound(mut self, bound: usize) -> Self {
+        self.preemption_bound = Some(bound);
+        self
+    }
+
+    pub fn max_schedules(mut self, n: usize) -> Self {
+        self.max_schedules = n;
+        self
+    }
+
+    pub fn max_steps(mut self, n: usize) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Seeded-random exploration instead of DFS: `iterations` schedules
+    /// driven by a SplitMix64 stream from `seed`. Deterministic and
+    /// replayable, not exhaustive.
+    pub fn random(mut self, seed: u64, iterations: usize) -> Self {
+        self.random_seed = seed;
+        self.random_iterations = Some(iterations);
+        self
+    }
+
+    /// Rerun exactly one schedule (a string printed by a prior failure).
+    pub fn replay(mut self, schedule: &str) -> Self {
+        self.replay = Some(schedule.to_string());
+        self
+    }
+
+    /// Run the model; panic with the pretty-printed [`Failure`] if any
+    /// explored schedule fails.
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        if let Err(failure) = self.check_result(f) {
+            panic!("{failure}");
+        }
+    }
+
+    /// Run the model, returning the first failing schedule (DFS order, so
+    /// deterministic) or a [`Report`] when none fails.
+    pub fn check_result<F>(&self, f: F) -> Result<Report, Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        assert!(
+            in_model().is_none(),
+            "loom: model() may not be nested inside another model body"
+        );
+        install_panic_hook();
+        let body: StdArc<dyn Fn() + Send + Sync> = StdArc::new(f);
+
+        if let Some(sched) = &self.replay {
+            let feed = parse_schedule(sched);
+            let out = execute_once(self, Vec::new(), Some(feed), None, &body);
+            return match out.failure {
+                Some(failure) => Err(failure),
+                None => Ok(Report {
+                    schedules: 1,
+                    exhausted: false,
+                }),
+            };
+        }
+
+        if let Some(iterations) = self.random_iterations {
+            let mut stream = self.random_seed;
+            for _ in 0..iterations {
+                let seed = splitmix64(&mut stream);
+                let out = execute_once(self, Vec::new(), None, Some(seed), &body);
+                if let Some(failure) = out.failure {
+                    return Err(failure);
+                }
+            }
+            return Ok(Report {
+                schedules: iterations,
+                exhausted: false,
+            });
+        }
+
+        // Bounded-exhaustive DFS over scheduling decisions.
+        let mut forced: Vec<usize> = Vec::new();
+        let mut schedules = 0usize;
+        loop {
+            let out = execute_once(self, forced, None, None, &body);
+            schedules += 1;
+            if let Some(failure) = out.failure {
+                return Err(failure);
+            }
+            match next_forced_prefix(&out.decisions) {
+                Some(next) => forced = next,
+                None => {
+                    return Ok(Report {
+                        schedules,
+                        exhausted: true,
+                    })
+                }
+            }
+            if schedules >= self.max_schedules {
+                return Ok(Report {
+                    schedules,
+                    exhausted: false,
+                });
+            }
+        }
+    }
+}
+
+/// Explore every interleaving of `f` exhaustively; panic on any failing
+/// schedule (with a replayable schedule string) and on budget exhaustion
+/// (the model is too large — bound it via [`Builder`]).
+///
+/// `LOOM_REPLAY="<schedule>"` in the environment short-circuits
+/// exploration and reruns that single schedule.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let mut b = Builder::new();
+    if let Ok(sched) = std::env::var("LOOM_REPLAY") {
+        b = b.replay(&sched);
+    }
+    match b.check_result(f) {
+        Err(failure) => panic!("{failure}"),
+        Ok(report) if !report.exhausted && b.replay.is_none() => panic!(
+            "loom: model() exhausted its schedule budget ({} schedules) without \
+             finishing; use loom::Builder with a preemption_bound or random mode",
+            report.schedules
+        ),
+        Ok(_) => {}
+    }
+}
+
+/// Rerun one recorded schedule. Panics with the reproduced [`Failure`] if
+/// it fails (the expected outcome when debugging), or with a notice if the
+/// schedule no longer fails.
+pub fn replay<F>(schedule: &str, f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match Builder::new().replay(schedule).check_result(f) {
+        Err(failure) => panic!("{failure}"),
+        Ok(_) => panic!("loom: replay of \"{schedule}\" completed without failure"),
+    }
+}
+
+fn parse_schedule(s: &str) -> Vec<usize> {
+    if s.is_empty() {
+        return Vec::new();
+    }
+    s.split('.')
+        .map(|part| {
+            part.parse::<usize>().unwrap_or_else(|_| {
+                panic!("loom: malformed schedule string {s:?} (bad component {part:?})")
+            })
+        })
+        .collect()
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler core
+// ---------------------------------------------------------------------------
+
+/// Panic payload used to force-unwind model threads when an execution
+/// aborts (failure found elsewhere). Swallowed by each thread's
+/// `catch_unwind`; the panic hook ignores it.
+struct ForcedAbort;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Waiting {
+    MutexLock(usize),
+    RwRead(usize),
+    RwWrite(usize),
+    CondWait(usize),
+    Join(usize),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ThState {
+    Runnable,
+    Blocked(Waiting),
+    Finished,
+}
+
+#[derive(Default)]
+struct Resources {
+    /// mutex address -> currently held?
+    mutex_held: HashMap<usize, bool>,
+    /// rwlock address -> (reader count, writer held?)
+    rw: HashMap<usize, (usize, bool)>,
+    /// condvar address -> FIFO of (waiting tid, mutex to reacquire)
+    cond_waiters: HashMap<usize, Vec<(usize, usize)>>,
+    /// address -> small sequential id, for address-free failure messages
+    /// (addresses differ between executions; introduction order does not).
+    names: HashMap<usize, usize>,
+}
+
+impl Resources {
+    fn name(&mut self, addr: usize) -> usize {
+        let next = self.names.len();
+        *self.names.entry(addr).or_insert(next)
+    }
+}
+
+/// One scheduling decision: who was enabled, who was eligible (after the
+/// preemption-bound filter, current-thread-first), and which candidate ran.
+struct Decision {
+    enabled_len: usize,
+    candidates: Vec<usize>,
+    chosen: usize,
+}
+
+struct Core {
+    threads: Vec<ThState>,
+    /// Whether each thread has reached its first schedule point. A spawned
+    /// thread runs to its first point immediately (the spawner waits), and
+    /// parks there without a scheduling decision — so at every decision,
+    /// each live thread sits at exactly one announced pending operation,
+    /// and choosing a thread executes exactly one op. Without this, "hand
+    /// the fresh child the token" would be an empty transition that
+    /// inflates the schedule count.
+    started: Vec<bool>,
+    current: usize,
+    res: Resources,
+    decisions: Vec<Decision>,
+    /// DFS prefix: the tid to schedule at each decision index.
+    forced: Vec<usize>,
+    /// External replay feed: tids at *branching* decisions only.
+    replay: Option<Vec<usize>>,
+    replay_cursor: usize,
+    /// Some(state) switches free decisions to seeded-random choice.
+    rng: Option<u64>,
+    preemptions: usize,
+    preemption_bound: Option<usize>,
+    max_steps: usize,
+    failure: Option<Failure>,
+    /// Message + location captured by the panic hook for the in-flight
+    /// panic on a model thread.
+    panic_note: Option<String>,
+    aborting: bool,
+    live_os: usize,
+}
+
+struct Execution {
+    core: StdMutex<Core>,
+    cv: StdCondvar,
+}
+
+struct Ctx {
+    exec: StdArc<Execution>,
+    tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// The calling thread's model context, or `None` outside a model body.
+/// Also `None` while the thread is unwinding: destructors that touch
+/// shimmed primitives during a panic must not re-enter the scheduler (the
+/// execution is being torn down), so they degrade to plain std behaviour.
+fn in_model() -> Option<(StdArc<Execution>, usize)> {
+    if std::thread::panicking() {
+        return None;
+    }
+    CTX.with(|c| c.borrow().as_ref().map(|x| (x.exec.clone(), x.tid)))
+}
+
+fn forced_abort() -> ! {
+    panic::panic_any(ForcedAbort)
+}
+
+fn payload_str(payload: &dyn Any) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+static HOOK_INIT: Once = Once::new();
+
+/// Install (once) a composed panic hook: panics on model threads are
+/// captured into the execution (message + location) and not printed —
+/// the checker explores failing schedules on purpose, and the stderr spam
+/// of thousands of expected panics would bury the real report. Panics
+/// anywhere else go to the previous hook untouched.
+fn install_panic_hook() {
+    HOOK_INIT.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let model_exec = CTX.with(|c| c.borrow().as_ref().map(|x| x.exec.clone()));
+            let Some(exec) = model_exec else {
+                prev(info);
+                return;
+            };
+            if info.payload().downcast_ref::<ForcedAbort>().is_some() {
+                return;
+            }
+            let msg = payload_str(info.payload());
+            let note = match info.location() {
+                Some(loc) => format!("{msg}, at {loc}"),
+                None => msg,
+            };
+            // try_lock: if this thread somehow panicked while holding the
+            // core lock, recording the note is not worth a deadlock.
+            if let Ok(mut core) = exec.core.try_lock() {
+                core.panic_note = Some(note);
+            };
+        }));
+    });
+}
+
+impl Execution {
+    fn lock_core(&self) -> std::sync::MutexGuard<'_, Core> {
+        self.core.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn is_enabled(core: &Core, t: usize) -> bool {
+        match core.threads[t] {
+            ThState::Runnable => core.started[t],
+            ThState::Finished => false,
+            ThState::Blocked(w) => match w {
+                Waiting::MutexLock(a) => !core.res.mutex_held.get(&a).copied().unwrap_or(false),
+                Waiting::RwRead(a) => !core.res.rw.get(&a).map(|&(_, w)| w).unwrap_or(false),
+                Waiting::RwWrite(a) => core
+                    .res
+                    .rw
+                    .get(&a)
+                    .map(|&(r, w)| r == 0 && !w)
+                    .unwrap_or(true),
+                Waiting::CondWait(_) => false,
+                Waiting::Join(t2) => core.threads[t2] == ThState::Finished,
+            },
+        }
+    }
+
+    fn enabled_of(core: &Core) -> Vec<usize> {
+        (0..core.threads.len())
+            .filter(|&t| Self::is_enabled(core, t))
+            .collect()
+    }
+
+    /// Hand a blocked-but-enabled thread its resource as part of
+    /// scheduling it: grants happen only here, so resource acquisition and
+    /// the decision to run are one atomic step of the model.
+    fn grant(core: &mut Core, tid: usize, w: Waiting) {
+        match w {
+            Waiting::MutexLock(a) => {
+                core.res.mutex_held.insert(a, true);
+            }
+            Waiting::RwRead(a) => {
+                core.res.rw.entry(a).or_insert((0, false)).0 += 1;
+            }
+            Waiting::RwWrite(a) => {
+                core.res.rw.entry(a).or_insert((0, false)).1 = true;
+            }
+            Waiting::Join(_) => {}
+            Waiting::CondWait(_) => unreachable!("condvar waiters are woken by notify, not grant"),
+        }
+        core.threads[tid] = ThState::Runnable;
+    }
+
+    fn fail(&self, core: &mut Core, kind: FailureKind, message: String, thread: Option<usize>) {
+        if core.failure.is_none() {
+            core.failure = Some(Failure {
+                kind,
+                message,
+                schedule: String::new(), // filled from decisions at collection
+                thread,
+            });
+        }
+        core.aborting = true;
+        self.cv.notify_all();
+    }
+
+    fn describe_deadlock(core: &mut Core) -> String {
+        let mut parts = Vec::new();
+        for t in 0..core.threads.len() {
+            let ThState::Blocked(w) = core.threads[t] else {
+                continue;
+            };
+            let what = match w {
+                Waiting::MutexLock(a) => format!("mutex #{}", core.res.name(a)),
+                Waiting::RwRead(a) => format!("rwlock #{} (read)", core.res.name(a)),
+                Waiting::RwWrite(a) => format!("rwlock #{} (write)", core.res.name(a)),
+                Waiting::CondWait(a) => format!("condvar #{}", core.res.name(a)),
+                Waiting::Join(t2) => format!("join of thread {t2}"),
+            };
+            parts.push(format!("thread {t} waiting on {what}"));
+        }
+        format!(
+            "deadlock: no thread can make progress ({})",
+            parts.join("; ")
+        )
+    }
+
+    /// The heart of the checker. `from` yields the token; record a
+    /// decision, pick who runs next (DFS prefix / replay feed / RNG /
+    /// first candidate), grant its resource if it was blocked, and pass
+    /// the token.
+    fn advance(&self, core: &mut Core, from: usize) {
+        if core.aborting {
+            return;
+        }
+        let enabled = Self::enabled_of(core);
+        if enabled.is_empty() {
+            if core.threads.iter().all(|t| matches!(t, ThState::Finished)) {
+                self.cv.notify_all();
+                return;
+            }
+            let msg = Self::describe_deadlock(core);
+            self.fail(core, FailureKind::Deadlock, msg, None);
+            return;
+        }
+        if core.decisions.len() >= core.max_steps {
+            let msg = format!(
+                "schedule exceeded {} decisions; the model is too large or livelocked",
+                core.max_steps
+            );
+            self.fail(core, FailureKind::StepLimit, msg, None);
+            return;
+        }
+        // Candidate order: the yielding thread first (continuing is free),
+        // then the rest by ascending tid. Switching away from an enabled
+        // `from` is a preemption and consumes budget.
+        let from_enabled = enabled.contains(&from);
+        let mut candidates = Vec::with_capacity(enabled.len());
+        if from_enabled {
+            candidates.push(from);
+        }
+        candidates.extend(enabled.iter().copied().filter(|&t| t != from));
+        if from_enabled {
+            if let Some(bound) = core.preemption_bound {
+                if core.preemptions >= bound {
+                    candidates.truncate(1);
+                }
+            }
+        }
+
+        let step = core.decisions.len();
+        let chosen = if step < core.forced.len() {
+            let want = core.forced[step];
+            match candidates.iter().position(|&t| t == want) {
+                Some(i) => i,
+                None => {
+                    let msg = format!(
+                        "forced prefix wanted thread {want} at decision {step}, \
+                         but it is not schedulable there (nondeterministic model body?)"
+                    );
+                    self.fail(core, FailureKind::ReplayDivergence, msg, None);
+                    return;
+                }
+            }
+        } else if core.replay.is_some() {
+            if enabled.len() > 1 {
+                let cursor = core.replay_cursor;
+                let want = core
+                    .replay
+                    .as_ref()
+                    .and_then(|feed| feed.get(cursor))
+                    .copied();
+                core.replay_cursor += 1;
+                let Some(want) = want else {
+                    let msg = format!(
+                        "replay schedule ended at decision {step} but the model kept branching"
+                    );
+                    self.fail(core, FailureKind::ReplayDivergence, msg, None);
+                    return;
+                };
+                match candidates.iter().position(|&t| t == want) {
+                    Some(i) => i,
+                    None => {
+                        let msg = format!(
+                            "replay schedule wanted thread {want} at decision {step}, \
+                             but it is not schedulable there"
+                        );
+                        self.fail(core, FailureKind::ReplayDivergence, msg, None);
+                        return;
+                    }
+                }
+            } else {
+                0
+            }
+        } else if let Some(state) = core.rng.as_mut() {
+            (splitmix64(state) as usize) % candidates.len()
+        } else {
+            0
+        };
+
+        let tid = candidates[chosen];
+        if from_enabled && tid != from {
+            core.preemptions += 1;
+        }
+        core.decisions.push(Decision {
+            enabled_len: enabled.len(),
+            candidates: candidates.clone(),
+            chosen,
+        });
+        if let ThState::Blocked(w) = core.threads[tid] {
+            Self::grant(core, tid, w);
+        }
+        core.current = tid;
+        if tid != from {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait_token<'a>(
+        &'a self,
+        mut g: std::sync::MutexGuard<'a, Core>,
+        tid: usize,
+    ) -> std::sync::MutexGuard<'a, Core> {
+        while g.current != tid && !g.aborting {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        g
+    }
+
+    /// The pre-operation schedule point, shared by every shimmed op: the
+    /// thread's *first* point parks it without a decision (the spawner
+    /// holds the token until then); later points yield to the scheduler.
+    /// Returns with the token held.
+    fn pre_op(&self, tid: usize) -> std::sync::MutexGuard<'_, Core> {
+        let mut g = self.lock_core();
+        if g.aborting {
+            drop(g);
+            forced_abort();
+        }
+        if !g.started[tid] {
+            g.started[tid] = true;
+            self.cv.notify_all(); // wake the spawner blocked in spawn()
+        } else {
+            self.advance(&mut g, tid);
+        }
+        let g = self.wait_token(g, tid);
+        if g.aborting {
+            drop(g);
+            forced_abort();
+        }
+        g
+    }
+
+    /// A plain schedule point: yield the token before an atomic step.
+    fn point(&self, tid: usize) {
+        let _token = self.pre_op(tid);
+    }
+
+    fn acquire_mutex(&self, tid: usize, addr: usize) {
+        let mut g = self.pre_op(tid);
+        g.res.name(addr);
+        if !g.res.mutex_held.get(&addr).copied().unwrap_or(false) {
+            g.res.mutex_held.insert(addr, true);
+            return;
+        }
+        g.threads[tid] = ThState::Blocked(Waiting::MutexLock(addr));
+        self.advance(&mut g, tid);
+        let g = self.wait_token(g, tid);
+        if g.aborting {
+            drop(g);
+            forced_abort();
+        }
+        debug_assert!(g.res.mutex_held.get(&addr).copied().unwrap_or(false));
+    }
+
+    fn release_mutex(&self, addr: usize) {
+        let mut g = self.lock_core();
+        g.res.mutex_held.insert(addr, false);
+        // Releasing is not a schedule point: availability is observed at
+        // the next advance(), and a release-then-continue has no
+        // observable intermediate state for other threads.
+    }
+
+    fn acquire_rw(&self, tid: usize, addr: usize, write: bool) {
+        let mut g = self.pre_op(tid);
+        g.res.name(addr);
+        let state = g.res.rw.entry(addr).or_insert((0, false));
+        let available = if write {
+            state.0 == 0 && !state.1
+        } else {
+            !state.1
+        };
+        if available {
+            if write {
+                state.1 = true;
+            } else {
+                state.0 += 1;
+            }
+            return;
+        }
+        g.threads[tid] = ThState::Blocked(if write {
+            Waiting::RwWrite(addr)
+        } else {
+            Waiting::RwRead(addr)
+        });
+        self.advance(&mut g, tid);
+        let g = self.wait_token(g, tid);
+        if g.aborting {
+            drop(g);
+            forced_abort();
+        }
+    }
+
+    fn release_rw(&self, addr: usize, write: bool) {
+        let mut g = self.lock_core();
+        let state = g.res.rw.entry(addr).or_insert((0, false));
+        if write {
+            state.1 = false;
+        } else {
+            state.0 = state.0.saturating_sub(1);
+        }
+    }
+
+    /// Atomically release `mutex_addr`, enqueue on the condvar and block.
+    /// Returns once a notify has moved this thread to the mutex queue
+    /// *and* the scheduler has granted the mutex back.
+    fn cond_wait(&self, tid: usize, cv_addr: usize, mutex_addr: usize) {
+        let mut g = self.lock_core();
+        if g.aborting {
+            drop(g);
+            forced_abort();
+        }
+        g.res.name(cv_addr);
+        g.res.mutex_held.insert(mutex_addr, false);
+        g.res
+            .cond_waiters
+            .entry(cv_addr)
+            .or_default()
+            .push((tid, mutex_addr));
+        g.threads[tid] = ThState::Blocked(Waiting::CondWait(cv_addr));
+        self.advance(&mut g, tid);
+        let g = self.wait_token(g, tid);
+        if g.aborting {
+            drop(g);
+            forced_abort();
+        }
+        debug_assert!(g.res.mutex_held.get(&mutex_addr).copied().unwrap_or(false));
+    }
+
+    /// Wake the longest-waiting thread (FIFO — a deterministic refinement
+    /// of std's unspecified order): it moves to the mutex queue and
+    /// becomes schedulable once the mutex frees up.
+    fn notify_one(&self, cv_addr: usize) {
+        let mut g = self.lock_core();
+        if let Some(q) = g.res.cond_waiters.get_mut(&cv_addr) {
+            if !q.is_empty() {
+                let (tid, m) = q.remove(0);
+                g.threads[tid] = ThState::Blocked(Waiting::MutexLock(m));
+            }
+        }
+    }
+
+    fn notify_all(&self, cv_addr: usize) {
+        let mut g = self.lock_core();
+        if let Some(q) = g.res.cond_waiters.get_mut(&cv_addr) {
+            for (tid, m) in std::mem::take(q) {
+                g.threads[tid] = ThState::Blocked(Waiting::MutexLock(m));
+            }
+        }
+    }
+
+    fn join_wait(&self, tid: usize, target: usize) {
+        let mut g = self.lock_core();
+        if g.aborting {
+            drop(g);
+            forced_abort();
+        }
+        if !g.started[tid] {
+            // join as a thread's first shimmed op: park for the spawner
+            // first, like any other first point.
+            g.started[tid] = true;
+            self.cv.notify_all();
+            g = self.wait_token(g, tid);
+            if g.aborting {
+                drop(g);
+                forced_abort();
+            }
+        }
+        if g.threads[target] == ThState::Finished {
+            // Joining a finished thread is a no-op, not a schedule point.
+            return;
+        }
+        g.threads[tid] = ThState::Blocked(Waiting::Join(target));
+        self.advance(&mut g, tid);
+        let g = self.wait_token(g, tid);
+        if g.aborting {
+            drop(g);
+            forced_abort();
+        }
+    }
+
+    fn register_thread(&self) -> usize {
+        let mut g = self.lock_core();
+        g.threads.push(ThState::Runnable);
+        g.started.push(false);
+        g.live_os += 1;
+        g.threads.len() - 1
+    }
+
+    /// Block the spawner until the child has parked at its first schedule
+    /// point (or finished without reaching one).
+    fn wait_child_started(&self, tid: usize) {
+        let mut g = self.lock_core();
+        while !(g.started[tid] || g.threads[tid] == ThState::Finished) {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn record_panic(&self, tid: usize, payload: &(dyn Any + Send)) {
+        let base = payload_str(payload);
+        let mut g = self.lock_core();
+        let msg = g.panic_note.take().unwrap_or(base);
+        if g.failure.is_none() {
+            g.failure = Some(Failure {
+                kind: FailureKind::Panic,
+                message: format!("thread {tid} panicked: {msg}"),
+                schedule: String::new(),
+                thread: Some(tid),
+            });
+        }
+        g.aborting = true;
+        self.cv.notify_all();
+    }
+
+    fn finish_thread_and_exit(&self, tid: usize) {
+        let mut g = self.lock_core();
+        g.threads[tid] = ThState::Finished;
+        if g.started[tid] {
+            // The finishing thread held the token; pass it on.
+            self.advance(&mut g, tid);
+        } else {
+            // Finished without a single schedule point: the spawner still
+            // holds the token and decides at its own next point.
+            g.started[tid] = true;
+        }
+        g.live_os -= 1;
+        self.cv.notify_all();
+    }
+}
+
+/// Body of every logical thread (including the model's main body, tid 0):
+/// run immediately — the spawner is blocked until this thread parks at its
+/// first schedule point — record any genuine panic, mark finished.
+fn run_thread<T>(
+    exec: StdArc<Execution>,
+    tid: usize,
+    f: impl FnOnce() -> T,
+) -> Result<T, Box<dyn Any + Send>> {
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            exec: exec.clone(),
+            tid,
+        })
+    });
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    match &result {
+        Err(p) if p.is::<ForcedAbort>() => {}
+        Err(p) => exec.record_panic(tid, p.as_ref()),
+        Ok(_) => {}
+    }
+    exec.finish_thread_and_exit(tid);
+    CTX.with(|c| *c.borrow_mut() = None);
+    result
+}
+
+struct RunOutcome {
+    decisions: Vec<Decision>,
+    failure: Option<Failure>,
+}
+
+fn schedule_string(decisions: &[Decision]) -> String {
+    decisions
+        .iter()
+        .filter(|d| d.enabled_len > 1)
+        .map(|d| d.candidates[d.chosen].to_string())
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+fn execute_once(
+    builder: &Builder,
+    forced: Vec<usize>,
+    replay: Option<Vec<usize>>,
+    rng: Option<u64>,
+    body: &StdArc<dyn Fn() + Send + Sync>,
+) -> RunOutcome {
+    let exec = StdArc::new(Execution {
+        core: StdMutex::new(Core {
+            threads: vec![ThState::Runnable],
+            // tid 0 owns the token from the start (there is no spawner to
+            // park for), so it counts as started immediately.
+            started: vec![true],
+            current: 0,
+            res: Resources::default(),
+            decisions: Vec::new(),
+            forced,
+            // Replay must see every candidate the original run saw, so it
+            // runs unbounded; the feed itself encodes the preemptions.
+            preemption_bound: if replay.is_some() {
+                None
+            } else {
+                builder.preemption_bound
+            },
+            replay,
+            replay_cursor: 0,
+            rng,
+            preemptions: 0,
+            max_steps: builder.max_steps,
+            failure: None,
+            panic_note: None,
+            aborting: false,
+            live_os: 1,
+        }),
+        cv: StdCondvar::new(),
+    });
+    let body = body.clone();
+    let e2 = exec.clone();
+    let main_os = std::thread::spawn(move || run_thread(e2, 0, move || body()));
+    {
+        let mut g = exec.lock_core();
+        while g.live_os > 0 {
+            g = exec.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    let _ = main_os.join();
+    let mut g = exec.lock_core();
+    let decisions = std::mem::take(&mut g.decisions);
+    let failure = g.failure.take().map(|mut f| {
+        f.schedule = schedule_string(&decisions);
+        f
+    });
+    RunOutcome { decisions, failure }
+}
+
+/// DFS backtracking: rewind to the deepest decision with an untried
+/// candidate; the returned prefix forces the original choices up to that
+/// decision, then the next candidate.
+fn next_forced_prefix(decisions: &[Decision]) -> Option<Vec<usize>> {
+    for i in (0..decisions.len()).rev() {
+        let d = &decisions[i];
+        if d.chosen + 1 < d.candidates.len() {
+            let mut forced: Vec<usize> = decisions[..i]
+                .iter()
+                .map(|d| d.candidates[d.chosen])
+                .collect();
+            forced.push(d.candidates[d.chosen + 1]);
+            return Some(forced);
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Shimmed thread API
+// ---------------------------------------------------------------------------
+
+pub mod thread {
+    use super::*;
+
+    enum Inner<T> {
+        Std(std::thread::JoinHandle<T>),
+        Model {
+            tid: usize,
+            os: std::thread::JoinHandle<Result<T, Box<dyn Any + Send>>>,
+        },
+    }
+
+    pub struct JoinHandle<T>(Inner<T>);
+
+    impl<T> JoinHandle<T> {
+        /// Wait for the thread. Inside a model this is a scheduler-visible
+        /// blocking operation (deadlock-detected, interleaving-explored).
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.0 {
+                Inner::Std(h) => h.join(),
+                Inner::Model { tid, os } => {
+                    if let Some((exec, me)) = in_model() {
+                        exec.join_wait(me, tid);
+                    }
+                    match os.join() {
+                        Ok(r) => r,
+                        Err(p) => Err(p),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Spawn a logical thread. Inside a model the child becomes runnable
+    /// but does not start until the scheduler picks it; spawning itself is
+    /// not a schedule point (it has no observable intermediate state).
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match in_model() {
+            None => JoinHandle(Inner::Std(std::thread::spawn(f))),
+            Some((exec, _parent)) => {
+                let tid = exec.register_thread();
+                let e2 = exec.clone();
+                let os = std::thread::spawn(move || run_thread(e2, tid, f));
+                // Run the child up to its first schedule point before the
+                // spawner continues: afterwards every live thread sits at
+                // an announced op and each decision executes exactly one.
+                exec.wait_child_started(tid);
+                JoinHandle(Inner::Model { tid, os })
+            }
+        }
+    }
+
+    /// An explicit schedule point (a "the scheduler may preempt here"
+    /// annotation) inside a model; plain `yield_now` outside.
+    pub fn yield_now() {
+        match in_model() {
+            Some((exec, tid)) => exec.point(tid),
+            None => std::thread::yield_now(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shimmed sync API
+// ---------------------------------------------------------------------------
+
 pub mod sync {
-    pub use std::sync::{Arc, Barrier, Condvar, Mutex, MutexGuard, RwLock};
+    use super::*;
+
+    pub use std::sync::Arc;
+
+    fn addr_of<T>(x: &T) -> usize {
+        x as *const T as *const () as usize
+    }
+
+    pub struct Mutex<T> {
+        inner: StdMutex<T>,
+    }
+
+    pub struct MutexGuard<'a, T> {
+        lock: &'a Mutex<T>,
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+        model: Option<(StdArc<Execution>, usize)>,
+    }
+
+    impl<T> Mutex<T> {
+        pub const fn new(value: T) -> Self {
+            Mutex {
+                inner: StdMutex::new(value),
+            }
+        }
+
+        fn addr(&self) -> usize {
+            addr_of(self)
+        }
+
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            match in_model() {
+                None => MutexGuard {
+                    lock: self,
+                    inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+                    model: None,
+                },
+                Some((exec, tid)) => {
+                    exec.acquire_mutex(tid, self.addr());
+                    // The model grant guarantees the real lock is free:
+                    // only the token holder touches it, and every holder
+                    // released the real lock before the model release.
+                    let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+                    MutexGuard {
+                        lock: self,
+                        inner: Some(inner),
+                        model: Some((exec, tid)),
+                    }
+                }
+            }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+        }
+
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Mutex::new(T::default())
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            // Peek via the raw std primitive's try-lock, never through the
+            // model — Debug must not be a schedule point.
+            match self.inner.try_lock() {
+                Ok(g) => f.debug_tuple("Mutex").field(&&*g).finish(),
+                Err(_) => f.write_str("Mutex(<locked>)"),
+            }
+        }
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard accessed after release")
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard accessed after release")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            // Real release strictly before the model release, so the next
+            // granted thread never blocks on the real lock.
+            self.inner = None;
+            if let Some((exec, _tid)) = self.model.take() {
+                exec.release_mutex(self.lock.addr());
+            }
+        }
+    }
+
+    pub struct RwLock<T> {
+        inner: std::sync::RwLock<T>,
+    }
+
+    pub struct RwLockReadGuard<'a, T> {
+        lock: &'a RwLock<T>,
+        inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+        model: Option<StdArc<Execution>>,
+    }
+
+    pub struct RwLockWriteGuard<'a, T> {
+        lock: &'a RwLock<T>,
+        inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+        model: Option<StdArc<Execution>>,
+    }
+
+    impl<T> RwLock<T> {
+        pub const fn new(value: T) -> Self {
+            RwLock {
+                inner: std::sync::RwLock::new(value),
+            }
+        }
+
+        fn addr(&self) -> usize {
+            addr_of(self)
+        }
+
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            match in_model() {
+                None => RwLockReadGuard {
+                    lock: self,
+                    inner: Some(self.inner.read().unwrap_or_else(|e| e.into_inner())),
+                    model: None,
+                },
+                Some((exec, tid)) => {
+                    exec.acquire_rw(tid, self.addr(), false);
+                    let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+                    RwLockReadGuard {
+                        lock: self,
+                        inner: Some(inner),
+                        model: Some(exec),
+                    }
+                }
+            }
+        }
+
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            match in_model() {
+                None => RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(self.inner.write().unwrap_or_else(|e| e.into_inner())),
+                    model: None,
+                },
+                Some((exec, tid)) => {
+                    exec.acquire_rw(tid, self.addr(), true);
+                    let inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+                    RwLockWriteGuard {
+                        lock: self,
+                        inner: Some(inner),
+                        model: Some(exec),
+                    }
+                }
+            }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+        }
+
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    impl<T: Default> Default for RwLock<T> {
+        fn default() -> Self {
+            RwLock::new(T::default())
+        }
+    }
+
+    impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard accessed after release")
+        }
+    }
+
+    impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard accessed after release")
+        }
+    }
+
+    impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard accessed after release")
+        }
+    }
+
+    impl<T> Drop for RwLockReadGuard<'_, T> {
+        fn drop(&mut self) {
+            self.inner = None;
+            if let Some(exec) = self.model.take() {
+                exec.release_rw(self.lock.addr(), false);
+            }
+        }
+    }
+
+    impl<T> Drop for RwLockWriteGuard<'_, T> {
+        fn drop(&mut self) {
+            self.inner = None;
+            if let Some(exec) = self.model.take() {
+                exec.release_rw(self.lock.addr(), true);
+            }
+        }
+    }
+
+    /// Condition variable over the shimmed [`Mutex`]: `wait` consumes and
+    /// returns the guard (like std, minus the poison `Result`).
+    /// `notify_one` wakes waiters FIFO — a deterministic refinement of
+    /// std's unspecified wake order.
+    pub struct Condvar {
+        inner: StdCondvar,
+    }
+
+    impl fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Condvar")
+        }
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Condvar::new()
+        }
+    }
+
+    impl Condvar {
+        pub const fn new() -> Self {
+            Condvar {
+                inner: StdCondvar::new(),
+            }
+        }
+
+        fn addr(&self) -> usize {
+            addr_of(self)
+        }
+
+        pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            match guard.model.take() {
+                None => {
+                    let inner = guard.inner.take().expect("guard accessed after release");
+                    let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
+                    guard.inner = Some(inner);
+                    guard
+                }
+                Some((exec, tid)) => {
+                    let lock = guard.lock;
+                    guard.inner = None; // real unlock; model release is in cond_wait
+                    drop(guard); // model slot already taken: Drop skips the scheduler
+                    exec.cond_wait(tid, self.addr(), lock.addr());
+                    let inner = lock.inner.lock().unwrap_or_else(|e| e.into_inner());
+                    MutexGuard {
+                        lock,
+                        inner: Some(inner),
+                        model: Some((exec, tid)),
+                    }
+                }
+            }
+        }
+
+        pub fn wait_while<'a, T, F>(
+            &self,
+            mut guard: MutexGuard<'a, T>,
+            mut condition: F,
+        ) -> MutexGuard<'a, T>
+        where
+            F: FnMut(&mut T) -> bool,
+        {
+            while condition(&mut guard) {
+                guard = self.wait(guard);
+            }
+            guard
+        }
+
+        pub fn notify_one(&self) {
+            match in_model() {
+                Some((exec, _)) => exec.notify_one(self.addr()),
+                None => self.inner.notify_one(),
+            }
+        }
+
+        pub fn notify_all(&self) {
+            match in_model() {
+                Some((exec, _)) => exec.notify_all(self.addr()),
+                None => self.inner.notify_all(),
+            }
+        }
+    }
 
     pub mod atomic {
-        pub use std::sync::atomic::{
-            fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering,
-        };
+        use super::super::in_model;
+        pub use std::sync::atomic::Ordering;
+
+        fn point() {
+            if let Some((exec, tid)) = in_model() {
+                exec.point(tid);
+            }
+        }
+
+        /// A fence is an atomic step like any other under the checker.
+        pub fn fence(order: Ordering) {
+            point();
+            std::sync::atomic::fence(order);
+        }
+
+        macro_rules! shim_atomic {
+            ($Name:ident, $Std:ty, $t:ty) => {
+                /// Shimmed atomic: every operation is a schedule point
+                /// inside a model (sequentially consistent regardless of
+                /// the ordering argument); a plain std atomic outside.
+                #[derive(Debug, Default)]
+                pub struct $Name {
+                    inner: $Std,
+                }
+
+                impl $Name {
+                    pub const fn new(v: $t) -> Self {
+                        Self {
+                            inner: <$Std>::new(v),
+                        }
+                    }
+
+                    pub fn load(&self, order: Ordering) -> $t {
+                        point();
+                        self.inner.load(order)
+                    }
+
+                    pub fn store(&self, v: $t, order: Ordering) {
+                        point();
+                        self.inner.store(v, order)
+                    }
+
+                    pub fn swap(&self, v: $t, order: Ordering) -> $t {
+                        point();
+                        self.inner.swap(v, order)
+                    }
+
+                    pub fn compare_exchange(
+                        &self,
+                        current: $t,
+                        new: $t,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$t, $t> {
+                        point();
+                        self.inner.compare_exchange(current, new, success, failure)
+                    }
+
+                    /// Never fails spuriously under the checker (spurious
+                    /// failure would make replay nondeterministic).
+                    pub fn compare_exchange_weak(
+                        &self,
+                        current: $t,
+                        new: $t,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$t, $t> {
+                        self.compare_exchange(current, new, success, failure)
+                    }
+
+                    pub fn into_inner(self) -> $t {
+                        self.inner.into_inner()
+                    }
+
+                    pub fn get_mut(&mut self) -> &mut $t {
+                        self.inner.get_mut()
+                    }
+                }
+            };
+        }
+
+        macro_rules! shim_atomic_int {
+            ($Name:ident, $Std:ty, $t:ty) => {
+                shim_atomic!($Name, $Std, $t);
+
+                impl $Name {
+                    pub fn fetch_add(&self, v: $t, order: Ordering) -> $t {
+                        point();
+                        self.inner.fetch_add(v, order)
+                    }
+
+                    pub fn fetch_sub(&self, v: $t, order: Ordering) -> $t {
+                        point();
+                        self.inner.fetch_sub(v, order)
+                    }
+
+                    pub fn fetch_and(&self, v: $t, order: Ordering) -> $t {
+                        point();
+                        self.inner.fetch_and(v, order)
+                    }
+
+                    pub fn fetch_or(&self, v: $t, order: Ordering) -> $t {
+                        point();
+                        self.inner.fetch_or(v, order)
+                    }
+
+                    pub fn fetch_max(&self, v: $t, order: Ordering) -> $t {
+                        point();
+                        self.inner.fetch_max(v, order)
+                    }
+                }
+            };
+        }
+
+        shim_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+        shim_atomic_int!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+        shim_atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        shim_atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+        impl AtomicBool {
+            pub fn fetch_and(&self, v: bool, order: Ordering) -> bool {
+                point();
+                self.inner.fetch_and(v, order)
+            }
+
+            pub fn fetch_or(&self, v: bool, order: Ordering) -> bool {
+                point();
+                self.inner.fetch_or(v, order)
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::sync::atomic::{AtomicUsize, Ordering};
-    use super::sync::Arc;
+    use super::sync::{Arc, Condvar, Mutex, RwLock};
+    use super::{Builder, FailureKind};
 
+    /// Two threads, two atomic ops each (spawn/join are not schedule
+    /// points): interleavings of (a1,a2) with (b1,b2) = C(4,2) = 6.
     #[test]
-    fn model_runs_body_multiple_times() {
-        static RUNS: AtomicUsize = AtomicUsize::new(0);
-        super::model(|| {
-            RUNS.fetch_add(1, Ordering::Relaxed);
-        });
-        assert_eq!(RUNS.load(Ordering::Relaxed), super::SHIM_ITERATIONS);
+    fn exhaustive_mode_counts_toy_interleavings() {
+        let report = Builder::new()
+            .check_result(|| {
+                let counter = Arc::new(AtomicUsize::new(0));
+                let c = counter.clone();
+                let t = super::thread::spawn(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+                counter.fetch_add(1, Ordering::SeqCst);
+                counter.fetch_add(1, Ordering::SeqCst);
+                t.join().unwrap();
+                assert_eq!(counter.load(Ordering::SeqCst), 4);
+            })
+            .unwrap();
+        assert!(report.exhausted);
+        assert_eq!(report.schedules, 6);
     }
 
     #[test]
-    fn threads_interleave_under_model() {
-        super::model(|| {
-            let counter = Arc::new(AtomicUsize::new(0));
-            let c = counter.clone();
-            let t = super::thread::spawn(move || c.fetch_add(1, Ordering::SeqCst));
-            counter.fetch_add(1, Ordering::SeqCst);
+    fn finds_lost_update_and_replays_it() {
+        let body = || {
+            let v = Arc::new(AtomicUsize::new(0));
+            let v2 = v.clone();
+            // Non-atomic read-modify-write: racy by construction.
+            let t = super::thread::spawn(move || {
+                let seen = v2.load(Ordering::SeqCst);
+                v2.store(seen + 1, Ordering::SeqCst);
+            });
+            let seen = v.load(Ordering::SeqCst);
+            v.store(seen + 1, Ordering::SeqCst);
             t.join().unwrap();
-            assert_eq!(counter.load(Ordering::SeqCst), 2);
+            assert_eq!(v.load(Ordering::SeqCst), 2, "lost update");
+        };
+        let failure = Builder::new().check_result(body).unwrap_err();
+        assert_eq!(failure.kind, FailureKind::Panic);
+        assert!(!failure.schedule.is_empty());
+        // Same DFS, same first failing schedule.
+        let again = Builder::new().check_result(body).unwrap_err();
+        assert_eq!(again.schedule, failure.schedule);
+        // The printed schedule reruns the failure byte-for-byte.
+        let replayed = Builder::new()
+            .replay(&failure.schedule)
+            .check_result(body)
+            .unwrap_err();
+        assert_eq!(replayed.message, failure.message);
+    }
+
+    #[test]
+    fn detects_lock_order_inversion_deadlock() {
+        let failure = Builder::new()
+            .check_result(|| {
+                let a = Arc::new(Mutex::new(0u32));
+                let b = Arc::new(Mutex::new(0u32));
+                let (a2, b2) = (a.clone(), b.clone());
+                let t = super::thread::spawn(move || {
+                    let _b = b2.lock();
+                    let _a = a2.lock();
+                });
+                let _a = a.lock();
+                let _b = b.lock();
+                drop((_a, _b));
+                t.join().unwrap();
+            })
+            .unwrap_err();
+        assert_eq!(failure.kind, FailureKind::Deadlock);
+        assert!(failure.message.contains("deadlock"));
+    }
+
+    #[test]
+    fn mutex_provides_mutual_exclusion() {
+        Builder::new().check(|| {
+            let m = Arc::new(Mutex::new((0u32, 0u32)));
+            let m2 = m.clone();
+            let t = super::thread::spawn(move || {
+                let mut g = m2.lock();
+                g.0 += 1;
+                super::thread::yield_now();
+                g.1 += 1;
+            });
+            {
+                let g = m.lock();
+                assert_eq!(g.0, g.1, "observed a half-done critical section");
+            }
+            t.join().unwrap();
+            let g = m.lock();
+            assert_eq!((g.0, g.1), (1, 1));
         });
+    }
+
+    #[test]
+    fn rwlock_excludes_writers_from_readers() {
+        Builder::new().check(|| {
+            let l = Arc::new(RwLock::new(0u64));
+            let l2 = l.clone();
+            let t = super::thread::spawn(move || {
+                *l2.write() += 1;
+            });
+            {
+                let r = l.read();
+                let v = *r;
+                super::thread::yield_now();
+                assert_eq!(*r, v, "value changed under a read guard");
+            }
+            t.join().unwrap();
+            assert_eq!(*l.read(), 1);
+        });
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        Builder::new().check(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = pair.clone();
+            let t = super::thread::spawn(move || {
+                let (m, cv) = &*p2;
+                let mut ready = m.lock();
+                while !*ready {
+                    ready = cv.wait(ready);
+                }
+            });
+            {
+                let (m, cv) = &*pair;
+                *m.lock() = true;
+                cv.notify_one();
+            }
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn random_mode_is_deterministic_per_seed() {
+        let body = || {
+            let v = Arc::new(AtomicUsize::new(0));
+            let v2 = v.clone();
+            let t = super::thread::spawn(move || {
+                v2.fetch_add(1, Ordering::SeqCst);
+            });
+            v.fetch_add(1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(v.load(Ordering::SeqCst), 2);
+        };
+        let a = Builder::new().random(42, 16).check_result(body).unwrap();
+        let b = Builder::new().random(42, 16).check_result(body).unwrap();
+        assert_eq!(a.schedules, b.schedules);
+        assert!(!a.exhausted);
+    }
+
+    #[test]
+    fn fallback_outside_model_is_plain_std() {
+        // No model() active: the shimmed types behave like std and never
+        // touch a scheduler.
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+        let v = AtomicUsize::new(0);
+        v.fetch_add(3, Ordering::SeqCst);
+        assert_eq!(v.load(Ordering::SeqCst), 3);
+        let t = super::thread::spawn(|| 7);
+        assert_eq!(t.join().unwrap(), 7);
     }
 }

@@ -119,6 +119,60 @@ impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
     }
 }
 
+/// Condition variable paired with [`Mutex`].
+///
+/// Because this shim's [`MutexGuard`] is a type alias for
+/// `std::sync::MutexGuard`, the real `std::sync::Condvar` works on it
+/// directly. The `wait` signature is therefore std's consume-and-return
+/// shape rather than real parking_lot's `&mut guard` — callers in this
+/// workspace are written against the former (it is also what the `loom`
+/// model-checker shim exposes, so code is portable across both sync
+/// layers). Poisoning is ignored, as everywhere in this shim.
+#[derive(Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Atomically release the guard's mutex and sleep until notified;
+    /// returns with the mutex re-acquired.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Wait until `condition` returns false (re-checked after every
+    /// wakeup, so spurious wakeups are harmless).
+    pub fn wait_while<'a, T, F>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        mut condition: F,
+    ) -> MutexGuard<'a, T>
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        while condition(&mut guard) {
+            guard = self.wait(guard);
+        }
+        guard
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +209,23 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*l.read(), 2009);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let waiter = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let g = cv.wait_while(m.lock(), |ready| !*ready);
+            assert!(*g);
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_one();
+        }
+        waiter.join().unwrap();
     }
 
     #[test]

@@ -116,24 +116,6 @@ impl UnorderedBTree {
         }
     }
 
-    /// Build with explicit block budget, pager and compression.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `UnorderedBTree::builder(dataset)…build()` instead"
-    )]
-    pub fn build_with(
-        dataset: &Dataset,
-        block_bytes: usize,
-        pager: Pager,
-        compression: Compression,
-    ) -> Self {
-        Self::builder(dataset)
-            .block_bytes(block_bytes)
-            .pager(pager)
-            .compression(compression)
-            .build()
-    }
-
     fn build_impl(
         dataset: &Dataset,
         block_bytes: usize,
