@@ -1,0 +1,211 @@
+//! Commit-pipeline cost: stall-sync vs group commit vs WAL ingest under
+//! concurrent committers.
+//!
+//! Three ways for `N` concurrent writers to make their work durable on
+//! one shadow-paged pool:
+//!
+//! * **stall-sync** — every committer calls `Pager::sync` itself: each
+//!   commit pays a full barrier (dirty write-back + trailer + superblock
+//!   flip), serialized on the pool, so barriers == commits.
+//! * **group-commit** — every committer calls `Pager::group_sync`: the
+//!   `CommitQueue` elects a leader per batch, one flip covers every
+//!   ticket taken before it, and followers just wait. Barriers < commits
+//!   as soon as committers overlap — the amortisation this bench exists
+//!   to show.
+//! * **wal-ingest** — every committer appends one record to a shared
+//!   [`Wal`] and fsyncs it; no page write-back, no flip. The
+//!   low-latency single-record path the service uses between
+//!   checkpoints.
+//!
+//! Prints one row per `(scenario, committers)` point and, when the
+//! `BENCH_JSON` environment variable names a file, writes the same rows
+//! as a JSON array (the CI workflow emits `BENCH_commit.json` this way).
+//! `fsyncs` counts pool barriers plus WAL fsyncs from the new `IoStats`
+//! counters; for group commit the queue's own `commits`/`flushes` pair
+//! makes the amortisation explicit.
+
+use pagestore::{FileStorage, OsFile, Pager, Wal, PAGE_SIZE};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const PER_COMMITTER: usize = 12;
+
+struct Row {
+    scenario: &'static str,
+    committers: usize,
+    commits: u64,
+    mean_commit: Duration,
+    fsyncs: u64,
+    flushes: u64,
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("oif-bench-commit-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn pool(tag: &str) -> (Pager, PathBuf) {
+    let path = temp_path(&format!("{tag}.db"));
+    let storage = FileStorage::create(&path).expect("create pool file");
+    let pager = Pager::with_storage(storage, 64 * PAGE_SIZE);
+    (pager, path)
+}
+
+/// Run `committers` threads, each durably committing `PER_COMMITTER`
+/// single-page writes through `commit_one`.
+fn drive(
+    scenario: &'static str,
+    committers: usize,
+    pager: &Pager,
+    commit_one: impl Fn(&Pager) + Sync,
+) -> (Duration, u64) {
+    let f = pager.create_file();
+    let mut page = vec![0u8; PAGE_SIZE];
+    for p in 0..committers as u64 {
+        pager.allocate_page(f);
+        page.fill(p as u8);
+        pager.write_page(f, p, &page);
+    }
+    pager.sync().expect("warm-up sync");
+
+    let commits = (committers * PER_COMMITTER) as u64;
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..committers {
+            let (pager, commit_one) = (&pager, &commit_one);
+            s.spawn(move || {
+                let mut page = vec![0u8; PAGE_SIZE];
+                for round in 0..PER_COMMITTER {
+                    page.fill((c as u8).wrapping_add(round as u8 + 1));
+                    pager.write_page(f, c as u64, &page);
+                    commit_one(pager);
+                }
+            });
+        }
+    });
+    let wall = t.elapsed();
+    let _ = scenario;
+    (wall / commits as u32, commits)
+}
+
+fn run_stall(committers: usize) -> Row {
+    let (pager, path) = pool(&format!("stall-{committers}"));
+    let before = pager.stats();
+    let (mean_commit, commits) = drive("stall", committers, &pager, |p| {
+        p.sync().expect("stall sync");
+    });
+    let delta = pager.stats().since(&before);
+    let _ = std::fs::remove_file(&path);
+    Row {
+        scenario: "stall_sync",
+        committers,
+        commits,
+        mean_commit,
+        fsyncs: delta.fsyncs,
+        flushes: delta.fsyncs,
+    }
+}
+
+fn run_group(committers: usize) -> Row {
+    let (pager, path) = pool(&format!("group-{committers}"));
+    let before = pager.stats();
+    let q_before = pager.commit_queue_stats();
+    let (mean_commit, commits) = drive("group", committers, &pager, |p| {
+        p.group_sync().expect("group sync");
+    });
+    let delta = pager.stats().since(&before);
+    let q = pager.commit_queue_stats();
+    let _ = std::fs::remove_file(&path);
+    Row {
+        scenario: "group_commit",
+        committers,
+        commits,
+        mean_commit,
+        fsyncs: delta.fsyncs,
+        flushes: q.flushes - q_before.flushes,
+    }
+}
+
+fn run_wal(committers: usize) -> Row {
+    let (pager, path) = pool(&format!("wal-{committers}"));
+    let wal_path = temp_path(&format!("wal-{committers}.wal"));
+    let file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&wal_path)
+        .expect("create wal file");
+    let wal = Mutex::new(Wal::create(Box::new(OsFile::new(file))).expect("create wal"));
+    let before = pager.stats();
+    let (mean_commit, commits) = drive("wal", committers, &pager, |p| {
+        let mut wal = wal.lock().expect("wal lock");
+        wal.append(&42u64.to_le_bytes()).expect("append");
+        wal.sync().expect("wal sync");
+        p.note_wal(wal.take_stats());
+    });
+    let delta = pager.stats().since(&before);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&wal_path);
+    Row {
+        scenario: "wal_ingest",
+        committers,
+        commits,
+        mean_commit,
+        fsyncs: delta.fsyncs,
+        flushes: delta.wal_appends,
+    }
+}
+
+fn main() {
+    bench::header(
+        "Commit pipeline: stall-sync vs group commit vs WAL ingest",
+        "single-page commits, 12 per committer; mean wall per commit",
+    );
+    let mut rows = Vec::new();
+    for committers in [1usize, 4, 8] {
+        rows.push(run_stall(committers));
+        rows.push(run_group(committers));
+        rows.push(run_wal(committers));
+    }
+    for r in &rows {
+        println!(
+            "{:<12} n={:<2} | {:>9.2?} /commit | {:>3} commits | {:>3} fsyncs | {:>3} flushes/appends",
+            r.scenario, r.committers, r.mean_commit, r.commits, r.fsyncs, r.flushes,
+        );
+    }
+    // The point of group commit: with ≥ 4 overlapping committers the
+    // barrier count drops below one per commit.
+    for r in rows.iter().filter(|r| r.scenario == "group_commit") {
+        if r.committers >= 4 {
+            println!(
+                "group_commit n={}: {:.2} commits amortised per barrier",
+                r.committers,
+                r.commits as f64 / r.fsyncs.max(1) as f64,
+            );
+        }
+    }
+
+    if let Some(path) = std::env::var_os("BENCH_JSON") {
+        let mut json = String::from("[\n");
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "  {{\"name\": \"commit/{s}_n{n}\", \"ms_per_commit\": {ms:.4}, \
+                 \"commits\": {c}, \"fsyncs\": {f}, \"flushes\": {fl}}}{comma}\n",
+                s = r.scenario,
+                n = r.committers,
+                ms = r.mean_commit.as_secs_f64() * 1e3,
+                c = r.commits,
+                f = r.fsyncs,
+                fl = r.flushes,
+                comma = if i + 1 == rows.len() { "" } else { "," },
+            ));
+        }
+        json.push_str("]\n");
+        std::fs::write(&path, json)
+            .unwrap_or_else(|e| panic!("cannot write BENCH_JSON {path:?}: {e}"));
+    }
+}

@@ -23,6 +23,7 @@ mod index;
 mod par;
 pub mod persist;
 mod query;
+pub mod wal;
 
 pub use build::build;
 pub use index::{InvertedFile, InvertedFileBuilder};

@@ -1,0 +1,58 @@
+//! The insert-record codec for the service's write-ahead log.
+//!
+//! The inverted file is the only structure with a §4.4 maintenance path,
+//! so WAL records are exactly the records fed to
+//! [`InvertedFile::batch_insert`](crate::InvertedFile::batch_insert): one
+//! log payload per inserted record. Framing, checksumming and torn-tail
+//! recovery belong to [`pagestore::wal`]; this module only defines what a
+//! payload *means*.
+//!
+//! The encoding rides the workspace's little-endian serializer
+//! ([`pagestore::ser`]): the record id, then the length-prefixed item
+//! list. A payload that does not decode exactly (trailing bytes included)
+//! is rejected with `None` — after the WAL layer's checksum has passed,
+//! that can only mean a format/version mismatch, which the caller must
+//! surface loudly rather than replay garbage.
+
+use datagen::Record;
+use pagestore::ser::{Reader, Writer};
+
+/// Encode one inserted record as a WAL payload.
+pub fn encode_insert(record: &Record) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(record.id);
+    w.u32s(&record.items);
+    w.into_bytes()
+}
+
+/// Decode a WAL payload back into the inserted record. `None` when the
+/// payload is not exactly one encoded insert.
+pub fn decode_insert(payload: &[u8]) -> Option<Record> {
+    let mut r = Reader::new(payload);
+    let id = r.u64()?;
+    let items = r.u32s()?;
+    if !r.is_exhausted() {
+        return None;
+    }
+    Some(Record { id, items })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_rejects_trailing_bytes() {
+        let rec = Record::new(42, vec![1, 5, 9]);
+        let payload = encode_insert(&rec);
+        assert_eq!(decode_insert(&payload), Some(rec.clone()));
+        let empty = Record::new(7, vec![]);
+        assert_eq!(decode_insert(&encode_insert(&empty)), Some(empty));
+
+        let mut long = payload.clone();
+        long.push(0);
+        assert_eq!(decode_insert(&long), None, "trailing bytes rejected");
+        assert_eq!(decode_insert(&payload[..payload.len() - 1]), None);
+        assert_eq!(decode_insert(&[]), None);
+    }
+}

@@ -301,6 +301,10 @@ pub struct BufferPool {
     /// Cache hits (the lock-free side of [`IoStats`]).
     hits: AtomicU64,
     policy: Mutex<PolicyCore>,
+    /// Group-commit coordination for [`BufferPool::group_sync`]. Lives
+    /// outside the policy lock: the leader holds no queue lock while
+    /// flushing, and waiters never touch the policy lock at all.
+    commit_queue: crate::commit::CommitQueue,
     /// Mutation hook for the model-checker teeth test: when set, the
     /// evictor skips its pin re-check under the shard write latch —
     /// reintroducing the exact race the protocol exists to prevent — so
@@ -347,6 +351,7 @@ impl BufferPool {
                 quarantine: BTreeMap::new(),
                 read_only: None,
             }),
+            commit_queue: crate::commit::CommitQueue::new(),
             #[cfg(feature = "model")]
             model_break_evictor_pin_recheck: std::sync::atomic::AtomicBool::new(false),
         }
@@ -595,6 +600,10 @@ impl BufferPool {
             core.read_only = Some(Arc::from(e.to_string().as_str()));
             return Err(e);
         }
+        // One durability barrier issued (internally the shadow backend
+        // flushes the device twice around the superblock flip; counted
+        // once per logical barrier — see the `IoStats::fsyncs` docs).
+        core.stats.fsyncs += 1;
         Ok(())
     }
 
@@ -611,6 +620,105 @@ impl BufferPool {
                 .unwrap_or_else(|| Arc::from(e.to_string().as_str()));
             PageError::ReadOnly { cause }
         })
+    }
+
+    /// Group-committing twin of [`BufferPool::sync`]: concurrent callers
+    /// coalesce onto one flush via the pool's [`CommitQueue`]
+    /// (see [`crate::commit`]); each returns once a flush covering its
+    /// ticket has committed, with the durable storage epoch. A flush
+    /// failure degrades the pool (like `sync`) and surfaces to every
+    /// covered caller as [`PageError::ReadOnly`].
+    pub fn group_sync(&self) -> Result<u64, PageError> {
+        self.commit_queue
+            .commit(|| match self.sync() {
+                Ok(()) => Ok(self.policy.lock().disk.epoch()),
+                Err(e) => Err(self
+                    .policy
+                    .lock()
+                    .read_only
+                    .clone()
+                    .unwrap_or_else(|| Arc::from(e.to_string().as_str()))),
+            })
+            .map_err(|cause| PageError::ReadOnly { cause })
+    }
+
+    /// Group-commit counters (flush amortisation, waiter high-water).
+    pub fn commit_queue_stats(&self) -> crate::commit::CommitQueueStats {
+        self.commit_queue.stats()
+    }
+
+    /// Flush up to `max_pages` dirty frames (ascending physical order,
+    /// like `sync`) **without** a commit flip — the background
+    /// checkpointer's work unit. The flushed pages land in fresh shadow
+    /// slots and become durable at the next `sync`/`group_sync`; until
+    /// then recovery still sees the previous epoch, so a crash mid-slice
+    /// loses nothing. Returns how many frames were flushed (0 = pool
+    /// clean). A write failure degrades the pool exactly like `sync`.
+    pub fn checkpoint_slice(&self, max_pages: usize) -> Result<u64, PageError> {
+        let mut core = self.policy.lock();
+        if let Some(cause) = &core.read_only {
+            return Err(PageError::ReadOnly {
+                cause: cause.clone(),
+            });
+        }
+        let mut dirty: Vec<(u64, u32)> = core
+            .map
+            .iter()
+            .filter(|&(_, &idx)| core.entry(idx).dirty)
+            .map(|(&phys, &idx)| (phys, idx))
+            .collect();
+        dirty.sort_unstable_by_key(|&(phys, _)| phys);
+        dirty.truncate(max_pages);
+        let mut flushed = 0u64;
+        for &(phys, idx) in &dirty {
+            let slot = core.entry(idx).slot.clone();
+            // SAFETY: the policy lock is held, so no writer can mutate or
+            // recycle the buffer while we read it.
+            let bytes = unsafe { slot.bytes() };
+            if let Err(e) = core.disk.write_phys(phys, bytes) {
+                // The frame keeps its dirty flag; the pool degrades just
+                // like a failed `sync` write-back would.
+                let cause: Arc<str> = Arc::from(e.to_string().as_str());
+                core.read_only = Some(cause.clone());
+                return Err(PageError::ReadOnly { cause });
+            }
+            core.entry_mut(idx).dirty = false;
+            let write_cost = core.cost.write;
+            core.stats.writes += 1;
+            core.stats.checkpoint_pages += 1;
+            core.stats.io_time += write_cost;
+            flushed += 1;
+        }
+        Ok(flushed)
+    }
+
+    /// Fold write-ahead-log activity (see [`Wal`](crate::Wal)) into this
+    /// pool's [`IoStats`], so one snapshot observes the whole commit
+    /// pipeline.
+    pub fn note_wal(&self, appends: u64, bytes: u64, fsyncs: u64) {
+        let mut core = self.policy.lock();
+        core.stats.wal_appends += appends;
+        core.stats.wal_bytes += bytes;
+        core.stats.fsyncs += fsyncs;
+    }
+
+    /// Commit epoch of the backend's last durable sync (0 for backends
+    /// without a commit protocol, e.g. the memory disk).
+    pub fn durable_epoch(&self) -> u64 {
+        self.policy.lock().disk.epoch()
+    }
+
+    /// Leave degraded read-only mode after the medium healed: clears the
+    /// sticky cause (and any sticky group-commit failure) so mutations
+    /// and syncs are admitted again. Returns whether the pool *was*
+    /// degraded. Dirty frames that were stranded stay dirty and flush on
+    /// the next sync; callers should verify the medium first
+    /// ([`BufferPool::scrub`]) — if it is still broken, the next
+    /// write-back simply re-degrades the pool.
+    pub fn clear_degraded(&self) -> bool {
+        let was = self.policy.lock().read_only.take().is_some();
+        self.commit_queue.reset_failure();
+        was
     }
 
     fn shard_of(&self, key: (FileId, PageId)) -> &Shard {

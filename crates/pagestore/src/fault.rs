@@ -118,20 +118,35 @@ impl FaultConfig {
     }
 }
 
-struct FaultState {
-    mem: Vec<u8>,
-    disk: Vec<u8>,
+/// The shared side of the fault model: one op clock plus one schedule.
+///
+/// Kept separate from the per-file byte images so that *several* files —
+/// a paged store and its write-ahead log — can share a single crash
+/// schedule: the commit pipeline interleaves physical ops across both
+/// files, and "crash after op k" must mean the k-th op *of the pipeline*,
+/// whichever file it happened to land on. [`FaultDomain`] mints such
+/// clock-sharing files; the single-file constructors give each file a
+/// private clock, which is the degenerate one-file domain.
+struct ClockState {
     ops: u64,
     read_ops: u64,
     cfg: FaultConfig,
 }
 
-impl FaultState {
-    /// Gate one mutating operation: always applied to `mem`; applied to
-    /// `disk` fully before the crash point, torn at it, dropped after.
-    /// A scheduled transient failure consumes the op index but reaches
-    /// neither image.
-    fn mutate(&mut self, apply: impl Fn(&mut Vec<u8>, Option<usize>)) -> io::Result<()> {
+/// What the schedule decided for one mutating operation.
+enum MutateOutcome {
+    /// Before the crash point: reaches both images.
+    Applied,
+    /// The in-flight op: the disk image gets only this byte prefix.
+    Torn(usize),
+    /// After the crash point: memory image only.
+    Dropped,
+}
+
+impl ClockState {
+    /// Count one mutating operation and decide its fate. A scheduled
+    /// transient failure consumes the op index but reaches neither image.
+    fn gate_mutate(&mut self) -> io::Result<MutateOutcome> {
         let op = self.ops;
         self.ops += 1;
         if self.cfg.transient_writes.contains(&op) {
@@ -140,16 +155,14 @@ impl FaultState {
                 format!("injected transient fault on write op {op}"),
             ));
         }
-        apply(&mut self.mem, None);
-        match self.cfg.crash_after {
-            None => apply(&mut self.disk, None),
-            Some(k) if op < k => apply(&mut self.disk, None),
+        Ok(match self.cfg.crash_after {
+            None => MutateOutcome::Applied,
+            Some(k) if op < k => MutateOutcome::Applied,
             Some(k) if op == k && self.cfg.tear_bytes > 0 => {
-                apply(&mut self.disk, Some(self.cfg.tear_bytes))
+                MutateOutcome::Torn(self.cfg.tear_bytes)
             }
-            Some(_) => {}
-        }
-        Ok(())
+            Some(_) => MutateOutcome::Dropped,
+        })
     }
 
     /// Gate one read: counts it and reports any scheduled or seeded fault
@@ -173,27 +186,117 @@ impl FaultState {
     }
 }
 
-/// Shared harness view of a [`FaultFile`] (cheaply clonable).
+/// One file's dual byte images (see the module docs).
+struct ImageState {
+    mem: Vec<u8>,
+    disk: Vec<u8>,
+}
+
+fn lock_clock(clock: &Arc<Mutex<ClockState>>) -> std::sync::MutexGuard<'_, ClockState> {
+    clock.lock().expect("fault-clock lock poisoned")
+}
+
+fn lock_images(images: &Arc<Mutex<ImageState>>) -> std::sync::MutexGuard<'_, ImageState> {
+    images.lock().expect("fault-image lock poisoned")
+}
+
+/// A shared crash schedule spanning several [`FaultFile`]s.
+///
+/// The commit pipeline's physical I/O interleaves a paged store with a
+/// write-ahead log; an exhaustive sweep must be able to freeze the whole
+/// *pipeline* at its k-th op regardless of which file that op hit. All
+/// files minted from one domain share its op clock and [`FaultConfig`],
+/// while keeping their own byte images.
 #[derive(Clone)]
-pub struct FaultHandle(Arc<Mutex<FaultState>>);
+pub struct FaultDomain {
+    clock: Arc<Mutex<ClockState>>,
+}
+
+impl FaultDomain {
+    /// A fresh domain with the given (shared) schedule.
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultDomain {
+            clock: Arc::new(Mutex::new(ClockState {
+                ops: 0,
+                read_ops: 0,
+                cfg,
+            })),
+        }
+    }
+
+    /// Mint an empty file on this domain's clock.
+    pub fn file(&self) -> (FaultFile, FaultHandle) {
+        self.file_from_image(Vec::new())
+    }
+
+    /// Mint a file starting from a harvested image on this domain's
+    /// clock (e.g. to crash-test a recovery that touches both files).
+    pub fn file_from_image(&self, bytes: Vec<u8>) -> (FaultFile, FaultHandle) {
+        let images = Arc::new(Mutex::new(ImageState {
+            mem: bytes.clone(),
+            disk: bytes,
+        }));
+        (
+            FaultFile {
+                clock: self.clock.clone(),
+                images: images.clone(),
+            },
+            FaultHandle {
+                clock: self.clock.clone(),
+                images,
+            },
+        )
+    }
+
+    /// Mutating operations observed across every file of the domain.
+    pub fn ops(&self) -> u64 {
+        lock_clock(&self.clock).ops
+    }
+
+    /// Read operations observed across every file of the domain.
+    pub fn read_ops(&self) -> u64 {
+        lock_clock(&self.clock).read_ops
+    }
+
+    /// True once the crash point has passed on any file of the domain.
+    pub fn crashed(&self) -> bool {
+        let s = lock_clock(&self.clock);
+        s.cfg.crash_after.is_some_and(|k| s.ops > k)
+    }
+
+    /// Replace the shared fault schedule. Counters are *not* reset.
+    pub fn set_fault_config(&self, cfg: FaultConfig) {
+        lock_clock(&self.clock).cfg = cfg;
+    }
+}
+
+/// Shared harness view of one [`FaultFile`] (cheaply clonable): its op
+/// clock — possibly shared domain-wide — and its two byte images.
+#[derive(Clone)]
+pub struct FaultHandle {
+    clock: Arc<Mutex<ClockState>>,
+    images: Arc<Mutex<ImageState>>,
+}
 
 impl FaultHandle {
-    /// Mutating operations observed so far (including dropped ones).
+    /// Mutating operations observed so far on this file's clock
+    /// (domain-wide when the file came from a [`FaultDomain`]), including
+    /// dropped ones.
     pub fn ops(&self) -> u64 {
-        self.lock().ops
+        lock_clock(&self.clock).ops
     }
 
     /// Read operations observed so far (including failed ones). Reads are
     /// counted on their own axis so scheduling read faults never perturbs
     /// the mutating-op indices `crash_after` keys on.
     pub fn read_ops(&self) -> u64 {
-        self.lock().read_ops
+        lock_clock(&self.clock).read_ops
     }
 
     /// True once the crash point has passed (some operation was dropped
     /// or torn).
     pub fn crashed(&self) -> bool {
-        let s = self.lock();
+        let s = lock_clock(&self.clock);
         s.cfg.crash_after.is_some_and(|k| s.ops > k)
     }
 
@@ -201,19 +304,20 @@ impl FaultHandle {
     /// find on disk. With no crash configured this is simply the current
     /// file contents, i.e. a "crash now" snapshot.
     pub fn disk_image(&self) -> Vec<u8> {
-        self.lock().disk.clone()
+        lock_images(&self.images).disk.clone()
     }
 
     /// The bytes the running process observes (every write applied).
     pub fn mem_image(&self) -> Vec<u8> {
-        self.lock().mem.clone()
+        lock_images(&self.images).mem.clone()
     }
 
     /// Replace the fault schedule mid-run — how a sweep clears injected
     /// faults ("the medium healed") or arms a new round without rebuilding
-    /// the whole storage stack. Operation counters are *not* reset.
+    /// the whole storage stack. Operation counters are *not* reset. On a
+    /// domain-shared clock this swaps the schedule for every file.
     pub fn set_fault_config(&self, cfg: FaultConfig) {
-        self.lock().cfg = cfg;
+        lock_clock(&self.clock).cfg = cfg;
     }
 
     /// Flip one bit of the backing file in **both** images — committed,
@@ -221,7 +325,7 @@ impl FaultHandle {
     /// checksummed read of the affected page reports
     /// [`StorageError::ChecksumMismatch`]. No-op past end of file.
     pub fn flip_bit(&self, offset: u64, bit: u8) {
-        let mut s = self.lock();
+        let mut s = lock_images(&self.images);
         let Ok(i) = usize::try_from(offset) else {
             return;
         };
@@ -233,19 +337,16 @@ impl FaultHandle {
             *b ^= mask;
         }
     }
-
-    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
-        self.0.lock().expect("fault-state lock poisoned")
-    }
 }
 
 /// A [`RawFile`] with crash injection. See the module docs.
 pub struct FaultFile {
-    state: Arc<Mutex<FaultState>>,
+    clock: Arc<Mutex<ClockState>>,
+    images: Arc<Mutex<ImageState>>,
 }
 
 impl FaultFile {
-    /// An empty fault file with the given crash schedule.
+    /// An empty fault file with the given (private) crash schedule.
     pub fn new(cfg: FaultConfig) -> (Self, FaultHandle) {
         Self::from_image(Vec::new(), cfg)
     }
@@ -254,23 +355,21 @@ impl FaultFile {
     /// (e.g. a previously harvested crash image, to inject a second
     /// fault into the recovery path itself).
     pub fn from_image(bytes: Vec<u8>, cfg: FaultConfig) -> (Self, FaultHandle) {
-        let state = Arc::new(Mutex::new(FaultState {
-            mem: bytes.clone(),
-            disk: bytes,
-            ops: 0,
-            read_ops: 0,
-            cfg,
-        }));
-        (
-            FaultFile {
-                state: state.clone(),
-            },
-            FaultHandle(state),
-        )
+        FaultDomain::new(cfg).file_from_image(bytes)
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
-        self.state.lock().expect("fault-state lock poisoned")
+    /// Gate one mutating operation through the clock, then apply it to
+    /// the images as decided. Lock order: clock, then images.
+    fn mutate(&mut self, apply: impl Fn(&mut Vec<u8>, Option<usize>)) -> io::Result<()> {
+        let outcome = lock_clock(&self.clock).gate_mutate()?;
+        let mut images = lock_images(&self.images);
+        apply(&mut images.mem, None);
+        match outcome {
+            MutateOutcome::Applied => apply(&mut images.disk, None),
+            MutateOutcome::Torn(tear) => apply(&mut images.disk, Some(tear)),
+            MutateOutcome::Dropped => {}
+        }
+        Ok(())
     }
 }
 
@@ -280,13 +379,13 @@ impl RawFile for FaultFile {
         // so a crash "before a read" is identical to a crash before the
         // next mutating operation. They have their own fault axis, though
         // — transient errors and short reads — gated per read index.
-        let mut s = self.lock();
-        s.gate_read()?;
-        read_image_at(&s.mem, offset, out)
+        lock_clock(&self.clock).gate_read()?;
+        let images = lock_images(&self.images);
+        read_image_at(&images.mem, offset, out)
     }
 
     fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
-        self.lock().mutate(|image, tear| {
+        self.mutate(|image, tear| {
             let n = tear.map_or(data.len(), |t| t.min(data.len()));
             write_image_at(image, offset, &data[..n]);
         })
@@ -294,7 +393,7 @@ impl RawFile for FaultFile {
 
     fn set_len(&mut self, len: u64) -> io::Result<()> {
         let len = usize::try_from(len).expect("length fits memory");
-        self.lock().mutate(|image, tear| {
+        self.mutate(|image, tear| {
             if tear.is_none() {
                 image.resize(len, 0);
             }
@@ -302,14 +401,14 @@ impl RawFile for FaultFile {
     }
 
     fn byte_len(&mut self) -> io::Result<u64> {
-        Ok(self.lock().mem.len() as u64)
+        Ok(lock_images(&self.images).mem.len() as u64)
     }
 
     fn sync_all(&mut self) -> io::Result<()> {
         // A barrier mutates nothing, but it is still a scheduling point
         // the sweep enumerates (and dropping it is how "the crash ate the
         // fsync" is modelled).
-        self.lock().mutate(|_, _| {})
+        self.mutate(|_, _| {})
     }
 }
 
@@ -420,6 +519,10 @@ impl Storage for FaultStorage {
     fn sync(&mut self) -> Result<(), StorageError> {
         self.inner.sync()
     }
+
+    fn epoch(&self) -> u64 {
+        self.inner.epoch()
+    }
 }
 
 #[cfg(test)]
@@ -436,6 +539,23 @@ mod tests {
         assert!(!h.crashed());
         assert_eq!(h.disk_image(), h.mem_image());
         assert_eq!(h.disk_image(), b"hello world");
+    }
+
+    #[test]
+    fn domain_shares_one_crash_schedule_across_files() {
+        let domain = FaultDomain::new(FaultConfig::crash_after(2));
+        let (mut a, ha) = domain.file();
+        let (mut b, hb) = domain.file();
+        a.write_at(0, b"A0").unwrap(); // op 0: applied
+        b.write_at(0, b"B0").unwrap(); // op 1: applied
+        a.write_at(2, b"A1").unwrap(); // op 2: the pipeline's in-flight op
+        b.write_at(2, b"B1").unwrap(); // op 3: dropped
+        assert_eq!(domain.ops(), 4, "both files advance one shared clock");
+        assert!(domain.crashed() && ha.crashed() && hb.crashed());
+        assert_eq!(ha.disk_image(), b"A0");
+        assert_eq!(hb.disk_image(), b"B0");
+        assert_eq!(ha.mem_image(), b"A0A1");
+        assert_eq!(hb.mem_image(), b"B0B1");
     }
 
     #[test]

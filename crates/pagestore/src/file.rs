@@ -989,6 +989,10 @@ impl Storage for FileStorage {
         }
         result
     }
+
+    fn epoch(&self) -> u64 {
+        FileStorage::epoch(self)
+    }
 }
 
 impl FileStorage {

@@ -33,6 +33,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod cache;
+pub mod commit;
 mod cost;
 mod disk;
 mod error;
@@ -45,17 +46,22 @@ pub mod ser;
 mod stats;
 mod storage;
 mod sync;
+pub mod wal;
 
 pub use cache::BufferPool;
+#[cfg(not(feature = "model"))]
+pub use commit::{Checkpointer, CheckpointerConfig};
+pub use commit::{CommitQueue, CommitQueueStats};
 pub use cost::IoCostModel;
 pub use disk::{Disk, FileId, MemStorage, PageId, PAGE_SIZE};
 pub use error::{Clock, PageError, RealClock, RetryPolicy, ScrubFinding, ScrubReport};
-pub use fault::{FaultConfig, FaultFile, FaultHandle, FaultStorage};
+pub use fault::{FaultConfig, FaultDomain, FaultFile, FaultHandle, FaultStorage};
 pub use file::{FileStorage, StorageLayout};
 pub use par::{par_map, par_map_with};
 pub use raw::{MemFile, OsFile, RawFile};
 pub use stats::IoStats;
 pub use storage::{PhysPage, Storage, StorageError};
+pub use wal::{Wal, WalStats, WAL_MAGIC};
 
 use frame::PinnedSlot;
 use std::sync::Arc;
@@ -260,6 +266,62 @@ impl Pager {
     /// [`PageError::ReadOnly`] (any sync failure degrades the pool).
     pub fn try_sync(&self) -> Result<(), PageError> {
         self.inner.try_sync()
+    }
+
+    /// Group-committing durability barrier: concurrent callers coalesce
+    /// onto one flush + commit flip and each returns with the durable
+    /// storage epoch covering its writes. Semantically equivalent to
+    /// [`Pager::try_sync`] (same flush, same degraded-mode behaviour) but
+    /// N overlapping calls pay far fewer than N flips — see
+    /// [`crate::commit`] and the commit bench.
+    pub fn group_sync(&self) -> Result<u64, PageError> {
+        self.inner.group_sync()
+    }
+
+    /// Group-commit counters (commits acknowledged, flushes actually
+    /// run, waiter high-water mark).
+    pub fn commit_queue_stats(&self) -> CommitQueueStats {
+        self.inner.commit_queue_stats()
+    }
+
+    /// Flush up to `max_pages` dirty frames without a commit flip — the
+    /// background checkpointer's work unit, also callable directly for
+    /// deterministic tests. See [`BufferPool::checkpoint_slice`].
+    pub fn checkpoint_slice(&self, max_pages: usize) -> Result<u64, PageError> {
+        self.inner.checkpoint_slice(max_pages)
+    }
+
+    /// Spawn a background [`Checkpointer`] thread over this pager's pool.
+    /// The returned handle owns the thread (clean shutdown on drop); see
+    /// [`crate::commit`] for the protocol and the degraded-mode handoff.
+    #[cfg(not(feature = "model"))]
+    pub fn start_checkpointer(&self, cfg: CheckpointerConfig) -> Checkpointer {
+        Checkpointer::spawn(self.inner.clone(), cfg)
+    }
+
+    /// Commit epoch of the backend's last durable sync (0 for the
+    /// in-memory backend, which has no commit protocol).
+    pub fn durable_epoch(&self) -> u64 {
+        self.inner.durable_epoch()
+    }
+
+    /// Fold write-ahead-log activity into this pager's [`IoStats`]
+    /// (`wal_appends` / `wal_bytes` / `fsyncs`), so one stats snapshot
+    /// observes the whole commit pipeline. The [`Wal`] itself is a free-
+    /// standing object (its records are not pages); its owner harvests
+    /// [`Wal::take_stats`] and reports the deltas here.
+    pub fn note_wal(&self, stats: WalStats) {
+        self.inner
+            .note_wal(stats.appends, stats.bytes, stats.fsyncs);
+    }
+
+    /// Leave degraded read-only mode after the medium healed (clears the
+    /// sticky write-failure cause and any sticky group-commit failure).
+    /// Returns whether the pool was degraded. Callers should verify the
+    /// medium first — [`Pager::scrub`] + [`Pager::clear_quarantine`] —
+    /// since a still-broken medium re-degrades on the next write-back.
+    pub fn clear_degraded(&self) -> bool {
+        self.inner.clear_degraded()
     }
 
     /// Replace the I/O cost model (defaults follow a ~2010 commodity disk).

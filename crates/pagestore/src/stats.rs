@@ -32,6 +32,22 @@ pub struct IoStats {
     /// Always zero on a healthy medium — the fault-injection gate uses
     /// this to prove retries actually happened.
     pub retries: u64,
+    /// Records appended to a write-ahead log attached to this pool's
+    /// pager (see [`Wal`](crate::Wal)), reported via
+    /// [`note_wal`](crate::Pager::note_wal).
+    pub wal_appends: u64,
+    /// Payload bytes appended to the WAL (excluding per-record framing).
+    pub wal_bytes: u64,
+    /// Durability barriers issued: one per successful storage `sync`
+    /// (a shadow-paged commit internally performs two device flushes,
+    /// counted here as one barrier) plus every WAL fsync reported via
+    /// `note_wal`. The group-commit bench divides logical commits by
+    /// this to show amortisation.
+    pub fsyncs: u64,
+    /// Dirty pages flushed by the background checkpointer (a subset of
+    /// [`IoStats::writes`]; disjoint from [`IoStats::synced_pages`],
+    /// which counts only the stop-the-world flush inside `sync`).
+    pub checkpoint_pages: u64,
     /// Simulated I/O time accumulated by the cost model.
     pub io_time: Duration,
 }
@@ -65,6 +81,12 @@ impl IoStats {
             synced_pages: self.synced_pages.saturating_sub(earlier.synced_pages),
             synced_bytes: self.synced_bytes.saturating_sub(earlier.synced_bytes),
             retries: self.retries.saturating_sub(earlier.retries),
+            wal_appends: self.wal_appends.saturating_sub(earlier.wal_appends),
+            wal_bytes: self.wal_bytes.saturating_sub(earlier.wal_bytes),
+            fsyncs: self.fsyncs.saturating_sub(earlier.fsyncs),
+            checkpoint_pages: self
+                .checkpoint_pages
+                .saturating_sub(earlier.checkpoint_pages),
             io_time: self.io_time.saturating_sub(earlier.io_time),
         }
     }
@@ -81,6 +103,10 @@ impl std::ops::Add for IoStats {
             synced_pages: self.synced_pages + rhs.synced_pages,
             synced_bytes: self.synced_bytes + rhs.synced_bytes,
             retries: self.retries + rhs.retries,
+            wal_appends: self.wal_appends + rhs.wal_appends,
+            wal_bytes: self.wal_bytes + rhs.wal_bytes,
+            fsyncs: self.fsyncs + rhs.fsyncs,
+            checkpoint_pages: self.checkpoint_pages + rhs.checkpoint_pages,
             io_time: self.io_time + rhs.io_time,
         }
     }
@@ -90,13 +116,18 @@ impl std::fmt::Display for IoStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} misses ({} seq, {} rand), {} hits, {} writes ({} synced), io {:?}",
+            "{} misses ({} seq, {} rand), {} hits, {} writes ({} synced, {} ckpt), \
+             {} fsyncs, {} wal appends ({} B), io {:?}",
             self.misses(),
             self.seq_misses,
             self.random_misses,
             self.hits,
             self.writes,
             self.synced_pages,
+            self.checkpoint_pages,
+            self.fsyncs,
+            self.wal_appends,
+            self.wal_bytes,
             self.io_time
         )
     }
@@ -153,6 +184,36 @@ mod tests {
         };
         let d = later.since(&earlier);
         assert_eq!(d, IoStats::default());
+    }
+
+    #[test]
+    fn commit_pipeline_counters_flow_through_since_and_add() {
+        let earlier = IoStats {
+            wal_appends: 2,
+            wal_bytes: 64,
+            fsyncs: 3,
+            checkpoint_pages: 5,
+            ..IoStats::default()
+        };
+        let later = IoStats {
+            wal_appends: 7,
+            wal_bytes: 200,
+            fsyncs: 10,
+            checkpoint_pages: 6,
+            ..IoStats::default()
+        };
+        let d = later.since(&earlier);
+        assert_eq!(
+            (d.wal_appends, d.wal_bytes, d.fsyncs, d.checkpoint_pages),
+            (5, 136, 7, 1)
+        );
+        let s = later.clone() + earlier;
+        assert_eq!(
+            (s.wal_appends, s.wal_bytes, s.fsyncs, s.checkpoint_pages),
+            (9, 264, 13, 11)
+        );
+        let shown = format!("{later}");
+        assert!(shown.contains("10 fsyncs") && shown.contains("7 wal appends"));
     }
 
     #[test]

@@ -190,6 +190,16 @@ pub trait Storage: Send {
     fn sync(&mut self) -> Result<(), StorageError> {
         Ok(())
     }
+
+    /// Commit epoch of the last durable [`sync`](Storage::sync): the
+    /// monotonically increasing generation the shadow-paged file backend
+    /// stamps into each superblock flip. Backends without a commit
+    /// protocol report 0 forever — "everything is always epoch 0" is the
+    /// correct degenerate reading for a memory disk, where every write is
+    /// immediately "durable" for the process lifetime.
+    fn epoch(&self) -> u64 {
+        0
+    }
 }
 
 /// FNV-1a, 64-bit — the checksum used for pages, trailer and superblock of

@@ -13,10 +13,10 @@
 //! primitives from here, never from `parking_lot`/`std::sync` directly.
 
 #[cfg(feature = "model")]
-pub(crate) use loom::sync::{Mutex, RwLock};
+pub(crate) use loom::sync::{Condvar, Mutex, RwLock};
 
 #[cfg(not(feature = "model"))]
-pub(crate) use parking_lot::{Mutex, RwLock};
+pub(crate) use parking_lot::{Condvar, Mutex, RwLock};
 
 pub(crate) mod atomic {
     #[cfg(feature = "model")]

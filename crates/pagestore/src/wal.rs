@@ -1,0 +1,314 @@
+//! A small write-ahead log for low-latency single-record ingest between
+//! checkpoints.
+//!
+//! The shadow-paged commit ([`FileStorage::sync`](crate::FileStorage))
+//! makes a *batch* durable at the cost of rewriting every dirty page plus
+//! a superblock flip — far too heavy to pay per ingested record. The WAL
+//! inverts the trade: one appended record, one small sequential write,
+//! one fsync, and the record survives a crash. At the next checkpoint the
+//! records are folded into the paged index and the log is reset.
+//!
+//! # On-disk format
+//!
+//! ```text
+//! offset 0             8
+//! +--------------------+--------------------------------------------+
+//! | magic "OIFWAL01"   | records...                                 |
+//! +--------------------+--------------------------------------------+
+//!
+//! record := u64 payload_len (LE) | payload | u64 fnv1a(payload) (LE)
+//! ```
+//!
+//! Each record is framed with [`ser::Writer`](crate::ser::Writer)'s
+//! length-prefix discipline and appended with a **single** `write_at`
+//! call, so under the in-order crash model (see [`crate::fault`]) a
+//! crashed append leaves a strictly shorter file — never a full-length
+//! record with rewritten bytes. That asymmetry is what recovery leans on:
+//!
+//! * a record extending past end-of-file is a **torn tail** — the crash
+//!   ate the append; recovery stops at the last whole record and
+//!   truncates the tail away (the record was never acknowledged);
+//! * a *whole* record whose checksum mismatches can only be bit rot —
+//!   recovery refuses with a typed
+//!   [`StorageError::ChecksumMismatch`] naming the byte offset, never a
+//!   silent skip (skipping would resurface as missing committed data);
+//! * an empty or sub-magic-length file is a fresh log (a crash can tear
+//!   even the magic write), re-initialised on open.
+//!
+//! Replay idempotence is the *caller's* contract: the layer folding
+//! records into an index must skip records already covered by the
+//! checkpoint it recovered (the service keys this off the shard's
+//! persisted max record id), because a crash between "checkpoint commit"
+//! and "log reset" leaves both holding the same records.
+
+use crate::raw::RawFile;
+use crate::ser::Writer;
+use crate::storage::{fnv1a, StorageError};
+
+/// Magic stamped at offset 0 of every WAL file.
+pub const WAL_MAGIC: [u8; 8] = *b"OIFWAL01";
+
+/// Per-log counters, harvested by the owner and usually folded into the
+/// pool's [`IoStats`](crate::IoStats) via
+/// [`Pager::note_wal`](crate::Pager::note_wal).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended since the last [`Wal::take_stats`].
+    pub appends: u64,
+    /// Payload bytes appended (excluding the 16 framing bytes/record).
+    pub bytes: u64,
+    /// `sync` barriers issued against the log's file.
+    pub fsyncs: u64,
+}
+
+/// An append-only, checksummed, torn-tail-tolerant log over any
+/// [`RawFile`]. See the module docs for the format and recovery rules.
+pub struct Wal {
+    file: Box<dyn RawFile>,
+    /// Offset one past the last whole, checksum-valid record.
+    end: u64,
+    stats: WalStats,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("end", &self.end)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Wal {
+    /// Start a fresh log on `file`, writing the magic header. Any prior
+    /// contents are truncated away.
+    pub fn create(mut file: Box<dyn RawFile>) -> Result<Self, StorageError> {
+        file.set_len(0)?;
+        file.write_at(0, &WAL_MAGIC)?;
+        Ok(Wal {
+            file,
+            end: WAL_MAGIC.len() as u64,
+            stats: WalStats::default(),
+        })
+    }
+
+    /// Open an existing log (possibly a crash survivor) and replay it:
+    /// returns the log positioned after its last whole record, plus every
+    /// record payload in append order. The torn tail, if any, is
+    /// truncated away so later appends never interleave with dead bytes.
+    pub fn open(mut file: Box<dyn RawFile>) -> Result<(Self, Vec<Vec<u8>>), StorageError> {
+        let len = file.byte_len()?;
+        if len < WAL_MAGIC.len() as u64 {
+            // Fresh file, or a crash tore the magic write itself: nothing
+            // was ever acknowledged from this log, so re-initialise.
+            let wal = Wal::create(file)?;
+            return Ok((wal, Vec::new()));
+        }
+        let mut image = vec![0u8; usize::try_from(len).expect("wal fits memory")];
+        file.read_at(0, &mut image)?;
+        if image[..WAL_MAGIC.len()] != WAL_MAGIC {
+            return Err(StorageError::ChecksumMismatch {
+                what: "wal magic header".into(),
+                expected: fnv1a(&WAL_MAGIC),
+                actual: fnv1a(&image[..WAL_MAGIC.len()]),
+            });
+        }
+
+        let mut records = Vec::new();
+        let mut pos = WAL_MAGIC.len();
+        // Header: u64 payload length. Fewer than 8 bytes left is a torn
+        // header — the tail record never finished.
+        while let Some(header) = image.get(pos..pos + 8) {
+            let plen = u64::from_le_bytes(header.try_into().expect("8-byte slice"));
+            let Ok(plen) = usize::try_from(plen) else {
+                break; // absurd length ⇒ a torn/garbage tail header
+            };
+            let Some(rec_end) = pos
+                .checked_add(8)
+                .and_then(|p| p.checked_add(plen))
+                .and_then(|p| p.checked_add(8))
+            else {
+                break;
+            };
+            if rec_end > image.len() {
+                break; // record extends past EOF: torn tail
+            }
+            let payload = &image[pos + 8..pos + 8 + plen];
+            let stored = u64::from_le_bytes(
+                image[rec_end - 8..rec_end]
+                    .try_into()
+                    .expect("8-byte slice"),
+            );
+            let actual = fnv1a(payload);
+            if stored != actual {
+                // The record is whole — a crash cannot produce this (an
+                // append is one write), so it is committed data that
+                // rotted. Refuse loudly, naming where.
+                return Err(StorageError::ChecksumMismatch {
+                    what: format!("wal record at byte {pos}"),
+                    expected: stored,
+                    actual,
+                });
+            }
+            records.push(payload.to_vec());
+            pos = rec_end;
+        }
+
+        if (pos as u64) < len {
+            file.set_len(pos as u64)?;
+        }
+        Ok((
+            Wal {
+                file,
+                end: pos as u64,
+                stats: WalStats::default(),
+            },
+            records,
+        ))
+    }
+
+    /// Append one record. The frame (length prefix + payload + checksum)
+    /// goes down in a single `write_at`, so a crash mid-append can only
+    /// shorten the file — see the module docs. **Not durable** until
+    /// [`Wal::sync`] returns.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), StorageError> {
+        let mut w = Writer::new();
+        w.bytes(payload);
+        w.u64(fnv1a(payload));
+        let frame = w.into_bytes();
+        self.file.write_at(self.end, &frame)?;
+        self.end += frame.len() as u64;
+        self.stats.appends += 1;
+        self.stats.bytes += payload.len() as u64;
+        Ok(())
+    }
+
+    /// Durability barrier: every appended record survives a crash after
+    /// this returns.
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        self.file.sync_all()?;
+        self.stats.fsyncs += 1;
+        Ok(())
+    }
+
+    /// Drop every record — called *after* a checkpoint committed them
+    /// into the paged index. Crash-ordering note: if the process dies
+    /// between the checkpoint's superblock flip and this reset, the next
+    /// open replays records the checkpoint already holds; the caller's
+    /// replay filter (max record id) makes that harmless.
+    pub fn reset(&mut self) -> Result<(), StorageError> {
+        self.file.set_len(WAL_MAGIC.len() as u64)?;
+        self.end = WAL_MAGIC.len() as u64;
+        self.file.sync_all()?;
+        self.stats.fsyncs += 1;
+        Ok(())
+    }
+
+    /// Bytes occupied by the magic plus every whole record.
+    pub fn len_bytes(&self) -> u64 {
+        self.end
+    }
+
+    /// True when the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.end == WAL_MAGIC.len() as u64
+    }
+
+    /// Harvest and reset the per-log counters (append/byte/fsync deltas
+    /// since the last harvest).
+    pub fn take_stats(&mut self) -> WalStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raw::MemFile;
+
+    fn reopen(wal: Wal) -> (Wal, Vec<Vec<u8>>) {
+        let Wal { mut file, .. } = wal;
+        let len = file.byte_len().unwrap();
+        let mut image = vec![0u8; len as usize];
+        file.read_at(0, &mut image).unwrap();
+        Wal::open(Box::new(MemFile::from_bytes(image))).unwrap()
+    }
+
+    #[test]
+    fn append_sync_reopen_replays_in_order() {
+        let mut wal = Wal::create(Box::new(MemFile::new())).unwrap();
+        wal.append(b"one").unwrap();
+        wal.append(b"two").unwrap();
+        wal.sync().unwrap();
+        let stats = wal.take_stats();
+        assert_eq!((stats.appends, stats.bytes, stats.fsyncs), (2, 6, 1));
+        let (wal, records) = reopen(wal);
+        assert_eq!(records, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert!(!wal.is_empty());
+    }
+
+    #[test]
+    fn reset_drops_all_records() {
+        let mut wal = Wal::create(Box::new(MemFile::new())).unwrap();
+        wal.append(b"gone").unwrap();
+        wal.reset().unwrap();
+        assert!(wal.is_empty());
+        let (_, records) = reopen(wal);
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn empty_and_zero_length_files_open_clean() {
+        let (wal, records) = Wal::open(Box::new(MemFile::new())).unwrap();
+        assert!(records.is_empty() && wal.is_empty());
+        // A torn magic write (shorter than 8 bytes) is also "fresh".
+        let (wal, records) = Wal::open(Box::new(MemFile::from_bytes(b"OIF".to_vec()))).unwrap();
+        assert!(records.is_empty() && wal.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_stops_at_last_whole_record_and_truncates() {
+        let mut wal = Wal::create(Box::new(MemFile::new())).unwrap();
+        wal.append(b"whole").unwrap();
+        wal.append(b"torn-away").unwrap();
+        let Wal { mut file, end, .. } = wal;
+        let mut image = vec![0u8; end as usize];
+        file.read_at(0, &mut image).unwrap();
+        // Cut the tail record anywhere inside its frame: recovery must
+        // stop exactly after "whole" and truncate the stub.
+        let first_end = 8 + (8 + 5 + 8);
+        for cut in first_end + 1..image.len() {
+            let (wal, records) =
+                Wal::open(Box::new(MemFile::from_bytes(image[..cut].to_vec()))).unwrap();
+            assert_eq!(records, vec![b"whole".to_vec()], "cut at {cut}");
+            assert_eq!(wal.len_bytes(), first_end as u64, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn flipped_bit_is_a_typed_corruption_naming_the_offset() {
+        let mut wal = Wal::create(Box::new(MemFile::new())).unwrap();
+        wal.append(b"first").unwrap();
+        wal.append(b"second").unwrap();
+        let Wal { mut file, end, .. } = wal;
+        let mut image = vec![0u8; end as usize];
+        file.read_at(0, &mut image).unwrap();
+        // Rot one payload bit of the *first* record (offset 8 is its
+        // header, 16 its payload).
+        image[17] ^= 0x40;
+        let err = Wal::open(Box::new(MemFile::from_bytes(image))).unwrap_err();
+        match &err {
+            StorageError::ChecksumMismatch { what, .. } => {
+                assert_eq!(what, "wal record at byte 8", "got: {err}");
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+        assert!(err.is_corruption());
+    }
+
+    #[test]
+    fn bad_magic_is_refused() {
+        let err = Wal::open(Box::new(MemFile::from_bytes(b"NOTAWAL0".to_vec()))).unwrap_err();
+        assert!(err.is_corruption(), "got: {err}");
+    }
+}

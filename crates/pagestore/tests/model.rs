@@ -344,6 +344,90 @@ fn quarantine_insert_vs_concurrent_readers() {
     });
 }
 
+/// Group commit under the checker: three committers race through the
+/// [`CommitQueue`]; in every interleaving each one must return with a
+/// durable epoch covering its ticket (no lost wakeups — a waiter that
+/// missed a notify would deadlock, which the checker detects), the
+/// flush count must never exceed the commit count (leaders batch
+/// followers), and the waiter high-water stays bounded by the committer
+/// count minus the leader.
+#[test]
+fn commit_queue_no_lost_wakeups_bounded_waiters() {
+    use pagestore::CommitQueue;
+    check_exhaustive(|| {
+        let queue = Arc::new(CommitQueue::new());
+        // Flush bookkeeping on std sync on purpose (like FaultPlan): the
+        // queue's `flushing` flag already serialises leaders, so this
+        // lock is never contended and must not add schedule points.
+        let flushes = Arc::new(StdMutex::new(0u64));
+        let flush = {
+            let flushes = flushes.clone();
+            move || {
+                let mut n = flushes.lock().expect("flush counter");
+                *n += 1;
+                Ok(*n)
+            }
+        };
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let queue = queue.clone();
+                let flush = flush.clone();
+                loom::thread::spawn(move || {
+                    let epoch = queue.commit(flush).expect("commit");
+                    assert!(epoch >= 1, "woken with a durable epoch");
+                })
+            })
+            .collect();
+        let epoch = queue.commit(flush.clone()).expect("commit");
+        assert!(epoch >= 1);
+        for w in workers {
+            w.join().expect("committer");
+        }
+        let stats = queue.stats();
+        let flushed = *flushes.lock().expect("flush counter");
+        assert_eq!(stats.commits, 3, "every committer acknowledged");
+        assert_eq!(stats.flushes, flushed, "queue counts real flushes");
+        assert!(
+            (1..=3).contains(&stats.flushes),
+            "leaders batch followers, got {} flushes",
+            stats.flushes
+        );
+        assert!(
+            stats.max_waiters <= 2,
+            "waiters bounded by committers minus the leader, got {}",
+            stats.max_waiters
+        );
+    });
+}
+
+/// A failing flush must reach *every* covered committer as the same
+/// sticky cause — in every interleaving, with no thread left waiting —
+/// and `reset_failure` must readmit commits afterwards.
+#[test]
+fn commit_queue_failure_reaches_every_committer() {
+    use pagestore::CommitQueue;
+    check_exhaustive(|| {
+        let queue = Arc::new(CommitQueue::new());
+        let worker = {
+            let queue = queue.clone();
+            loom::thread::spawn(move || {
+                let err = queue
+                    .commit(|| Err(Arc::from("dead medium")))
+                    .expect_err("flush failure must surface");
+                assert_eq!(&*err, "dead medium");
+            })
+        };
+        let err = queue
+            .commit(|| Err(Arc::from("dead medium")))
+            .expect_err("flush failure must surface");
+        assert_eq!(&*err, "dead medium");
+        worker.join().expect("committer");
+        // Heal: the sticky failure clears and commits flow again.
+        assert!(queue.reset_failure());
+        assert_eq!(queue.commit(|| Ok(9)).expect("healed"), 9);
+    });
+}
+
 /// The degraded read-only flip vs. in-flight writes: once a write-back
 /// fails, the pool flips to read-only. Concurrent mutations must each
 /// either complete in-cache or fail with [`PageError::ReadOnly`] — never

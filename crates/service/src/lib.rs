@@ -38,7 +38,7 @@ pub use planner::{estimated_pages, IndexKind, PlannerMode};
 pub use shard::ShardHealth;
 
 use datagen::{Dataset, ItemId, QueryKind, Record};
-use pagestore::{FileStorage, PageError, Pager, StorageError};
+use pagestore::{FileStorage, OsFile, PageError, Pager, RawFile, StorageError};
 use shard::Shard;
 use std::path::Path;
 
@@ -266,7 +266,9 @@ impl Service {
     }
 
     /// Build durably: one `FileStorage` per shard, files `shard-<i>.db`
-    /// under `dir` (created if missing).
+    /// under `dir` (created if missing), plus one write-ahead log
+    /// `shard-<i>.wal` per shard so single-record ingest is durable
+    /// between checkpoints.
     pub fn build_dir(
         dataset: &Dataset,
         config: ServiceConfig,
@@ -278,7 +280,36 @@ impl Service {
             let storage = FileStorage::create(dir.join(format!("shard-{i}.db")))?;
             pagers.push(Pager::with_storage(storage, config.cache_bytes));
         }
-        Ok(Self::build_on(dataset, config, pagers))
+        let mut svc = Self::build_on(dataset, config, pagers);
+        for i in 0..svc.num_shards() {
+            // Truncate: a stale log from a previous build in the same dir
+            // must not replay into the fresh dataset.
+            let file = open_wal_file(&dir.join(format!("shard-{i}.wal")), true)?;
+            svc.attach_wal(i, file)?;
+        }
+        Ok(svc)
+    }
+
+    /// Attach a write-ahead log file to shard `shard`, replaying whatever
+    /// survives in it (records above the shard's persisted max id — see
+    /// the crate docs on replay idempotence). Returns the number of
+    /// records replayed. With a WAL attached, every insert batch routed to
+    /// the shard is appended and fsynced before it is applied, and
+    /// [`Service::persist`] resets the log once the checkpoint commits.
+    pub fn attach_wal(
+        &mut self,
+        shard: usize,
+        file: Box<dyn RawFile>,
+    ) -> Result<usize, StorageError> {
+        self.shards[shard].attach_wal(file)
+    }
+
+    /// Attempt to re-admit a fenced shard to the write path: lift page
+    /// quarantines, re-scrub, and — only when the scrub is clean — clear
+    /// the pool's degraded mode and the health fence. Returns the
+    /// post-heal health; a still-damaged medium stays fenced.
+    pub fn heal(&self, shard: usize) -> ShardHealth {
+        self.shards[shard].heal()
     }
 
     /// Persist every shard (live structures + shard manifest) and sync.
@@ -319,6 +350,9 @@ impl Service {
 
     /// Reopen a service persisted via [`Service::build_dir`] +
     /// [`Service::persist`]. The shard count is read from `shard-0.db`.
+    /// Each shard's `shard-<i>.wal` (created empty when missing, so dirs
+    /// from before the WAL existed still open) is attached and replayed —
+    /// acknowledged inserts that never reached a checkpoint come back.
     pub fn open_dir(dir: &Path, config: ServiceConfig) -> Option<Service> {
         let first = FileStorage::open(dir.join("shard-0.db")).ok()?;
         let first = Pager::with_storage(first, config.cache_bytes);
@@ -328,7 +362,12 @@ impl Service {
             let storage = FileStorage::open(dir.join(format!("shard-{i}.db"))).ok()?;
             pagers.push(Pager::with_storage(storage, config.cache_bytes));
         }
-        Self::open_on(pagers, config)
+        let mut svc = Self::open_on(pagers, config)?;
+        for i in 0..svc.num_shards() {
+            let file = open_wal_file(&dir.join(format!("shard-{i}.wal")), false).ok()?;
+            svc.attach_wal(i, file).ok()?;
+        }
+        Some(svc)
     }
 
     pub fn num_shards(&self) -> usize {
@@ -436,10 +475,14 @@ impl Service {
     /// Append fresh records, routed to their shards' inverted files. The
     /// whole batch is validated first — fenced shards, missing write
     /// indexes, stale ids and out-of-vocabulary items reject it before any
-    /// shard mutates — then applied shard by shard. Inserted records are
-    /// immediately visible to queries; each touched shard's stale ordered
-    /// structures are dropped (see [`shard`-level docs](IndexKind)) so the
-    /// planner only offers maintained structures.
+    /// shard mutates — then applied shard by shard. On a shard with an
+    /// attached WAL the slice is appended and fsynced *before* it is
+    /// applied, so an acknowledged insert survives a crash; a WAL medium
+    /// fault fences that shard and refuses its slice (slices already
+    /// applied to earlier shards keep their own durable acknowledgement).
+    /// Inserted records are immediately visible to queries; each touched
+    /// shard's stale ordered structures are dropped (see [`shard`-level
+    /// docs](IndexKind)) so the planner only offers maintained structures.
     pub fn try_insert(&mut self, records: &[Record]) -> Result<(), InsertError> {
         let n = self.shards.len();
         let mut batches: Vec<Vec<Record>> = (0..n).map(|_| Vec::new()).collect();
@@ -472,12 +515,31 @@ impl Service {
             }
         }
         for (s, batch) in batches.into_iter().enumerate() {
-            if !batch.is_empty() {
-                self.shards[s].apply_insert(&batch);
+            if batch.is_empty() {
+                continue;
             }
+            if let Err(e) = self.shards[s].log_insert(&batch) {
+                return Err(InsertError::Fenced {
+                    shard: s,
+                    cause: format!("wal write failed: {e}"),
+                });
+            }
+            self.shards[s].apply_insert(&batch);
         }
         Ok(())
     }
+}
+
+/// Open (or create) a shard WAL file at `path`; `truncate` drops any
+/// prior contents (fresh builds must not replay a stale log).
+fn open_wal_file(path: &Path, truncate: bool) -> Result<Box<dyn RawFile>, StorageError> {
+    let file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(truncate)
+        .open(path)?;
+    Ok(Box::new(OsFile::new(file)))
 }
 
 #[cfg(test)]

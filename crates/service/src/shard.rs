@@ -17,12 +17,13 @@
 
 use crate::admission::AdmissionGate;
 use crate::planner::{IndexKind, PlannerMode, ShardPlanner};
+use crate::sync::Mutex;
 use crate::Query;
 use datagen::{Dataset, Record};
 use invfile::InvertedFile;
 use oif::{ContainmentIndex, Oif, Persist};
 use pagestore::ser::{Reader, Writer};
-use pagestore::{PageError, Pager, ScrubReport, StorageError};
+use pagestore::{PageError, Pager, RawFile, ScrubReport, StorageError, Wal};
 use std::sync::atomic::{AtomicBool, Ordering};
 use ubtree::UnorderedBTree;
 
@@ -58,6 +59,17 @@ pub(crate) struct Shard {
     /// Set by the scrub probe when the storage shows damage; fences writes
     /// until a clean probe.
     unhealthy: AtomicBool,
+    /// Set when a WAL append/fsync fails. The store scrub says nothing
+    /// about the log's medium, so a clean probe must *not* lift this
+    /// fence; only [`Shard::heal`] clears it, after a successful sync
+    /// barrier against the log proves the medium recovered.
+    wal_fault: AtomicBool,
+    /// Optional write-ahead log: when attached, every insert batch is
+    /// appended and fsynced here *before* it mutates the inverted file, so
+    /// an acknowledged insert survives a crash between checkpoints. The
+    /// mutex exists only because [`Shard::persist`] takes `&self`; the
+    /// write path holds `&mut self` and never contends.
+    wal: Option<Mutex<Wal>>,
 }
 
 impl Shard {
@@ -83,6 +95,8 @@ impl Shard {
             max_id: sub.records.iter().map(|r| r.id).max().unwrap_or(0),
             vocab_size: sub.vocab_size,
             unhealthy: AtomicBool::new(false),
+            wal_fault: AtomicBool::new(false),
+            wal: None,
         };
         for &kind in kinds {
             match kind {
@@ -114,6 +128,9 @@ impl Shard {
         }
         if self.unhealthy.load(Ordering::Acquire) {
             return Some("storage scrub found damaged pages".to_string());
+        }
+        if self.wal_fault.load(Ordering::Acquire) {
+            return Some("wal medium fault".to_string());
         }
         None
     }
@@ -191,6 +208,100 @@ impl Shard {
         }
     }
 
+    /// Attempt to re-admit a fenced shard to the write path: lift page
+    /// quarantines (the heal may have rewritten those pages), re-scrub,
+    /// and — only when the scrub comes back clean — clear the pool's
+    /// degraded read-only mode and the commit queue's sticky failure. A
+    /// still-damaged medium re-fences itself.
+    pub(crate) fn heal(&self) -> ShardHealth {
+        self.pager.clear_quarantine();
+        let scrub = self.pager.scrub();
+        if scrub.is_clean() {
+            self.pager.clear_degraded();
+            self.unhealthy.store(false, Ordering::Release);
+        } else {
+            self.unhealthy.store(true, Ordering::Release);
+        }
+        // The store scrub cannot see the log's medium: probe it with a
+        // sync barrier, and lift the WAL fence only when that succeeds.
+        if self.wal_fault.load(Ordering::Acquire) {
+            if let Some(wal) = &self.wal {
+                let mut wal = wal.lock();
+                let probe = wal.sync();
+                self.pager.note_wal(wal.take_stats());
+                if probe.is_ok() {
+                    self.wal_fault.store(false, Ordering::Release);
+                }
+            }
+        }
+        ShardHealth {
+            shard: self.id,
+            degraded: self.pager.degraded().map(|c| c.to_string()),
+            scrub,
+            fenced: self.fenced().is_some(),
+        }
+    }
+
+    /// Attach a write-ahead log to this shard and replay whatever survived
+    /// in it: records with ids above the shard's persisted max (the replay
+    /// filter that makes a crash between "checkpoint commit" and "log
+    /// reset" harmless) are folded back into the inverted file. Returns
+    /// how many records were replayed.
+    pub(crate) fn attach_wal(&mut self, file: Box<dyn RawFile>) -> Result<usize, StorageError> {
+        let (wal, payloads) = Wal::open(file)?;
+        let mut batch = Vec::new();
+        for (i, payload) in payloads.iter().enumerate() {
+            let Some(record) = invfile::wal::decode_insert(payload) else {
+                // The WAL layer's checksum passed, so this is a format or
+                // version mismatch — refuse, never replay garbage.
+                return Err(StorageError::BadSuperblock(format!(
+                    "shard {} wal record {i} does not decode as an insert",
+                    self.id
+                )));
+            };
+            if record.id > self.max_id {
+                batch.push(record);
+            }
+        }
+        batch.sort_by_key(|r| r.id);
+        batch.dedup_by_key(|r| r.id);
+        if !batch.is_empty() && self.inv.is_none() {
+            return Err(StorageError::BadSuperblock(format!(
+                "shard {} wal holds inserts but the shard hosts no inverted file",
+                self.id
+            )));
+        }
+        let replayed = batch.len();
+        if !batch.is_empty() {
+            self.apply_insert(&batch);
+        }
+        self.wal = Some(Mutex::new(wal));
+        Ok(replayed)
+    }
+
+    /// Make a validated insert batch durable in the shard's WAL — append
+    /// every record, then one fsync — *before* it is applied. A medium
+    /// fault here fences the shard (the caller surfaces it as a typed
+    /// refusal); the in-memory index was not touched yet, so the shard
+    /// stays consistent. No-op without an attached WAL.
+    pub(crate) fn log_insert(&self, batch: &[Record]) -> Result<(), StorageError> {
+        let Some(wal) = &self.wal else {
+            return Ok(());
+        };
+        let mut wal = wal.lock();
+        let appended = (|| {
+            for record in batch {
+                wal.append(&invfile::wal::encode_insert(record))?;
+            }
+            wal.sync()
+        })();
+        self.pager.note_wal(wal.take_stats());
+        if appended.is_err() {
+            self.wal_fault.store(true, Ordering::Release);
+        }
+        appended
+    }
+
     /// Apply pre-validated, id-sorted fresh records through the inverted
     /// file and drop the now-stale ordered structures.
     pub(crate) fn apply_insert(&mut self, batch: &[Record]) {
@@ -231,7 +342,17 @@ impl Shard {
             | ((self.ub.is_some() as u8) << 2);
         w.u8(flags);
         self.pager.put_catalog(SHARD_CATALOG_KEY, &w.into_bytes());
-        self.pager.sync()
+        self.pager.sync()?;
+        // The checkpoint committed (superblock flipped), so the log's
+        // records are folded in durably — drop them. A crash between the
+        // flip and this reset merely replays records the store already
+        // has; the attach-time max-id filter skips them.
+        if let Some(wal) = &self.wal {
+            let mut wal = wal.lock();
+            wal.reset()?;
+            self.pager.note_wal(wal.take_stats());
+        }
+        Ok(())
     }
 
     /// Reopen shard `id` from a pager holding a persisted image; returns
@@ -265,6 +386,8 @@ impl Shard {
             max_id,
             vocab_size,
             unhealthy: AtomicBool::new(false),
+            wal_fault: AtomicBool::new(false),
+            wal: None,
         };
         if flags & 1 != 0 {
             let idx = Oif::open(pager.clone())?;

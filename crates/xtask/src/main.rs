@@ -17,6 +17,13 @@
 //! 3. **No deprecated surface.** `#[deprecated]` items and
 //!    `#[allow(deprecated)]` call sites are banned outside test code:
 //!    deprecations must be resolved by removal, not silenced.
+//! 4. **Durability barriers belong to `raw.rs`.** The commit pipeline's
+//!    crash proofs hold only if every fsync flows through
+//!    `RawFile::sync_all`, where fault injection and the op clock can see
+//!    it. Outside `raw.rs`, `.sync_data(` is banned outright (the shadow
+//!    protocol needs `sync_all` semantics), and `.sync_all(` is banned in
+//!    any file whose code touches `std::fs::File` directly (trait calls
+//!    on a `RawFile` are fine — those files never name `std::fs::File`).
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -138,6 +145,15 @@ fn check_file(path: &Path, text: &str) -> Vec<Finding> {
     let test_start = test_region_start(&lines);
     let mut findings = Vec::new();
 
+    // Check 4 context: `raw.rs` is the one legitimate home of real file
+    // barriers; elsewhere, naming `std::fs::File` in code means `.sync_all(`
+    // on this file is a raw fsync that bypasses the fault/model layers.
+    let is_raw = path.file_name().is_some_and(|n| n == "raw.rs");
+    let touches_fs_file = lines
+        .iter()
+        .take(test_start)
+        .any(|l| code_of(l).contains("std::fs::File"));
+
     for (idx, raw) in lines.iter().enumerate().take(test_start) {
         let trimmed = raw.trim_start();
         // Comment and doc lines are not uses.
@@ -154,6 +170,24 @@ fn check_file(path: &Path, text: &str) -> Vec<Finding> {
                           call sites) instead of keeping or silencing the deprecation"
                     .into(),
             });
+        }
+
+        // Check 4: durability barriers outside raw.rs.
+        if !is_comment && !is_raw {
+            let code = code_of(raw);
+            let bans_sync_data = code.contains(".sync_data(") || code.contains("File::sync_data");
+            let bans_sync_all =
+                code.contains("File::sync_all") || (touches_fs_file && code.contains(".sync_all("));
+            if bans_sync_data || bans_sync_all {
+                findings.push(Finding {
+                    file: path.to_path_buf(),
+                    line: idx + 1,
+                    message: "raw durability barrier outside raw.rs: route the fsync \
+                              through `RawFile::sync_all` so fault injection and the \
+                              model checker can see it"
+                        .into(),
+                });
+            }
         }
 
         // Check 1: unsafe needs a SAFETY justification.
@@ -384,6 +418,34 @@ mod tests {
             "pub fn try_read(&self) {}\n".to_string(),
         );
         assert_eq!(check_panicking_twins(&[a, b]).len(), 1);
+    }
+
+    #[test]
+    fn raw_barrier_outside_raw_rs_is_flagged() {
+        // sync_data is banned anywhere outside raw.rs.
+        let text = "fn f(file: &File) {\n    file.sync_data().unwrap();\n}\n";
+        let f = check_file(Path::new("x/src/wal.rs"), text);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+        // sync_all is banned when the file touches std::fs::File in code.
+        let text = "use std::fs::File;\nfn f(file: &File) {\n    file.sync_all().unwrap();\n}\n";
+        assert_eq!(check_file(Path::new("x/src/wal.rs"), text).len(), 1);
+        let text = "fn f() {\n    std::fs::File::sync_all(&h).unwrap();\n}\n";
+        assert_eq!(check_file(Path::new("x/src/wal.rs"), text).len(), 1);
+    }
+
+    #[test]
+    fn rawfile_trait_sync_and_raw_rs_itself_pass() {
+        // A `.sync_all(` call in a file that never names std::fs::File is
+        // a RawFile trait call — the sanctioned path.
+        let text = "fn f(&mut self) -> Result<(), E> {\n    self.file.sync_all()\n}\n";
+        assert!(check_file(Path::new("x/src/file.rs"), text).is_empty());
+        // raw.rs is the one legitimate home of the real barrier.
+        let text = "use std::fs::File;\nfn f(file: &File) {\n    file.sync_all().unwrap();\n}\n";
+        assert!(check_file(Path::new("x/src/raw.rs"), text).is_empty());
+        // Mentioning std::fs::File in a comment does not arm the check.
+        let text = "// wraps std::fs::File\nfn f(&mut self) -> Result<(), E> {\n    self.file.sync_all()\n}\n";
+        assert!(check_file(Path::new("x/src/os.rs"), text).is_empty());
     }
 
     #[test]

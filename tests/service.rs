@@ -19,7 +19,9 @@
 //!   ids emptied); budget ≥ 1 serves them flagged.
 
 use set_containment::datagen::{brute, Dataset, QueryKind, Record, SyntheticSpec, WorkloadSpec};
-use set_containment::pagestore::{Clock, FaultConfig, FaultHandle, FaultStorage, Pager};
+use set_containment::pagestore::{
+    Clock, FaultConfig, FaultFile, FaultHandle, FaultStorage, FileStorage, MemFile, Pager,
+};
 use set_containment::service::{
     shard_of, IndexKind, InsertError, PlannerMode, Query, Service, ServiceConfig,
 };
@@ -320,6 +322,127 @@ fn zero_error_budget_refuses_partial_answers() {
         refused > 0,
         "the flaky medium must refuse at least one query"
     );
+}
+
+/// First id ≥ `from` that the partition routes to `shard`.
+fn fresh_id_on(shard: usize, shards: usize, from: u64) -> u64 {
+    let mut id = from;
+    while shard_of(id, shards) != shard {
+        id += 1;
+    }
+    id
+}
+
+#[test]
+fn wal_ingest_survives_crash_and_replays_exactly_once() {
+    let d = dataset();
+    const S: usize = 2;
+    let (mut svc, store_handles) = faultable_service(&d, ServiceConfig::new().shards(S));
+    let mut wal_handles = Vec::new();
+    for s in 0..S {
+        let (file, h) = FaultFile::new(FaultConfig::default());
+        assert_eq!(svc.attach_wal(s, Box::new(file)).expect("attach"), 0);
+        wal_handles.push(h);
+    }
+
+    // One insert checkpointed (persist folds it into the store and resets
+    // the log), one acknowledged but never checkpointed: after a crash it
+    // exists *only* in its shard's WAL.
+    let id_a = fresh_id_on(0, S, 2_000_000);
+    let id_b = fresh_id_on(1, S, id_a + 1);
+    svc.try_insert(&[Record::new(id_a, vec![0, 3])])
+        .expect("insert a");
+    svc.persist().expect("checkpoint");
+    svc.try_insert(&[Record::new(id_b, vec![0, 3])])
+        .expect("insert b");
+    let stats = svc.shard_pager(1).stats();
+    assert!(
+        stats.wal_appends >= 1 && stats.wal_bytes > 0 && stats.fsyncs >= 1,
+        "wal traffic must surface in the pool's IoStats: {stats}"
+    );
+
+    // Crash: all that survives is the two disk images per shard.
+    let store_images: Vec<Vec<u8>> = store_handles.iter().map(|h| h.disk_image()).collect();
+    let wal_images: Vec<Vec<u8>> = wal_handles.iter().map(|h| h.disk_image()).collect();
+    drop(svc);
+
+    let pagers: Vec<Pager> = store_images
+        .into_iter()
+        .map(|img| {
+            let storage = FileStorage::open_image(img).expect("store image reopens");
+            Pager::with_storage(storage, 32 * 1024)
+        })
+        .collect();
+    let mut svc = Service::open_on(pagers, ServiceConfig::new()).expect("service reopens");
+    let mut replayed = 0;
+    for (s, img) in wal_images.into_iter().enumerate() {
+        replayed += svc
+            .attach_wal(s, Box::new(MemFile::from_bytes(img)))
+            .expect("wal image replays");
+    }
+    assert_eq!(replayed, 1, "only the unpersisted insert replays");
+    assert_eq!(svc.num_records(), d.records.len() as u64 + 2);
+    let r = svc.query(QueryKind::Subset, &[0, 3]);
+    assert!(r.complete && r.ids.contains(&id_a) && r.ids.contains(&id_b));
+
+    // The replayed service keeps ingesting: both the WAL'd shard and the
+    // checkpointed one accept fresh ids.
+    let id_c = fresh_id_on(1, S, id_b + 1);
+    svc.try_insert(&[Record::new(id_c, vec![0, 3])])
+        .expect("insert after replay");
+    assert!(svc.query(QueryKind::Subset, &[0, 3]).ids.contains(&id_c));
+}
+
+#[test]
+fn wal_fault_fences_the_shard_and_heal_readmits_it() {
+    let d = dataset();
+    const S: usize = 2;
+    const VICTIM: usize = 1;
+    let (mut svc, _store_handles) = faultable_service(&d, ServiceConfig::new().shards(S));
+    let mut wal_handles = Vec::new();
+    for s in 0..S {
+        let (file, h) = FaultFile::new(FaultConfig::default());
+        svc.attach_wal(s, Box::new(file)).expect("attach");
+        wal_handles.push(h);
+    }
+
+    // The victim's WAL medium goes write-dead: the insert is refused with
+    // a typed fence *before* any index mutated, and the shard stays
+    // fenced for later writes too.
+    wal_handles[VICTIM].set_fault_config(FaultConfig {
+        transient_writes: (0..100_000).collect(),
+        ..FaultConfig::default()
+    });
+    let id = fresh_id_on(VICTIM, S, 3_000_000);
+    let before = svc.num_records();
+    let err = svc
+        .try_insert(&[Record::new(id, vec![0, 3])])
+        .expect_err("wal fault must fence");
+    match &err {
+        InsertError::Fenced { shard, cause } => {
+            assert_eq!(*shard, VICTIM);
+            assert!(cause.contains("wal"), "cause names the wal: {cause}");
+        }
+        other => panic!("expected Fenced, got {other}"),
+    }
+    assert_eq!(svc.num_records(), before, "refused batch must not mutate");
+    assert!(
+        svc.probe()[VICTIM].fenced,
+        "fence persists past the refusal"
+    );
+
+    // The medium heals; a clean scrub re-admits the shard and the same
+    // insert now succeeds and serves.
+    wal_handles[VICTIM].set_fault_config(FaultConfig::default());
+    let health = svc.heal(VICTIM);
+    assert!(
+        !health.fenced && health.scrub.is_clean(),
+        "clean heal must lift the fence"
+    );
+    svc.try_insert(&[Record::new(id, vec![0, 3])])
+        .expect("insert after heal");
+    assert_eq!(svc.num_records(), before + 1);
+    assert!(svc.query(QueryKind::Subset, &[0, 3]).ids.contains(&id));
 }
 
 #[test]
