@@ -8,7 +8,7 @@
 
 use crate::node::{InternalEntry, LeafEntry, Node, MAX_ENTRY_BYTES};
 use crate::tree::{BTree, BTreeError};
-use pagestore::{FileId, PageId, Pager, PAGE_SIZE};
+use pagestore::{FileId, PageError, PageId, Pager, PAGE_SIZE};
 
 /// Builds a [`BTree`] from entries supplied in strictly increasing key
 /// order.
@@ -49,8 +49,18 @@ impl BulkLoader {
         }
     }
 
-    /// Append the next entry; keys must be strictly increasing.
+    /// Append the next entry; keys must be strictly increasing. Panics on
+    /// a page fault; [`BulkLoader::try_push`] is the fallible twin.
     pub fn push(&mut self, key: &[u8], value: &[u8]) -> Result<(), BTreeError> {
+        match self.try_push(key, value) {
+            Err(BTreeError::Page(e)) => panic!("{e}"),
+            other => other,
+        }
+    }
+
+    /// Fallible twin of [`BulkLoader::push`]: a degraded pool surfaces as
+    /// [`BTreeError::Page`] instead of a panic.
+    pub fn try_push(&mut self, key: &[u8], value: &[u8]) -> Result<(), BTreeError> {
         if key.len() + value.len() > MAX_ENTRY_BYTES {
             return Err(BTreeError::EntryTooLarge {
                 key_len: key.len(),
@@ -69,7 +79,7 @@ impl BulkLoader {
             && (self.current_bytes + entry_bytes > budget
                 || self.current_bytes + entry_bytes > PAGE_SIZE)
         {
-            self.flush_leaf();
+            self.try_flush_leaf()?;
         }
         self.current.push(LeafEntry {
             key: key.to_vec(),
@@ -81,40 +91,48 @@ impl BulkLoader {
         Ok(())
     }
 
-    fn flush_leaf(&mut self) {
+    fn try_flush_leaf(&mut self) -> Result<(), PageError> {
         debug_assert!(!self.current.is_empty());
-        let page = self.pager.allocate_page(self.file);
+        let page = self.pager.try_allocate_page(self.file)?;
         let entries = std::mem::take(&mut self.current);
         let max_key = entries.last().unwrap().key.clone();
         let node = Node::Leaf {
             entries,
             next: None,
         };
-        self.pager.write_page(self.file, page, &node.encode());
+        self.pager.try_write_page(self.file, page, &node.encode())?;
         // Link the previous leaf to this one.
         if let Some(prev) = self.prev_leaf_page {
-            let mut prev_node = self.pager.with_page(self.file, prev, Node::decode);
+            let mut prev_node = self.pager.try_with_page(self.file, prev, Node::decode)?;
             if let Node::Leaf { next, .. } = &mut prev_node {
                 *next = Some(page);
             }
-            self.pager.write_page(self.file, prev, &prev_node.encode());
+            self.pager
+                .try_write_page(self.file, prev, &prev_node.encode())?;
         }
         self.prev_leaf_page = Some(page);
         self.finished.push((max_key, page));
         self.current_bytes = crate::node::NODE_HEADER;
+        Ok(())
     }
 
-    /// Finish loading and return the tree.
-    pub fn finish(mut self) -> BTree {
+    /// Finish loading and return the tree. Panics on a page fault;
+    /// [`BulkLoader::try_finish`] is the fallible twin.
+    pub fn finish(self) -> BTree {
+        self.try_finish().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`BulkLoader::finish`].
+    pub fn try_finish(mut self) -> Result<BTree, PageError> {
         if !self.current.is_empty() {
-            self.flush_leaf();
+            self.try_flush_leaf()?;
         }
         if self.finished.is_empty() {
             // Empty input: a single empty leaf root.
-            let page = self.pager.allocate_page(self.file);
+            let page = self.pager.try_allocate_page(self.file)?;
             self.pager
-                .write_page(self.file, page, &Node::empty_leaf().encode());
-            return BTree::from_parts(self.pager, self.file, page, 1, 0);
+                .try_write_page(self.file, page, &Node::empty_leaf().encode())?;
+            return Ok(BTree::from_parts(self.pager, self.file, page, 1, 0));
         }
         // Stack internal levels until a single root remains.
         let mut level: Vec<(Vec<u8>, PageId)> = std::mem::take(&mut self.finished);
@@ -127,7 +145,7 @@ impl BulkLoader {
             for (max_key, child) in level {
                 let cost = crate::node::INTERNAL_ENTRY_HEADER + max_key.len();
                 if !entries.is_empty() && (bytes + cost > budget || bytes + cost > PAGE_SIZE) {
-                    next_level.push(self.flush_internal(std::mem::take(&mut entries)));
+                    next_level.push(self.try_flush_internal(std::mem::take(&mut entries))?);
                     bytes = crate::node::NODE_HEADER;
                 }
                 entries.push(InternalEntry {
@@ -137,21 +155,26 @@ impl BulkLoader {
                 bytes += cost;
             }
             if !entries.is_empty() {
-                next_level.push(self.flush_internal(entries));
+                next_level.push(self.try_flush_internal(entries)?);
             }
             level = next_level;
             height += 1;
         }
         let root = level[0].1;
-        BTree::from_parts(self.pager, self.file, root, height, self.len)
+        Ok(BTree::from_parts(
+            self.pager, self.file, root, height, self.len,
+        ))
     }
 
-    fn flush_internal(&mut self, entries: Vec<InternalEntry>) -> (Vec<u8>, PageId) {
-        let page = self.pager.allocate_page(self.file);
+    fn try_flush_internal(
+        &mut self,
+        entries: Vec<InternalEntry>,
+    ) -> Result<(Vec<u8>, PageId), PageError> {
+        let page = self.pager.try_allocate_page(self.file)?;
         let max_key = entries.last().unwrap().separator.clone();
         let node = Node::Internal { entries };
-        self.pager.write_page(self.file, page, &node.encode());
-        (max_key, page)
+        self.pager.try_write_page(self.file, page, &node.encode())?;
+        Ok((max_key, page))
     }
 }
 

@@ -244,6 +244,80 @@ impl OffsetTable {
     }
 }
 
+/// Bytes used by a leaf page's encoding: header plus every entry up to the
+/// end of the last one. `table` must be freshly filled from `data`.
+pub(crate) fn leaf_used_bytes(data: &[u8], table: &OffsetTable) -> usize {
+    if table.len == 0 {
+        return NODE_HEADER;
+    }
+    let pos = table.get(table.len - 1);
+    let klen = u16::from_le_bytes(data[pos..pos + 2].try_into().unwrap()) as usize;
+    let vlen = u16::from_le_bytes(data[pos + 2..pos + 4].try_into().unwrap()) as usize;
+    pos + LEAF_ENTRY_HEADER + klen + vlen
+}
+
+/// In-place leaf edit: insert `key`/`value` as entry `i`, shifting the tail
+/// right. The caller has checked the fit ([`leaf_used_bytes`] plus the new
+/// entry ≤ [`PAGE_SIZE`]) and that `i` is the key's sorted position. These
+/// editors are the concurrent write path's alternative to decoding the page
+/// into an owned [`Node`] and re-encoding it whole: under a frame latch the
+/// edit touches only the shifted suffix.
+pub(crate) fn leaf_insert_at(
+    data: &mut [u8; PAGE_SIZE],
+    table: &OffsetTable,
+    i: usize,
+    key: &[u8],
+    value: &[u8],
+) {
+    debug_assert_eq!(data[0], 0, "leaf_insert_at on a non-leaf page");
+    debug_assert!(i <= table.len);
+    let used = leaf_used_bytes(data, table);
+    let entry = LEAF_ENTRY_HEADER + key.len() + value.len();
+    debug_assert!(used + entry <= PAGE_SIZE, "caller must check the fit");
+    let at = if i == table.len { used } else { table.get(i) };
+    data.copy_within(at..used, at + entry);
+    data[at..at + 2].copy_from_slice(&(key.len() as u16).to_le_bytes());
+    data[at + 2..at + 4].copy_from_slice(&(value.len() as u16).to_le_bytes());
+    data[at + 4..at + 4 + key.len()].copy_from_slice(key);
+    data[at + 4 + key.len()..at + entry].copy_from_slice(value);
+    data[1..3].copy_from_slice(&((table.len + 1) as u16).to_le_bytes());
+}
+
+/// In-place leaf edit: replace entry `i`'s value, shifting the tail by the
+/// length delta. The caller has checked the fit.
+pub(crate) fn leaf_replace_at(
+    data: &mut [u8; PAGE_SIZE],
+    table: &OffsetTable,
+    i: usize,
+    value: &[u8],
+) {
+    debug_assert_eq!(data[0], 0, "leaf_replace_at on a non-leaf page");
+    let pos = table.get(i);
+    let klen = u16::from_le_bytes(data[pos..pos + 2].try_into().unwrap()) as usize;
+    let old_vlen = u16::from_le_bytes(data[pos + 2..pos + 4].try_into().unwrap()) as usize;
+    let used = leaf_used_bytes(data, table);
+    debug_assert!(
+        used - old_vlen + value.len() <= PAGE_SIZE,
+        "caller must check the fit"
+    );
+    let val_start = pos + LEAF_ENTRY_HEADER + klen;
+    data.copy_within(val_start + old_vlen..used, val_start + value.len());
+    data[pos + 2..pos + 4].copy_from_slice(&(value.len() as u16).to_le_bytes());
+    data[val_start..val_start + value.len()].copy_from_slice(value);
+}
+
+/// In-place leaf edit: remove entry `i`, shifting the tail left.
+pub(crate) fn leaf_remove_at(data: &mut [u8; PAGE_SIZE], table: &OffsetTable, i: usize) {
+    debug_assert_eq!(data[0], 0, "leaf_remove_at on a non-leaf page");
+    let pos = table.get(i);
+    let klen = u16::from_le_bytes(data[pos..pos + 2].try_into().unwrap()) as usize;
+    let vlen = u16::from_le_bytes(data[pos + 2..pos + 4].try_into().unwrap()) as usize;
+    let end = pos + LEAF_ENTRY_HEADER + klen + vlen;
+    let used = leaf_used_bytes(data, table);
+    data.copy_within(end..used, pos);
+    data[1..3].copy_from_slice(&((table.len - 1) as u16).to_le_bytes());
+}
+
 /// Zero-copy view of an encoded node (see the module docs).
 #[derive(Clone, Copy)]
 pub(crate) struct NodeRef<'a> {
@@ -492,6 +566,113 @@ mod tests {
         assert_eq!(view.count(), 0);
         assert_eq!(view.next_leaf(), None);
         assert_eq!(view.partition_point(&table, |_| true), 0);
+    }
+
+    /// Cross-check an in-place edit against the equivalent owned rewrite.
+    fn page_of(n: &Node) -> Box<[u8; PAGE_SIZE]> {
+        n.encode().into_boxed_slice().try_into().unwrap()
+    }
+
+    fn filled_table(page: &[u8]) -> OffsetTable {
+        let mut t = OffsetTable::new();
+        NodeRef::new(page).fill_offsets(&mut t);
+        t
+    }
+
+    #[test]
+    fn in_place_insert_matches_owned_rewrite() {
+        for at in [0usize, 3, 10, 20] {
+            let n = leaf(20);
+            let mut page = page_of(&n);
+            let table = filled_table(&page[..]);
+            let key = format!("key{:04}x", at.saturating_sub(1)).into_bytes();
+            leaf_insert_at(&mut page, &table, at, &key, b"fresh");
+            let Node::Leaf { mut entries, next } = n else {
+                unreachable!()
+            };
+            entries.insert(
+                at,
+                LeafEntry {
+                    key,
+                    value: b"fresh".to_vec(),
+                },
+            );
+            assert_eq!(
+                Node::decode(&page[..]),
+                Node::Leaf { entries, next },
+                "at {at}"
+            );
+        }
+    }
+
+    #[test]
+    fn in_place_insert_into_empty_leaf() {
+        let mut page = page_of(&Node::empty_leaf());
+        let table = filled_table(&page[..]);
+        leaf_insert_at(&mut page, &table, 0, b"k", b"v");
+        assert_eq!(
+            Node::decode(&page[..]),
+            Node::Leaf {
+                entries: vec![LeafEntry {
+                    key: b"k".to_vec(),
+                    value: b"v".to_vec()
+                }],
+                next: None,
+            }
+        );
+    }
+
+    #[test]
+    fn in_place_replace_matches_owned_rewrite() {
+        // Shorter, equal and longer replacement values all shift the tail
+        // correctly.
+        for (at, val) in [
+            (0usize, &b"s"[..]),
+            (7, &[9u8; 16][..]),
+            (19, &[1u8; 40][..]),
+        ] {
+            let n = leaf(20);
+            let mut page = page_of(&n);
+            let table = filled_table(&page[..]);
+            leaf_replace_at(&mut page, &table, at, val);
+            let Node::Leaf { mut entries, next } = n else {
+                unreachable!()
+            };
+            entries[at].value = val.to_vec();
+            assert_eq!(
+                Node::decode(&page[..]),
+                Node::Leaf { entries, next },
+                "at {at}"
+            );
+        }
+    }
+
+    #[test]
+    fn in_place_remove_matches_owned_rewrite() {
+        for at in [0usize, 10, 19] {
+            let n = leaf(20);
+            let mut page = page_of(&n);
+            let table = filled_table(&page[..]);
+            leaf_remove_at(&mut page, &table, at);
+            let Node::Leaf { mut entries, next } = n else {
+                unreachable!()
+            };
+            entries.remove(at);
+            assert_eq!(
+                Node::decode(&page[..]),
+                Node::Leaf { entries, next },
+                "at {at}"
+            );
+        }
+    }
+
+    #[test]
+    fn leaf_used_bytes_matches_encoded_len() {
+        for n in [leaf(0), leaf(1), leaf(20)] {
+            let page = page_of(&n);
+            let table = filled_table(&page[..]);
+            assert_eq!(leaf_used_bytes(&page[..], &table), n.encoded_len());
+        }
     }
 
     #[test]

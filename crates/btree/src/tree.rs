@@ -1,13 +1,44 @@
 //! The B⁺-tree proper: lookups, inserts with split propagation, deletes.
+//!
+//! # Write paths
+//!
+//! Two write paths share the on-page layout:
+//!
+//! * **Serial** (the default): the historical owned-decode path — read the
+//!   node, mutate the owned [`Node`], re-encode the whole page. Page-access
+//!   order is bit-for-bit what it has always been, which keeps the paper's
+//!   golden page counts reproducible.
+//! * **Concurrent** (opt-in via
+//!   [`Pager::set_concurrent_writes`](pagestore::Pager::set_concurrent_writes)):
+//!   optimistic lock coupling. Writers descend with version-validated
+//!   optimistic snapshots (restart on version change), latch only the leaf
+//!   at the mutation frontier, and edit it **in place** through the
+//!   [`OffsetTable`] view. Structure modifications (splits, root growth,
+//!   separator growth) serialise on a per-tree `smo` mutex and update
+//!   existing nodes top-down so every intermediate state a reader can
+//!   observe is a superset route; readers catch the rest by pairwise parent
+//!   validation plus a root-id recheck at the leaf. See DESIGN.md "Write
+//!   path & optimistic lock coupling".
+//!
+//! Every mutating operation has a fallible `try_` twin returning
+//! [`BTreeError::Page`] / [`PageError`] when the pool degrades read-only;
+//! the panicking forms are thin wrappers.
 
-use crate::node::{InternalEntry, LeafEntry, Node, NodeRef, OffsetTable, MAX_ENTRY_BYTES};
-use pagestore::{FileId, PageError, PageGuard, PageId, Pager};
+use crate::node::{
+    self, InternalEntry, LeafEntry, Node, NodeRef, OffsetTable, LEAF_ENTRY_HEADER, MAX_ENTRY_BYTES,
+};
+use pagestore::{FileId, PageError, PageGuard, PageId, Pager, VersionedPage, PAGE_SIZE};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Errors returned by tree operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BTreeError {
     /// `key.len() + value.len()` exceeds [`MAX_ENTRY_BYTES`].
     EntryTooLarge { key_len: usize, value_len: usize },
+    /// A page fault on the write path — typically the pool degraded to
+    /// read-only mode mid-operation.
+    Page(PageError),
 }
 
 impl std::fmt::Display for BTreeError {
@@ -17,19 +48,65 @@ impl std::fmt::Display for BTreeError {
                 f,
                 "entry too large: key {key_len} B + value {value_len} B > {MAX_ENTRY_BYTES} B"
             ),
+            BTreeError::Page(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for BTreeError {}
+impl std::error::Error for BTreeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BTreeError::Page(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PageError> for BTreeError {
+    fn from(e: PageError) -> BTreeError {
+        BTreeError::Page(e)
+    }
+}
+
+/// Fast-path restarts before an insert falls back to the serialised SMO
+/// path (which cannot starve: internals are stable under the `smo` lock).
+const FAST_PATH_RETRIES: usize = 64;
+
+/// Outcome of one optimistic fast-path insert attempt.
+enum FastPath {
+    /// Applied in place under the leaf latch; previous value if replaced.
+    Done(Option<Vec<u8>>),
+    /// A version check failed — retry the descent.
+    Restart,
+    /// Needs a structure modification (split / separator growth).
+    Smo,
+}
+
+/// Where an optimistic descent ended up.
+pub(crate) enum Descent {
+    /// Reached a leaf with every pairwise parent validation passing and the
+    /// root unchanged; `parent` pins the leaf's parent for re-validation at
+    /// the mutation frontier (`None` when the root is the leaf).
+    Leaf {
+        page: PageId,
+        parent: Option<(VersionedPage, u64)>,
+    },
+    /// A version check failed along the way.
+    Restart,
+}
 
 /// A disk-resident B⁺-tree. See the crate docs for the design.
 pub struct BTree {
     pager: Pager,
     file: FileId,
-    root: PageId,
-    height: usize,
-    len: u64,
+    root: AtomicU64,
+    height: AtomicUsize,
+    len: AtomicU64,
+    /// Serialises structure modifications on the concurrent write path:
+    /// splits, root growth and separator growth all run under this lock, so
+    /// internal nodes only ever change while it is held (fast-path writers
+    /// edit strictly within one leaf and never move its max key).
+    smo: Mutex<()>,
 }
 
 impl BTree {
@@ -38,13 +115,7 @@ impl BTree {
         let file = pager.create_file();
         let root = pager.allocate_page(file);
         pager.write_page(file, root, &Node::empty_leaf().encode());
-        BTree {
-            pager,
-            file,
-            root,
-            height: 1,
-            len: 0,
-        }
+        BTree::from_parts(pager, file, root, 1, 0)
     }
 
     pub(crate) fn from_parts(
@@ -57,24 +128,25 @@ impl BTree {
         BTree {
             pager,
             file,
-            root,
-            height,
-            len,
+            root: AtomicU64::new(root),
+            height: AtomicUsize::new(height),
+            len: AtomicU64::new(len),
+            smo: Mutex::new(()),
         }
     }
 
     /// Number of key/value entries stored.
     pub fn len(&self) -> u64 {
-        self.len
+        self.len.load(Ordering::Acquire)
     }
 
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 
     /// Number of levels (1 = root is a leaf).
     pub fn height(&self) -> usize {
-        self.height
+        self.height.load(Ordering::Acquire)
     }
 
     /// Pages allocated to the tree's file (nodes, including freed slack).
@@ -98,11 +170,11 @@ impl BTree {
 
     /// Page id of the root node (within [`BTree::file`]).
     pub fn root_page(&self) -> PageId {
-        self.root
+        self.root.load(Ordering::Acquire)
     }
 
     pub(crate) fn root(&self) -> PageId {
-        self.root
+        self.root.load(Ordering::Acquire)
     }
 
     /// Reopen a tree from persisted parts (see [`BTree::file`],
@@ -117,13 +189,48 @@ impl BTree {
         BTree::from_parts(pager, file, root, height, len)
     }
 
-    /// Owned decode of one node — the write path's view.
-    fn read_node(&self, page: PageId) -> Node {
-        self.pager.with_page(self.file, page, Node::decode)
+    /// A page-sized scratch buffer for optimistic snapshots.
+    pub(crate) fn page_buf() -> Box<[u8; PAGE_SIZE]> {
+        vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap()
     }
 
-    fn write_node(&self, page: PageId, node: &Node) {
-        self.pager.write_page(self.file, page, &node.encode());
+    /// Owned decode of one node — the serial write path's view.
+    fn try_read_node(&self, page: PageId) -> Result<Node, PageError> {
+        self.pager.try_with_page(self.file, page, Node::decode)
+    }
+
+    fn try_write_node(&self, page: PageId, node: &Node) -> Result<(), PageError> {
+        self.pager.try_write_page(self.file, page, &node.encode())
+    }
+
+    /// Owned decode from a **consistent snapshot** — the concurrent path's
+    /// view of a node whose frame may be edited by a latched writer.
+    fn try_snapshot_node(&self, page: PageId) -> Result<Node, PageError> {
+        let vp = self.pager.try_pin_versioned(self.file, page)?;
+        let mut buf = Self::page_buf();
+        vp.snapshot_into(&mut buf);
+        Ok(Node::decode(&buf[..]))
+    }
+
+    /// Write a node through the frame latch + seqlock, so concurrent
+    /// optimistic readers either retry or see the complete image — never a
+    /// torn page. (`try_write_page` is unusable here: its unpinned-frame
+    /// assertion races reader pins, and it offers no torn-read protection.)
+    fn try_write_node_latched(&self, page: PageId, node: &Node) -> Result<(), PageError> {
+        let enc = node.encode();
+        self.pager
+            .try_with_page_mut(self.file, page, |bytes| bytes.copy_from_slice(&enc))
+    }
+
+    /// Snapshot one leaf page into `out` (concurrent-mode cursor hops).
+    pub(crate) fn try_snapshot_leaf(
+        &self,
+        page: PageId,
+        out: &mut [u8; PAGE_SIZE],
+    ) -> Result<(), PageError> {
+        let vp = self.pager.try_pin_versioned(self.file, page)?;
+        vp.snapshot_into(out);
+        Ok(())
     }
 
     /// Pin one node's page for zero-copy reading (the read path's view);
@@ -151,11 +258,16 @@ impl BTree {
 
     /// Fallible twin of [`BTree::get`]: a page fault anywhere along the
     /// descent surfaces as its typed [`PageError`] instead of a panic.
-    /// Access pattern — and hence page-access counts — identical to
-    /// [`BTree::get`].
+    /// With the pool's concurrent write path off (the default) the access
+    /// pattern — and hence page-access counts — is identical to the
+    /// historical [`BTree::get`]; with it on, the descent switches to
+    /// version-validated snapshots.
     pub fn try_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, PageError> {
+        if self.pager.concurrent_writes() {
+            return self.olc_get(key);
+        }
         let mut table = OffsetTable::new();
-        let mut page = self.root;
+        let mut page = self.root();
         let leaf_page = loop {
             let guard = self.try_pin_node(page)?;
             let node = NodeRef::new(guard.bytes());
@@ -187,48 +299,109 @@ impl BTree {
         self.get(key).is_some()
     }
 
-    /// Walk from the root to the leaf that should contain `key`.
-    fn descend_to_leaf(&self, key: &[u8]) -> PageId {
-        let mut page = self.root;
+    /// One optimistic descent to the leaf covering the seek predicate.
+    ///
+    /// Restart discipline: after snapshotting a child, the parent's version
+    /// is re-validated — a failed check means an SMO touched the parent
+    /// since we read the child pointer from it, so the route may be stale.
+    /// At the leaf, the root id is rechecked: root growth halves the old
+    /// root *after* publishing the new one, so a descent that started from
+    /// the old root and saw it halved must restart (root page ids are never
+    /// recycled, so the compare cannot ABA). On success, `snap` holds a
+    /// consistent image of the leaf.
+    pub(crate) fn olc_descend(
+        &self,
+        before: &dyn Fn(&[u8]) -> bool,
+        snap: &mut [u8; PAGE_SIZE],
+    ) -> Result<Descent, PageError> {
+        let mut table = OffsetTable::new();
+        let start_root = self.root();
+        let mut page = start_root;
+        let mut parent: Option<(VersionedPage, u64)> = None;
         loop {
-            match self.read_node(page) {
-                Node::Leaf { .. } => return page,
-                Node::Internal { entries } => {
-                    page = Self::child_for(&entries, key);
+            let vp = self.pager.try_pin_versioned(self.file, page)?;
+            let version = vp.snapshot_into(snap);
+            if let Some((pvp, pver)) = &parent {
+                if !pvp.validate(*pver) {
+                    return Ok(Descent::Restart);
+                }
+            }
+            let node = NodeRef::new(&snap[..]);
+            if node.is_leaf() {
+                if self.root() != start_root {
+                    return Ok(Descent::Restart);
+                }
+                return Ok(Descent::Leaf { page, parent });
+            }
+            node.fill_offsets(&mut table);
+            let idx = node.partition_point(&table, before).min(node.count() - 1);
+            let child = node.child(&table, idx);
+            parent = Some((vp, version));
+            page = child;
+        }
+    }
+
+    /// Concurrent-mode point lookup: optimistic descent, answer straight
+    /// from the leaf snapshot.
+    fn olc_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, PageError> {
+        let mut snap = Self::page_buf();
+        loop {
+            match self.olc_descend(&|sep| sep < key, &mut snap)? {
+                Descent::Restart => continue,
+                Descent::Leaf { .. } => {
+                    let node = NodeRef::new(&snap[..]);
+                    let mut table = OffsetTable::new();
+                    node.fill_offsets(&mut table);
+                    let idx = node.partition_point(&table, |k| k < key);
+                    if idx < node.count() {
+                        let (k, v) = node.leaf_entry(&table, idx);
+                        if k == key {
+                            return Ok(Some(v.to_vec()));
+                        }
+                    }
+                    return Ok(None);
                 }
             }
         }
     }
 
-    /// Pick the child whose separator (inclusive upper bound) first covers
-    /// `key`; keys beyond every separator go to the last child.
-    fn child_for(entries: &[InternalEntry], key: &[u8]) -> PageId {
-        debug_assert!(!entries.is_empty());
-        let idx = entries.partition_point(|e| e.separator.as_slice() < key);
-        let idx = idx.min(entries.len() - 1);
-        entries[idx].child
+    /// Insert or replace `key`. Returns the previous value if any.
+    ///
+    /// Panics on a page fault (degraded pool); [`BTree::try_insert`] is the
+    /// fallible twin and the actual implementation.
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>, BTreeError> {
+        match self.try_insert(key, value) {
+            Err(BTreeError::Page(e)) => panic!("{e}"),
+            other => other,
+        }
     }
 
-    /// Insert or replace `key`. Returns the previous value if any.
-    pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>, BTreeError> {
+    /// Fallible insert, callable through a shared reference: with the
+    /// pool's concurrent write path enabled, any number of threads may call
+    /// this against one tree.
+    pub fn try_insert(&self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>, BTreeError> {
         if key.len() + value.len() > MAX_ENTRY_BYTES {
             return Err(BTreeError::EntryTooLarge {
                 key_len: key.len(),
                 value_len: value.len(),
             });
         }
-        let (old, split) = self.insert_rec(self.root, key, value);
+        if self.pager.concurrent_writes() {
+            return self.olc_insert(key, value);
+        }
+        let (old, split) = self.try_insert_rec(self.root(), key, value)?;
         if old.is_none() {
-            self.len += 1;
+            self.len.fetch_add(1, Ordering::AcqRel);
         }
         if let Some((sep_left, right_page, sep_right)) = split {
             // Root split: grow the tree by one level.
-            let new_root = self.pager.allocate_page(self.file);
+            let old_root = self.root();
+            let new_root = self.pager.try_allocate_page(self.file)?;
             let node = Node::Internal {
                 entries: vec![
                     InternalEntry {
                         separator: sep_left,
-                        child: self.root,
+                        child: old_root,
                     },
                     InternalEntry {
                         separator: sep_right,
@@ -236,24 +409,24 @@ impl BTree {
                     },
                 ],
             };
-            self.write_node(new_root, &node);
-            self.root = new_root;
-            self.height += 1;
+            self.try_write_node(new_root, &node)?;
+            self.root.store(new_root, Ordering::Release);
+            self.height.fetch_add(1, Ordering::AcqRel);
         }
         Ok(old)
     }
 
-    /// Recursive insert. Returns `(previous value, split info)` where split
-    /// info is `(left max key, new right page, right max key)` when `page`
-    /// was split.
+    /// Serial recursive insert. Returns `(previous value, split info)`
+    /// where split info is `(left max key, new right page, right max key)`
+    /// when `page` was split.
     #[allow(clippy::type_complexity)]
-    fn insert_rec(
-        &mut self,
+    fn try_insert_rec(
+        &self,
         page: PageId,
         key: &[u8],
         value: &[u8],
-    ) -> (Option<Vec<u8>>, Option<(Vec<u8>, PageId, Vec<u8>)>) {
-        let mut node = self.read_node(page);
+    ) -> Result<(Option<Vec<u8>>, Option<(Vec<u8>, PageId, Vec<u8>)>), PageError> {
+        let mut node = self.try_read_node(page)?;
         let old = match &mut node {
             Node::Leaf { entries, .. } => {
                 match entries.binary_search_by(|e| e.key.as_slice().cmp(key)) {
@@ -277,7 +450,7 @@ impl BTree {
                 let idx = entries.partition_point(|e| e.separator.as_slice() < key);
                 let idx = idx.min(entries.len() - 1);
                 let child = entries[idx].child;
-                let (old, split) = self.insert_rec(child, key, value);
+                let (old, split) = self.try_insert_rec(child, key, value)?;
                 // The child's max key may have grown (insert beyond the last
                 // separator).
                 if let Some((left_max, right_page, right_max)) = split {
@@ -296,28 +469,284 @@ impl BTree {
             }
         };
         if node.fits_in_page() {
-            self.write_node(page, &node);
-            return (old, None);
+            self.try_write_node(page, &node)?;
+            return Ok((old, None));
         }
         // Overflow: split and hand the new sibling up to the parent.
         let right = node.split();
-        let right_page = self.pager.allocate_page(self.file);
+        let right_page = self.pager.try_allocate_page(self.file)?;
         if let Node::Leaf { next, .. } = &mut node {
             *next = Some(right_page);
         }
         let left_max = node.max_key().expect("split leaves entries").to_vec();
         let right_max = right.max_key().expect("split leaves entries").to_vec();
-        self.write_node(page, &node);
-        self.write_node(right_page, &right);
+        self.try_write_node(page, &node)?;
+        self.try_write_node(right_page, &right)?;
         debug_assert!(node.fits_in_page() && right.fits_in_page());
-        (old, Some((left_max, right_page, right_max)))
+        Ok((old, Some((left_max, right_page, right_max))))
+    }
+
+    /// Concurrent insert: bounded optimistic fast-path attempts, then the
+    /// serialised SMO path (needed for splits anyway, and a guaranteed
+    /// finish under contention).
+    fn olc_insert(&self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>, BTreeError> {
+        for _ in 0..FAST_PATH_RETRIES {
+            match self.olc_fast_insert(key, value)? {
+                FastPath::Done(old) => {
+                    if old.is_none() {
+                        self.len.fetch_add(1, Ordering::AcqRel);
+                    }
+                    return Ok(old);
+                }
+                FastPath::Restart => continue,
+                FastPath::Smo => break,
+            }
+        }
+        let old = self.smo_insert(key, value)?;
+        if old.is_none() {
+            self.len.fetch_add(1, Ordering::AcqRel);
+        }
+        Ok(old)
+    }
+
+    /// One optimistic fast-path attempt: descend, then latch only the leaf
+    /// and edit it in place — valid exactly when the edit keys strictly
+    /// below the leaf's max key and fits, because then no separator or
+    /// structural change can be needed.
+    fn olc_fast_insert(&self, key: &[u8], value: &[u8]) -> Result<FastPath, BTreeError> {
+        let mut snap = Self::page_buf();
+        let (leaf, parent) = match self.olc_descend(&|sep| sep < key, &mut snap)? {
+            Descent::Restart => return Ok(FastPath::Restart),
+            Descent::Leaf { page, parent } => (page, parent),
+        };
+        let out = self.pager.try_with_page_mut(self.file, leaf, |bytes| {
+            // Re-validate routing *inside* the latch. The leaf cannot split
+            // under us now: an SMO holds this latch across the whole split,
+            // so an unchanged parent (or root id, at height 1) proves the
+            // descent's route is still current.
+            match &parent {
+                Some((pvp, pver)) => {
+                    if !pvp.validate(*pver) {
+                        return FastPath::Restart;
+                    }
+                }
+                None => {
+                    if self.root() != leaf {
+                        return FastPath::Restart;
+                    }
+                }
+            }
+            let mut table = OffsetTable::new();
+            let view = NodeRef::new(&bytes[..]);
+            if !view.is_leaf() {
+                return FastPath::Restart;
+            }
+            view.fill_offsets(&mut table);
+            let pos = view.partition_point(&table, |k| k < key);
+            let used = node::leaf_used_bytes(&bytes[..], &table);
+            if pos < table.len() {
+                let (k, v) = view.leaf_entry(&table, pos);
+                if k == key {
+                    let old = v.to_vec();
+                    if used - old.len() + value.len() <= PAGE_SIZE {
+                        node::leaf_replace_at(bytes, &table, pos, value);
+                        return FastPath::Done(Some(old));
+                    }
+                    return FastPath::Smo;
+                }
+                // Fresh key strictly below the leaf max: no separator moves.
+                if used + LEAF_ENTRY_HEADER + key.len() + value.len() <= PAGE_SIZE {
+                    node::leaf_insert_at(bytes, &table, pos, key, value);
+                    return FastPath::Done(None);
+                }
+            }
+            // Overflow, or the key would become the new leaf max (separator
+            // growth up the path): structure modification territory.
+            FastPath::Smo
+        })?;
+        Ok(out)
+    }
+
+    /// The serialised structure-modification insert. Fully general (also
+    /// handles edits the fast path could have done) so it doubles as the
+    /// contention fallback.
+    ///
+    /// Protocol: descend from the current root recording the internal path
+    /// from consistent snapshots — internals only change under the `smo`
+    /// lock we hold, so those snapshots stay current. All mutation then
+    /// happens while holding the *leaf's* frame latch: fresh right
+    /// siblings are written first (unreferenced, hence invisible), then
+    /// existing internal nodes top-down (a reader mid-descent either sees
+    /// a pre-update superset route or fails its pairwise validation), the
+    /// root pointer swings before the old root is halved, and the leaf
+    /// itself — whose seqlock has been odd throughout — is rewritten last
+    /// inside the closure.
+    fn smo_insert(&self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>, BTreeError> {
+        let _smo = self.smo.lock().unwrap_or_else(|e| e.into_inner());
+        let start_root = self.root();
+        let mut path: Vec<(PageId, usize, Vec<InternalEntry>)> = Vec::new();
+        let mut page = start_root;
+        loop {
+            match self.try_snapshot_node(page)? {
+                Node::Leaf { .. } => break,
+                Node::Internal { entries } => {
+                    let idx = entries
+                        .partition_point(|e| e.separator.as_slice() < key)
+                        .min(entries.len() - 1);
+                    let child = entries[idx].child;
+                    path.push((page, idx, entries));
+                    page = child;
+                }
+            }
+        }
+        let leaf = page;
+        self.pager.try_with_page_mut(self.file, leaf, |bytes| {
+            self.smo_apply(bytes, start_root, &mut path, key, value)
+        })?
+    }
+
+    /// Body of [`BTree::smo_insert`], run under the leaf's frame latch.
+    fn smo_apply(
+        &self,
+        bytes: &mut [u8; PAGE_SIZE],
+        start_root: PageId,
+        path: &mut Vec<(PageId, usize, Vec<InternalEntry>)>,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<Option<Vec<u8>>, BTreeError> {
+        let mut leaf_node = Node::decode(&bytes[..]);
+        let Node::Leaf { entries, .. } = &mut leaf_node else {
+            unreachable!("smo descent ended on a non-leaf page")
+        };
+        let old = match entries.binary_search_by(|e| e.key.as_slice().cmp(key)) {
+            Ok(i) => Some(std::mem::replace(&mut entries[i].value, value.to_vec())),
+            Err(i) => {
+                entries.insert(
+                    i,
+                    LeafEntry {
+                        key: key.to_vec(),
+                        value: value.to_vec(),
+                    },
+                );
+                None
+            }
+        };
+        // Split info propagating up: (left max, new right page, right max).
+        let mut split_info: Option<(Vec<u8>, PageId, Vec<u8>)> = None;
+        if !leaf_node.fits_in_page() {
+            let right = leaf_node.split();
+            let right_page = self.pager.try_allocate_page(self.file)?;
+            if let Node::Leaf { next, .. } = &mut leaf_node {
+                *next = Some(right_page);
+            }
+            let left_max = leaf_node.max_key().expect("split leaves entries").to_vec();
+            let right_max = right.max_key().expect("split leaves entries").to_vec();
+            // The right sibling inherits the old next pointer, so the leaf
+            // chain stays complete the instant the halved leaf (with its
+            // new next) becomes visible — both flips commit together when
+            // this latch releases.
+            self.try_write_node_latched(right_page, &right)?;
+            split_info = Some((left_max, right_page, right_max));
+        }
+        // Propagate through the recorded internal path bottom-up, collecting
+        // the rewrites; nothing is applied yet.
+        let mut updates: Vec<(PageId, Node)> = Vec::new();
+        while let Some((ipage, idx, mut entries)) = path.pop() {
+            let changed = if let Some((lmax, rpage, rmax)) = split_info.take() {
+                entries[idx].separator = lmax;
+                entries.insert(
+                    idx + 1,
+                    InternalEntry {
+                        separator: rmax,
+                        child: rpage,
+                    },
+                );
+                true
+            } else if entries[idx].separator.as_slice() < key {
+                // Insert beyond the child's old max: loosen the bound.
+                entries[idx].separator = key.to_vec();
+                true
+            } else {
+                false
+            };
+            if !changed {
+                continue;
+            }
+            let mut inode = Node::Internal { entries };
+            if !inode.fits_in_page() {
+                let right = inode.split();
+                let right_page = self.pager.try_allocate_page(self.file)?;
+                let left_max = inode.max_key().expect("split leaves entries").to_vec();
+                let right_max = right.max_key().expect("split leaves entries").to_vec();
+                self.try_write_node_latched(right_page, &right)?;
+                split_info = Some((left_max, right_page, right_max));
+            }
+            updates.push((ipage, inode));
+        }
+        if let Some((lmax, rpage, rmax)) = split_info {
+            // Root split: publish the new root *before* its left half is
+            // halved below (the old root is the last entry of `updates`),
+            // so a reader that still descends the stale, un-halved root
+            // sees a superset — and one that sees it halved fails the
+            // root-id recheck at its leaf.
+            let new_root = self.pager.try_allocate_page(self.file)?;
+            let node = Node::Internal {
+                entries: vec![
+                    InternalEntry {
+                        separator: lmax,
+                        child: start_root,
+                    },
+                    InternalEntry {
+                        separator: rmax,
+                        child: rpage,
+                    },
+                ],
+            };
+            self.try_write_node_latched(new_root, &node)?;
+            self.root.store(new_root, Ordering::Release);
+            self.height.fetch_add(1, Ordering::AcqRel);
+        }
+        // Apply the internal rewrites top-down: a parent always references
+        // its child's new right sibling before the child is halved, so any
+        // intermediate state routes every key to a node that (still)
+        // covers it.
+        for (ipage, inode) in updates.into_iter().rev() {
+            self.try_write_node_latched(ipage, &inode)?;
+        }
+        // The leaf last — its seqlock has been odd since before the first
+        // structural write, so no optimistic reader observed any of the
+        // intermediate states through it.
+        bytes.copy_from_slice(&leaf_node.encode());
+        Ok(old)
     }
 
     /// Remove `key`, returning its value if present. Merge-free: nodes may
-    /// underflow but the tree stays ordered and searchable.
+    /// underflow but the tree stays ordered and searchable. Panics on a
+    /// page fault; [`BTree::try_remove`] is the fallible twin.
     pub fn remove(&mut self, key: &[u8]) -> Option<Vec<u8>> {
-        let leaf_page = self.descend_to_leaf(key);
-        let mut node = self.read_node(leaf_page);
+        self.try_remove(key).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible remove, callable through a shared reference under the
+    /// concurrent write path. Deletes never need a structure modification:
+    /// separators stay loose upper bounds (clamped routing keeps them
+    /// correct), so only the leaf is latched.
+    pub fn try_remove(&self, key: &[u8]) -> Result<Option<Vec<u8>>, PageError> {
+        if self.pager.concurrent_writes() {
+            return self.olc_remove(key);
+        }
+        let mut page = self.root();
+        let leaf_page = loop {
+            match self.try_read_node(page)? {
+                Node::Leaf { .. } => break page,
+                Node::Internal { entries } => {
+                    let idx = entries.partition_point(|e| e.separator.as_slice() < key);
+                    let idx = idx.min(entries.len() - 1);
+                    page = entries[idx].child;
+                }
+            }
+        };
+        let mut node = self.try_read_node(leaf_page)?;
         let removed = match &mut node {
             Node::Leaf { entries, .. } => {
                 match entries.binary_search_by(|e| e.key.as_slice().cmp(key)) {
@@ -328,10 +757,105 @@ impl BTree {
             Node::Internal { .. } => unreachable!(),
         };
         if removed.is_some() {
-            self.write_node(leaf_page, &node);
-            self.len -= 1;
+            self.try_write_node(leaf_page, &node)?;
+            self.len.fetch_sub(1, Ordering::AcqRel);
         }
-        removed
+        Ok(removed)
+    }
+
+    /// Concurrent-mode remove: optimistic descent, in-place edit under the
+    /// leaf latch, unbounded restarts (each restart means an SMO committed,
+    /// which is finite work by others — no livelock in practice; contended
+    /// phases are bounded by the `smo` serialisation).
+    fn olc_remove(&self, key: &[u8]) -> Result<Option<Vec<u8>>, PageError> {
+        let mut snap = Self::page_buf();
+        loop {
+            let (leaf, parent) = match self.olc_descend(&|sep| sep < key, &mut snap)? {
+                Descent::Restart => continue,
+                Descent::Leaf { page, parent } => (page, parent),
+            };
+            // `None` = validation failed inside the latch → restart.
+            let out: Option<Option<Vec<u8>>> =
+                self.pager.try_with_page_mut(self.file, leaf, |bytes| {
+                    match &parent {
+                        Some((pvp, pver)) => {
+                            if !pvp.validate(*pver) {
+                                return None;
+                            }
+                        }
+                        None => {
+                            if self.root() != leaf {
+                                return None;
+                            }
+                        }
+                    }
+                    let mut table = OffsetTable::new();
+                    let view = NodeRef::new(&bytes[..]);
+                    if !view.is_leaf() {
+                        return None;
+                    }
+                    view.fill_offsets(&mut table);
+                    let pos = view.partition_point(&table, |k| k < key);
+                    if pos < table.len() {
+                        let (k, v) = view.leaf_entry(&table, pos);
+                        if k == key {
+                            let old = v.to_vec();
+                            node::leaf_remove_at(bytes, &table, pos);
+                            return Some(Some(old));
+                        }
+                    }
+                    Some(None)
+                })?;
+            match out {
+                None => continue,
+                Some(removed) => {
+                    if removed.is_some() {
+                        self.len.fetch_sub(1, Ordering::AcqRel);
+                    }
+                    return Ok(removed);
+                }
+            }
+        }
+    }
+
+    /// Insert a batch of entries, fanning out over `threads` workers when
+    /// the pool's concurrent write path is enabled (serial otherwise).
+    /// Returns the number of *fresh* keys inserted. On a page fault the
+    /// batch stops with the typed error; already-applied entries remain
+    /// (inserts are independent and idempotent to re-apply).
+    pub fn try_batch_insert(
+        &self,
+        entries: &[(Vec<u8>, Vec<u8>)],
+        threads: usize,
+    ) -> Result<u64, BTreeError> {
+        if threads <= 1 || !self.pager.concurrent_writes() {
+            let mut fresh = 0u64;
+            for (k, v) in entries {
+                if self.try_insert(k, v)?.is_none() {
+                    fresh += 1;
+                }
+            }
+            return Ok(fresh);
+        }
+        let results = pagestore::par_map(entries.len(), threads, |i| {
+            let (k, v) = &entries[i];
+            self.try_insert(k, v).map(|old| old.is_none())
+        });
+        let mut fresh = 0u64;
+        for r in results {
+            if r? {
+                fresh += 1;
+            }
+        }
+        Ok(fresh)
+    }
+
+    /// Panicking twin of [`BTree::try_batch_insert`].
+    pub fn batch_insert(&mut self, entries: &[(Vec<u8>, Vec<u8>)], threads: usize) -> u64 {
+        match self.try_batch_insert(entries, threads) {
+            Ok(fresh) => fresh,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Ordered cursor positioned at the first entry with key ≥ `key`.
@@ -370,18 +894,20 @@ impl BTree {
     }
 
     /// Structural invariant check used by tests and debug assertions: key
-    /// order within/between nodes and separator correctness.
+    /// order within/between nodes and separator correctness. Call from a
+    /// quiescent tree (no concurrent writers).
     pub fn check_invariants(&self) {
         let mut leaf_keys = Vec::new();
-        self.check_rec(self.root, None, &mut leaf_keys);
+        self.check_rec(self.root(), None, &mut leaf_keys);
         for w in leaf_keys.windows(2) {
             assert!(w[0] < w[1], "leaf keys must be strictly increasing");
         }
-        assert_eq!(leaf_keys.len() as u64, self.len, "len bookkeeping");
+        assert_eq!(leaf_keys.len() as u64, self.len(), "len bookkeeping");
     }
 
     fn check_rec(&self, page: PageId, upper: Option<&[u8]>, out: &mut Vec<Vec<u8>>) {
-        match self.read_node(page) {
+        let node = self.try_read_node(page).unwrap_or_else(|e| panic!("{e}"));
+        match node {
             Node::Leaf { entries, .. } => {
                 for e in &entries {
                     if let Some(u) = upper {
@@ -409,8 +935,8 @@ impl BTree {
 impl std::fmt::Debug for BTree {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BTree")
-            .field("len", &self.len)
-            .field("height", &self.height)
+            .field("len", &self.len())
+            .field("height", &self.height())
             .field("pages", &self.pages())
             .finish()
     }
@@ -509,5 +1035,120 @@ mod tests {
         }
         t.check_invariants();
         assert_eq!(t.get(&7u32.to_be_bytes()).unwrap()[0], 7);
+    }
+
+    /// A tree on a pool with the concurrent (OLC) write path enabled.
+    fn olc_tree() -> BTree {
+        let pager = Pager::with_cache_bytes(1 << 20);
+        pager.set_concurrent_writes(true);
+        BTree::create(pager)
+    }
+
+    #[test]
+    fn olc_single_thread_agrees_with_serial_oracle() {
+        // Same operation sequence against the OLC path and the serial
+        // path: every return value and the final contents must agree.
+        let t = olc_tree();
+        let mut oracle = tree();
+        let mut k = 7u32;
+        for step in 0..4000u32 {
+            k = k.wrapping_mul(2654435761).wrapping_add(step) % 1500;
+            let key = format!("key{k:06}").into_bytes();
+            if step % 5 == 4 {
+                let a = t.try_remove(&key).unwrap();
+                let b = oracle.remove(&key);
+                assert_eq!(a, b, "remove {k} at step {step}");
+            } else {
+                let val = step.to_be_bytes().to_vec();
+                let a = t.try_insert(&key, &val).unwrap();
+                let b = oracle.insert(&key, &val).unwrap();
+                assert_eq!(a, b, "insert {k} at step {step}");
+            }
+        }
+        assert_eq!(t.len(), oracle.len());
+        t.check_invariants();
+        let got: Vec<_> = t.scan().collect();
+        let want: Vec<_> = oracle.scan().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn olc_grows_height_and_stays_searchable() {
+        let t = olc_tree();
+        for i in 0..5000u32 {
+            t.try_insert(&i.to_be_bytes(), &[0u8; 32]).unwrap();
+        }
+        assert!(t.height() > 1, "tree must have split");
+        t.check_invariants();
+        for probe in [0u32, 1, 2500, 4999] {
+            assert_eq!(
+                t.try_get(&probe.to_be_bytes()).unwrap(),
+                Some(vec![0u8; 32])
+            );
+        }
+        assert_eq!(t.try_get(&5000u32.to_be_bytes()).unwrap(), None);
+    }
+
+    #[test]
+    fn olc_batch_insert_multithreaded_matches_serial() {
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..6000u32)
+            .map(|i| {
+                let k = i.wrapping_mul(2654435761) % 6000;
+                (format!("k{k:08}").into_bytes(), k.to_be_bytes().to_vec())
+            })
+            .collect();
+        let t = olc_tree();
+        t.try_batch_insert(&entries, 4).unwrap();
+        let mut oracle = tree();
+        for (k, v) in &entries {
+            oracle.insert(k, v).unwrap();
+        }
+        assert_eq!(t.len(), oracle.len());
+        t.check_invariants();
+        let got: Vec<_> = t.scan().collect();
+        let want: Vec<_> = oracle.scan().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn degraded_pool_insert_returns_typed_error() {
+        use pagestore::{Clock, FaultConfig, FaultStorage};
+        struct NoSleep;
+        impl Clock for NoSleep {
+            fn sleep(&self, _d: std::time::Duration) {}
+        }
+        let (storage, handle) = FaultStorage::create(FaultConfig::default()).unwrap();
+        // Tiny cache: growth forces eviction write-backs.
+        let pager = Pager::with_storage(storage, 8 * PAGE_SIZE);
+        pager.set_retry_clock(std::sync::Arc::new(NoSleep));
+        let t = BTree::create(pager);
+        for i in 0..64u32 {
+            t.try_insert(&i.to_be_bytes(), &[3u8; 64]).unwrap();
+        }
+        // Every write from here on fails even through retries: the next
+        // eviction write-back exhausts them and degrades the pool.
+        let ops = handle.ops();
+        handle.set_fault_config(FaultConfig {
+            transient_writes: (ops..ops + 1_000_000).collect(),
+            ..FaultConfig::default()
+        });
+        let mut failure = None;
+        for i in 64..4096u32 {
+            if let Err(e) = t.try_insert(&i.to_be_bytes(), &[3u8; 64]) {
+                failure = Some(e);
+                break;
+            }
+        }
+        let err = failure.expect("a failing medium must surface on insert");
+        assert!(
+            matches!(err, BTreeError::Page(PageError::ReadOnly { .. })),
+            "want ReadOnly, got {err:?}"
+        );
+        assert!(t.pager().degraded().is_some());
+        // Degraded-pool mutations are typed refusals, never panics…
+        let err = t.try_remove(&7u32.to_be_bytes()).unwrap_err();
+        assert!(matches!(err, PageError::ReadOnly { .. }), "got {err:?}");
+        // …and reads still serve from the (unevictable dirty) cache.
+        assert_eq!(t.try_get(&7u32.to_be_bytes()).unwrap(), Some(vec![3u8; 64]));
     }
 }

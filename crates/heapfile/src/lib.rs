@@ -16,6 +16,7 @@
 
 use pagestore::{FileId, PageError, PageId, Pager, PAGE_SIZE};
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Location of one stored blob.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,11 +25,28 @@ struct BlobLoc {
     byte_len: u64,
 }
 
+/// A blob whose pages are written but whose directory entry is not yet
+/// published — the output of [`HeapFile::try_put_staged`]. Until
+/// [`HeapFile::commit_staged`] runs, readers cannot reach the pages, so
+/// any number of threads may stage blobs against one shared `&HeapFile`
+/// and the batch becomes visible atomically (or, on error, not at all —
+/// the written runs are orphans, reclaimed by [`HeapFile::rebuild`] like
+/// any overwritten run).
+#[derive(Debug)]
+pub struct StagedBlob {
+    key: u32,
+    loc: BlobLoc,
+}
+
 /// A heap of contiguous blobs keyed by `u32`, one logical disk file.
 pub struct HeapFile {
     pager: Pager,
     file: FileId,
     directory: HashMap<u32, BlobLoc>,
+    /// Serialises page *allocation* runs (not the page writes): a blob's
+    /// pages must be physically consecutive, so concurrent staging must
+    /// not interleave two blobs' allocations.
+    alloc: Mutex<()>,
 }
 
 impl HeapFile {
@@ -39,6 +57,7 @@ impl HeapFile {
             pager,
             file,
             directory: HashMap::new(),
+            alloc: Mutex::new(()),
         }
     }
 
@@ -47,30 +66,60 @@ impl HeapFile {
     /// Re-putting a key orphans its previous run (space is reclaimed only by
     /// [`HeapFile::rebuild`]), the same behaviour as an append-only list
     /// store with batch compaction — which is how inverted files are
-    /// maintained in practice (§6, "Inverted files").
+    /// maintained in practice (§6, "Inverted files"). Panics on a page
+    /// fault; [`HeapFile::try_put`] is the fallible twin.
     pub fn put(&mut self, key: u32, data: &[u8]) {
+        self.try_put(key, data).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`HeapFile::put`]: a degraded pool surfaces as a
+    /// typed [`PageError`] and the directory is left unchanged (the partial
+    /// run is an unreferenced orphan).
+    pub fn try_put(&mut self, key: u32, data: &[u8]) -> Result<(), PageError> {
+        let staged = self.try_put_staged(key, data)?;
+        self.commit_staged(std::iter::once(staged));
+        Ok(())
+    }
+
+    /// Write `data`'s pages under a fresh contiguous run *without*
+    /// publishing the directory entry. Thread-safe: stage from any number
+    /// of workers, then [`HeapFile::commit_staged`] the batch.
+    pub fn try_put_staged(&self, key: u32, data: &[u8]) -> Result<StagedBlob, PageError> {
         let n_pages = data.len().div_ceil(PAGE_SIZE).max(1);
-        let mut first_page = None;
-        for i in 0..n_pages {
-            let page = self.pager.allocate_page(self.file);
-            if first_page.is_none() {
-                first_page = Some(page);
+        let first_page = {
+            let _runs = self.alloc.lock().unwrap_or_else(|e| e.into_inner());
+            let first = self.pager.try_allocate_page(self.file)?;
+            for _ in 1..n_pages {
+                self.pager.try_allocate_page(self.file)?;
             }
+            first
+        };
+        for i in 0..n_pages {
             let start = i * PAGE_SIZE;
             let end = ((i + 1) * PAGE_SIZE).min(data.len());
             let mut buf = [0u8; PAGE_SIZE];
             if start < data.len() {
                 buf[..end - start].copy_from_slice(&data[start..end]);
             }
-            self.pager.write_page(self.file, page, &buf);
+            self.pager
+                .try_write_page(self.file, first_page + i as u64, &buf)?;
         }
-        self.directory.insert(
+        Ok(StagedBlob {
             key,
-            BlobLoc {
-                first_page: first_page.expect("n_pages >= 1"),
+            loc: BlobLoc {
+                first_page,
                 byte_len: data.len() as u64,
             },
-        );
+        })
+    }
+
+    /// Publish staged blobs: one directory insert per blob, no I/O, cannot
+    /// fail. Runs under `&mut self`, giving the whole batch atomic
+    /// visibility with respect to readers.
+    pub fn commit_staged(&mut self, staged: impl IntoIterator<Item = StagedBlob>) {
+        for blob in staged {
+            self.directory.insert(blob.key, blob.loc);
+        }
     }
 
     /// Read the whole blob stored under `key`.
@@ -203,6 +252,7 @@ impl HeapFile {
             pager,
             file,
             directory,
+            alloc: Mutex::new(()),
         })
     }
 
@@ -315,6 +365,27 @@ mod tests {
         assert_eq!(reopened.state_bytes(), state, "deterministic bytes");
         // Truncated state must refuse to parse, not panic.
         assert!(HeapFile::open(reopened.pager().clone(), &state[..state.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn staged_blobs_publish_atomically() {
+        let mut h = HeapFile::create(Pager::with_cache_bytes(1 << 18));
+        // Stage from 4 workers against the shared heap: runs must not
+        // interleave (each blob reads back exactly), and nothing is
+        // visible before the commit.
+        let blobs: Vec<Vec<u8>> = (0..32u32)
+            .map(|k| vec![k as u8; (k as usize % 3) * PAGE_SIZE + 17])
+            .collect();
+        let staged = pagestore::par_map(blobs.len(), 4, |i| {
+            h.try_put_staged(i as u32, &blobs[i]).unwrap()
+        });
+        for k in 0..32u32 {
+            assert_eq!(h.get(k), None, "staged blob {k} visible before commit");
+        }
+        h.commit_staged(staged);
+        for (k, blob) in blobs.iter().enumerate() {
+            assert_eq!(h.get(k as u32).as_ref(), Some(blob), "blob {k}");
+        }
     }
 
     proptest! {

@@ -127,6 +127,7 @@ impl InvertedFile {
     }
 
     /// Fetch and decode the whole inverted list of `item`.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn fetch_list(&self, item: ItemId) -> Vec<Posting> {
         let mut bytes = Vec::new();
         let mut out = Vec::new();
@@ -138,6 +139,7 @@ impl InvertedFile {
     /// byte scratch buffer and the postings buffer. The query paths call
     /// this with per-query scratch space so a multi-list merge performs no
     /// per-list allocation.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn fetch_list_into(
         &self,
         item: ItemId,
@@ -186,35 +188,80 @@ impl InvertedFile {
     /// explicit [`heapfile::HeapFile::rebuild`]-style compaction, which
     /// batch maintenance schedules separately.
     ///
-    /// Record ids must be fresh and larger than every indexed id.
+    /// Record ids must be fresh and larger than every indexed id. Panics
+    /// on a page fault; [`InvertedFile::try_batch_insert`] is the fallible
+    /// twin.
     pub fn batch_insert(&mut self, records: &[Record]) {
+        self.try_batch_insert(records, 1)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`InvertedFile::batch_insert`], with optional
+    /// intra-batch parallelism.
+    ///
+    /// The batch is applied in two phases. Phase one stages every rewritten
+    /// list into fresh heap runs ([`HeapFile::try_put_staged`]) — across
+    /// `threads` workers when the pool's concurrent write path is enabled —
+    /// without touching the directory or any statistic. Phase two commits
+    /// the staged runs and flips the statistics. A page fault in phase one
+    /// therefore leaves the index observably unchanged (orphan runs aside,
+    /// reclaimed by the usual compaction): no partial batch, reads stay
+    /// exact.
+    ///
+    /// Contract violations (stale ids, out-of-vocabulary items) are caller
+    /// bugs and still panic.
+    pub fn try_batch_insert(
+        &mut self,
+        records: &[Record],
+        threads: usize,
+    ) -> Result<(), PageError> {
         use std::collections::HashMap;
         let mut additions: HashMap<ItemId, Vec<Posting>> = HashMap::new();
+        let mut max_id = self.max_id;
         for r in records {
-            assert!(r.id > self.max_id, "batch ids must be fresh and increasing");
-            self.max_id = r.id;
+            assert!(r.id > max_id, "batch ids must be fresh and increasing");
+            max_id = r.id;
             for &item in &r.items {
                 assert!((item as usize) < self.vocab_size, "item out of vocabulary");
-                if let Some(m) = self.min_len_per_item.get_mut(item as usize) {
-                    *m = (*m).min(r.items.len() as u32);
-                }
                 additions
                     .entry(item)
                     .or_default()
                     .push(Posting::new(r.id, r.items.len() as u32));
             }
-            self.num_records += 1;
         }
         let mut items: Vec<ItemId> = additions.keys().copied().collect();
         items.sort_unstable();
-        for item in items {
-            let mut list = self.fetch_list(item);
-            let added = &additions[&item];
-            list.extend(added.iter().copied());
-            let bytes = codec::postings::encode_postings_mode(&list, self.compression);
-            self.store.put(item, &bytes);
-            self.postings_per_item[item as usize] += added.len() as u64;
+        let stage = |item: ItemId| -> Result<heapfile::StagedBlob, PageError> {
+            let mut bytes = Vec::new();
+            let mut list = Vec::new();
+            self.try_fetch_list_into(item, &mut bytes, &mut list)?;
+            list.extend(additions[&item].iter().copied());
+            let enc = codec::postings::encode_postings_mode(&list, self.compression);
+            self.store.try_put_staged(item, &enc)
+        };
+        let staged = if threads > 1 && self.pager().concurrent_writes() {
+            let results = pagestore::par_map(items.len(), threads, |i| stage(items[i]));
+            results.into_iter().collect::<Result<Vec<_>, _>>()?
+        } else {
+            items
+                .iter()
+                .map(|&item| stage(item))
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        self.store.commit_staged(staged);
+        for r in records {
+            self.max_id = r.id;
+            self.num_records += 1;
+            for &item in &r.items {
+                if let Some(m) = self.min_len_per_item.get_mut(item as usize) {
+                    *m = (*m).min(r.items.len() as u32);
+                }
+            }
         }
+        for (item, added) in &additions {
+            self.postings_per_item[*item as usize] += added.len() as u64;
+        }
+        Ok(())
     }
 }
 
@@ -265,6 +312,39 @@ mod tests {
         assert_eq!(ids, vec![101, 104, 107, 112, 114, 118, 200]);
         assert_eq!(idx.num_records(), 19);
         assert_eq!(idx.support(3), 7);
+    }
+
+    #[test]
+    fn threaded_batch_insert_matches_serial() {
+        let d = SyntheticSpec {
+            num_records: 400,
+            vocab_size: 40,
+            zipf: 0.8,
+            len_min: 2,
+            len_max: 8,
+            seed: 9,
+        }
+        .generate();
+        let build_batch = || -> Vec<Record> {
+            (0..200u64)
+                .map(|i| Record::new(1000 + i, vec![(i % 40) as u32, ((i * 7) % 40) as u32]))
+                .collect()
+        };
+        let mut serial = InvertedFile::build(&d);
+        serial.batch_insert(&build_batch());
+        let pager = Pager::with_cache_bytes(1 << 20);
+        pager.set_concurrent_writes(true);
+        let mut threaded = InvertedFile::builder(&d).pager(pager).build();
+        threaded.try_batch_insert(&build_batch(), 4).unwrap();
+        assert_eq!(threaded.num_records(), serial.num_records());
+        for item in 0..40u32 {
+            assert_eq!(
+                threaded.fetch_list(item),
+                serial.fetch_list(item),
+                "item {item} list diverged"
+            );
+            assert_eq!(threaded.support(item), serial.support(item));
+        }
     }
 
     #[test]

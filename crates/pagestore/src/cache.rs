@@ -313,6 +313,22 @@ pub struct BufferPool {
     /// modeled step. Never compiled into production builds.
     #[cfg(feature = "model")]
     model_break_evictor_pin_recheck: std::sync::atomic::AtomicBool,
+    /// Opt-in for the concurrent write path (optimistic lock coupling):
+    /// when set, flushes read frames through seqlock-validated snapshots
+    /// (skipping frames a latched writer currently holds) instead of raw
+    /// borrows. Off by default so the single-writer page-access counts —
+    /// the paper's golden gates — stay bit-for-bit. A plain std atomic:
+    /// it is configuration flipped before threads race, not a protocol
+    /// step the model checker needs to reorder.
+    concurrent_writes: std::sync::atomic::AtomicBool,
+    /// Mutation hook for the OLC model's teeth test: when set, versioned
+    /// pages report every snapshot as valid — readers stop noticing
+    /// concurrent latched writers, the exact bug the seqlock exists to
+    /// prevent — so `tests/model.rs` can assert the checker finds the
+    /// torn-read schedule deterministically. Never compiled into
+    /// production builds.
+    #[cfg(feature = "model")]
+    model_break_olc_version_check: std::sync::atomic::AtomicBool,
 }
 
 impl BufferPool {
@@ -354,6 +370,51 @@ impl BufferPool {
             commit_queue: crate::commit::CommitQueue::new(),
             #[cfg(feature = "model")]
             model_break_evictor_pin_recheck: std::sync::atomic::AtomicBool::new(false),
+            concurrent_writes: std::sync::atomic::AtomicBool::new(false),
+            #[cfg(feature = "model")]
+            model_break_olc_version_check: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Opt this pool in to (or out of) the concurrent write path. With it
+    /// on, latched page writes ([`BufferPool::try_with_page_mut`]) may run
+    /// while readers hold pins, and flushes snapshot frames through the
+    /// content seqlock. Flip it before concurrent writers start; the
+    /// default (off) keeps the historical single-writer behaviour and page
+    /// accounting bit-for-bit.
+    pub fn set_concurrent_writes(&self, on: bool) {
+        self.concurrent_writes
+            .store(on, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether the concurrent write path is enabled.
+    pub fn concurrent_writes(&self) -> bool {
+        self.concurrent_writes
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Disable optimistic version validation (model builds only; see the
+    /// field doc). The checker must then find the torn-snapshot schedule —
+    /// the mutation test proving the OLC model has teeth.
+    #[cfg(feature = "model")]
+    pub fn model_break_olc_version_check(&self) {
+        self.model_break_olc_version_check
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether optimistic snapshots actually validate (always, outside
+    /// model builds).
+    #[inline]
+    pub(crate) fn olc_version_check_enabled(&self) -> bool {
+        #[cfg(feature = "model")]
+        {
+            !self
+                .model_break_olc_version_check
+                .load(std::sync::atomic::Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "model"))]
+        {
+            true
         }
     }
 
@@ -551,7 +612,10 @@ impl BufferPool {
     /// Pinned dirty frames are flushed too: the policy lock excludes every
     /// writer (`write_page`, recycling), so reading their buffers here is
     /// safe, and their pins only protect the bytes from *changing*, which a
-    /// write-back does not do.
+    /// write-back does not do. With the concurrent write path enabled,
+    /// frames held by an *active* latched writer are skipped (they stay
+    /// dirty for the next flush) — quiesce writers before `sync` when the
+    /// barrier must cover every in-flight mutation.
     pub fn sync(&self) -> Result<(), StorageError> {
         let mut core = self.policy.lock();
         // A degraded pool refuses the barrier outright: a prior write-back
@@ -576,12 +640,38 @@ impl BufferPool {
             .map(|(&phys, &idx)| (phys, idx))
             .collect();
         dirty.sort_unstable_by_key(|&(phys, _)| phys);
+        let concurrent = self.concurrent_writes();
+        let mut scratch: Option<Box<[u8; PAGE_SIZE]>> = None;
         for (phys, idx) in dirty {
             let slot = core.entry(idx).slot.clone();
-            // SAFETY: the policy lock is held, so no writer can mutate or
-            // recycle the buffer while we read it.
-            let bytes = unsafe { slot.bytes() };
-            if let Err(e) = core.disk.write_phys(phys, bytes) {
+            let write_res = if concurrent {
+                // Concurrent write path: a latched writer may be mutating
+                // the buffer right now, so flush a seqlock-validated
+                // snapshot. A frame whose writer stays active through the
+                // bounded attempts is *skipped* (it keeps its dirty flag
+                // and reaches the medium on the next flush) — never waited
+                // on, since that writer may itself be waiting for the
+                // policy lock we hold.
+                let buf = scratch.get_or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+                let mut consistent = false;
+                for _ in 0..crate::frame::OPTIMISTIC_SNAPSHOT_RETRIES {
+                    if slot.try_snapshot_into(buf).is_some() {
+                        consistent = true;
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+                if !consistent {
+                    continue;
+                }
+                core.disk.write_phys(phys, &buf[..])
+            } else {
+                // SAFETY: the policy lock is held and (single-writer mode)
+                // every mutation path takes it, so the buffer cannot be
+                // mutated or recycled while we read it.
+                core.disk.write_phys(phys, unsafe { slot.bytes() })
+            };
+            if let Err(e) = write_res {
                 // The frame keeps its dirty flag — nothing was lost — but
                 // the pool flips to degraded read-only mode: the medium is
                 // refusing writes, so further mutations would only pile up
@@ -669,13 +759,36 @@ impl BufferPool {
             .collect();
         dirty.sort_unstable_by_key(|&(phys, _)| phys);
         dirty.truncate(max_pages);
+        let concurrent = self.concurrent_writes();
+        let mut scratch: Option<Box<[u8; PAGE_SIZE]>> = None;
         let mut flushed = 0u64;
         for &(phys, idx) in &dirty {
             let slot = core.entry(idx).slot.clone();
-            // SAFETY: the policy lock is held, so no writer can mutate or
-            // recycle the buffer while we read it.
-            let bytes = unsafe { slot.bytes() };
-            if let Err(e) = core.disk.write_phys(phys, bytes) {
+            let write_res = if concurrent {
+                // Same skip-don't-wait discipline as `sync`: a frame held
+                // by an active latched writer stays dirty for a later
+                // slice rather than deadlocking against a writer that
+                // needs the policy lock we hold.
+                let buf = scratch.get_or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+                let mut consistent = false;
+                for _ in 0..crate::frame::OPTIMISTIC_SNAPSHOT_RETRIES {
+                    if slot.try_snapshot_into(buf).is_some() {
+                        consistent = true;
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+                if !consistent {
+                    continue;
+                }
+                core.disk.write_phys(phys, &buf[..])
+            } else {
+                // SAFETY: the policy lock is held and (single-writer mode)
+                // every mutation path takes it, so the buffer cannot be
+                // mutated or recycled while we read it.
+                core.disk.write_phys(phys, unsafe { slot.bytes() })
+            };
+            if let Err(e) = write_res {
                 // The frame keeps its dirty flag; the pool degrades just
                 // like a failed `sync` write-back would.
                 let cause: Arc<str> = Arc::from(e.to_string().as_str());
@@ -1044,6 +1157,80 @@ impl BufferPool {
         }
         core.entry_mut(idx).dirty = true;
         Ok(())
+    }
+
+    /// Mark the cached frame holding `phys` dirty. The caller must hold a
+    /// pin on it (so the mapping cannot change under us).
+    fn mark_dirty_phys(&self, phys: u64) {
+        let mut core = self.policy.lock();
+        if let Some(&idx) = core.map.get(&phys) {
+            core.entry_mut(idx).dirty = true;
+        }
+    }
+
+    /// Edit a page **in place** under the frame's write latch — the
+    /// concurrent write path's mutation primitive. The page is pinned and
+    /// fetched like any read (same miss accounting), the frame latch is
+    /// taken exclusively, the content seqlock goes odd, and `f` gets the
+    /// raw buffer; concurrent optimistic readers either retry or block on
+    /// the shared latch, and never observe a torn page.
+    ///
+    /// Refused with [`PageError::ReadOnly`] when the pool is degraded
+    /// (checked before any byte moves). Unlike
+    /// [`BufferPool::try_write_page`] this works *with* reader pins
+    /// outstanding — that is its whole point — so callers must route every
+    /// concurrent read of such pages through versioned snapshots
+    /// ([`crate::VersionedPage`]), not plain guards.
+    ///
+    /// `f` may call back into the pool (e.g. to allocate or latch another
+    /// page, as a structure modification must): policy-lock holders never
+    /// block on frame latches (flushes skip latched frames), so the nested
+    /// acquisition cannot deadlock.
+    pub fn try_with_page_mut<R>(
+        &self,
+        file: FileId,
+        page: PageId,
+        f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
+    ) -> Result<R, PageError> {
+        let pinned = self.try_acquire(file, page)?;
+        let phys = pinned.slot().phys();
+        {
+            // Degraded gate + pre-mark dirty under the policy lock, before
+            // any byte moves.
+            let mut core = self.policy.lock();
+            if let Some(cause) = &core.read_only {
+                return Err(PageError::ReadOnly {
+                    cause: cause.clone(),
+                });
+            }
+            if let Some(&idx) = core.map.get(&phys) {
+                core.entry_mut(idx).dirty = true;
+            }
+        }
+        let slot = pinned.slot();
+        let r = slot.with_latched_write(|| {
+            // SAFETY: inside `with_latched_write` the frame latch is held
+            // exclusively and the content seqlock is odd — the concurrent-
+            // path exclusivity contract of `buffer_mut`.
+            f(unsafe { slot.buffer_mut() })
+        });
+        // Re-mark dirty: a flush between the pre-mark and the latch
+        // acquisition may have written the old bytes back and cleared the
+        // flag; the mutation must not be silently lost to eviction. The
+        // pin held above guarantees the mapping is unchanged.
+        self.mark_dirty_phys(phys);
+        Ok(r)
+    }
+
+    /// Pin a page for versioned optimistic reads — the concurrent write
+    /// path's read primitive (see [`crate::VersionedPage`]). Accounting is
+    /// identical to any other pin.
+    pub(crate) fn try_pin_versioned_slot(
+        &self,
+        file: FileId,
+        page: PageId,
+    ) -> Result<PinnedSlot, PageError> {
+        self.try_acquire(file, page)
     }
 
     /// Write every dirty unpinned frame back to disk (charging write costs)

@@ -38,7 +38,7 @@ pub use planner::{estimated_pages, IndexKind, PlannerMode};
 pub use shard::ShardHealth;
 
 use datagen::{Dataset, ItemId, QueryKind, Record};
-use pagestore::{FileStorage, OsFile, PageError, Pager, RawFile, StorageError};
+use pagestore::{FileStorage, OsFile, PageError, Pager, RawFile, StorageError, PAGE_SIZE};
 use shard::Shard;
 use std::path::Path;
 
@@ -88,9 +88,67 @@ impl Default for ServiceConfig {
     }
 }
 
+/// A rejected [`ServiceConfig`]: the named knob holds an unusable value.
+/// Every constructor validates before touching a single page, so a
+/// mis-built config (the chained setters clamp, but the struct is `pub`)
+/// surfaces as a typed refusal instead of a zero-shard panic or a pool
+/// that cannot hold one frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `shards` is 0 — there would be nowhere to put a record.
+    ZeroShards,
+    /// `threads_per_shard` is 0 — batches could never be evaluated.
+    ZeroThreadsPerShard,
+    /// `max_inflight` is 0 — the admission gate would never admit.
+    ZeroMaxInflight,
+    /// `cache_bytes` cannot hold even one page frame.
+    CacheTooSmall { bytes: usize, min: usize },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroShards => write!(f, "config field `shards` must be at least 1"),
+            ConfigError::ZeroThreadsPerShard => {
+                write!(f, "config field `threads_per_shard` must be at least 1")
+            }
+            ConfigError::ZeroMaxInflight => {
+                write!(f, "config field `max_inflight` must be at least 1")
+            }
+            ConfigError::CacheTooSmall { bytes, min } => write!(
+                f,
+                "config field `cache_bytes` ({bytes}) is below one page frame ({min})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 impl ServiceConfig {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Check every knob for a usable value; all `Service` constructors run
+    /// this before building anything.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        if self.threads_per_shard == 0 {
+            return Err(ConfigError::ZeroThreadsPerShard);
+        }
+        if self.max_inflight == 0 {
+            return Err(ConfigError::ZeroMaxInflight);
+        }
+        if self.cache_bytes < PAGE_SIZE {
+            return Err(ConfigError::CacheTooSmall {
+                bytes: self.cache_bytes,
+                min: PAGE_SIZE,
+            });
+        }
+        Ok(())
     }
     pub fn shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
@@ -189,6 +247,10 @@ pub enum InsertError {
     StaleId { id: u64, shard: usize },
     /// A record refers to an item outside the service's vocabulary.
     ItemOutOfVocab { id: u64, item: ItemId },
+    /// A shard's pool faulted while applying the batch (e.g. degraded
+    /// read-only mid-apply). The shard's statistics are unchanged and its
+    /// reads stay exact; slices already applied to earlier shards remain.
+    Page { shard: usize, error: PageError },
 }
 
 impl std::fmt::Display for InsertError {
@@ -209,6 +271,9 @@ impl std::fmt::Display for InsertError {
                     "record {id} refers to item {item} outside the vocabulary"
                 )
             }
+            InsertError::Page { shard, error } => {
+                write!(f, "shard {shard} faulted applying the batch: {error}")
+            }
         }
     }
 }
@@ -223,18 +288,38 @@ pub struct Service {
 }
 
 impl Service {
-    /// Build over in-memory storage: one fresh pool per shard.
+    /// Build over in-memory storage: one fresh pool per shard. Panics on
+    /// an invalid config; [`Service::try_build`] is the fallible twin.
     pub fn build(dataset: &Dataset, config: ServiceConfig) -> Service {
+        Self::try_build(dataset, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Service::build`]: a config knob with an unusable
+    /// value is refused as a typed [`ConfigError`] before any shard is
+    /// built.
+    pub fn try_build(dataset: &Dataset, config: ServiceConfig) -> Result<Service, ConfigError> {
+        config.validate()?;
         let pagers = (0..config.shards)
             .map(|_| Pager::with_cache_bytes(config.cache_bytes))
             .collect();
-        Self::build_on(dataset, config, pagers)
+        Self::try_build_on(dataset, config, pagers)
     }
 
     /// Build each shard onto a caller-provided pager — the hook for durable
     /// backends and fault injection. `pagers.len()` must equal
-    /// `config.shards`.
+    /// `config.shards`. Panics on an invalid config;
+    /// [`Service::try_build_on`] is the fallible twin.
     pub fn build_on(dataset: &Dataset, config: ServiceConfig, pagers: Vec<Pager>) -> Service {
+        Self::try_build_on(dataset, config, pagers).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Service::build_on`].
+    pub fn try_build_on(
+        dataset: &Dataset,
+        config: ServiceConfig,
+        pagers: Vec<Pager>,
+    ) -> Result<Service, ConfigError> {
+        config.validate()?;
         assert_eq!(
             pagers.len(),
             config.shards,
@@ -258,11 +343,11 @@ impl Service {
                 Shard::build(id, &sub, &config.kinds, pager, config.max_inflight)
             })
             .collect();
-        Service {
+        Ok(Service {
             shards,
             config,
             vocab_size: dataset.vocab_size,
-        }
+        })
     }
 
     /// Build durably: one `FileStorage` per shard, files `shard-<i>.db`
@@ -524,7 +609,10 @@ impl Service {
                     cause: format!("wal write failed: {e}"),
                 });
             }
-            self.shards[s].apply_insert(&batch);
+            let threads = self.config.threads_per_shard;
+            if let Err(error) = self.shards[s].try_apply_insert(&batch, threads) {
+                return Err(InsertError::Page { shard: s, error });
+            }
         }
         Ok(())
     }
@@ -558,6 +646,49 @@ mod tests {
             }
             assert!(seen.iter().all(|&b| b), "all {shards} shards populated");
         }
+    }
+
+    #[test]
+    fn invalid_configs_are_refused_with_the_offending_field() {
+        let d = Dataset::paper_fig1();
+        let cases = [
+            (
+                ServiceConfig {
+                    shards: 0,
+                    ..ServiceConfig::default()
+                },
+                ConfigError::ZeroShards,
+            ),
+            (
+                ServiceConfig {
+                    threads_per_shard: 0,
+                    ..ServiceConfig::default()
+                },
+                ConfigError::ZeroThreadsPerShard,
+            ),
+            (
+                ServiceConfig {
+                    max_inflight: 0,
+                    ..ServiceConfig::default()
+                },
+                ConfigError::ZeroMaxInflight,
+            ),
+            (
+                ServiceConfig {
+                    cache_bytes: PAGE_SIZE - 1,
+                    ..ServiceConfig::default()
+                },
+                ConfigError::CacheTooSmall {
+                    bytes: PAGE_SIZE - 1,
+                    min: PAGE_SIZE,
+                },
+            ),
+        ];
+        for (config, want) in cases {
+            assert_eq!(config.validate(), Err(want.clone()));
+            assert_eq!(Service::try_build(&d, config).err(), Some(want));
+        }
+        assert!(ServiceConfig::default().validate().is_ok());
     }
 
     #[test]

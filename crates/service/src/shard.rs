@@ -303,10 +303,25 @@ impl Shard {
     }
 
     /// Apply pre-validated, id-sorted fresh records through the inverted
-    /// file and drop the now-stale ordered structures.
+    /// file and drop the now-stale ordered structures. Panics on a page
+    /// fault; [`Shard::try_apply_insert`] is the fallible twin.
     pub(crate) fn apply_insert(&mut self, batch: &[Record]) {
+        self.try_apply_insert(batch, 1)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Shard::apply_insert`], staging list rewrites
+    /// across `threads` workers when the pool's concurrent write path is
+    /// enabled. On error no statistic or planner state has changed — the
+    /// inverted file's two-phase batch leaves reads exact — so the shard
+    /// keeps serving while the caller surfaces the typed fault.
+    pub(crate) fn try_apply_insert(
+        &mut self,
+        batch: &[Record],
+        threads: usize,
+    ) -> Result<(), PageError> {
         let inv = self.inv.as_mut().expect("write path requires an IF");
-        inv.batch_insert(batch);
+        inv.try_batch_insert(batch, threads)?;
         self.max_id = batch.last().expect("non-empty batch").id;
         self.num_records += batch.len() as u64;
         self.planner
@@ -317,6 +332,7 @@ impl Shard {
         if self.ub.take().is_some() {
             self.planner.clear(IndexKind::UnorderedBTree);
         }
+        Ok(())
     }
 
     /// Persist every live structure plus the shard manifest, then sync.

@@ -17,15 +17,16 @@
 
 use btree::{BTree, BulkLoader};
 use codec::postings::{Compression, Posting, PostingsDecoder, PostingsEncoder};
-use datagen::{Dataset, ItemId, QueryKind};
+use datagen::{Dataset, ItemId, QueryKind, Record};
 use pagestore::{PageError, Pager};
 use std::collections::HashMap;
 
 /// Catalog key the unordered B-tree state is stored under.
 pub const CATALOG_KEY: &str = "ubtree";
 
-/// Format version of the serialized state.
-const STATE_VERSION: u32 = 1;
+/// Format version of the serialized state. v2 added the append cursor
+/// (`max_id`) and the block byte budget; v1 states are not reopenable.
+const STATE_VERSION: u32 = 2;
 
 mod containment;
 
@@ -36,6 +37,11 @@ pub struct UnorderedBTree {
     num_records: u64,
     vocab_size: usize,
     compression: Compression,
+    /// Byte budget per list block, kept so batch appends chop new blocks
+    /// the same way the build did.
+    block_bytes: usize,
+    /// Highest record id seen, for append-style updates.
+    max_id: u64,
 }
 
 /// Builder-style [`UnorderedBTree`] construction: start from
@@ -169,6 +175,8 @@ impl UnorderedBTree {
             num_records: dataset.records.len() as u64,
             vocab_size: dataset.vocab_size,
             compression,
+            block_bytes,
+            max_id: dataset.records.iter().map(|r| r.id).max().unwrap_or(0),
         }
     }
 
@@ -218,6 +226,8 @@ impl UnorderedBTree {
         w.u64(self.tree.root_page());
         w.u64(self.tree.height() as u64);
         w.u64(self.tree.len());
+        w.u64(self.block_bytes as u64);
+        w.u64(self.max_id);
         self.pager().put_catalog(CATALOG_KEY, &w.into_bytes());
         self.pager().sync()
     }
@@ -241,6 +251,8 @@ impl UnorderedBTree {
         let tree_root = r.u64()?;
         let tree_height = usize::try_from(r.u64()?).ok()?;
         let tree_len = r.u64()?;
+        let block_bytes = usize::try_from(r.u64()?).ok()?;
+        let max_id = r.u64()?;
         if !r.is_exhausted() {
             return None;
         }
@@ -250,7 +262,79 @@ impl UnorderedBTree {
             num_records,
             vocab_size,
             compression,
+            block_bytes,
+            max_id,
         })
+    }
+
+    /// Append a batch of new records (§4.4-style maintenance). New
+    /// postings are encoded into fresh blocks: ids are fresh and
+    /// increasing, so every appended block's `(item, last id)` key sorts
+    /// after all of that item's existing blocks and list order is
+    /// preserved. Panics on a page fault;
+    /// [`UnorderedBTree::try_batch_insert`] is the fallible twin.
+    ///
+    /// Record ids must be fresh and larger than every indexed id.
+    pub fn batch_insert(&mut self, records: &[Record]) {
+        self.try_batch_insert(records, 1)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`UnorderedBTree::batch_insert`], inserting the
+    /// new blocks across `threads` workers when the pool's concurrent
+    /// write path is enabled. The index statistics flip only after every
+    /// block has landed, so a failed batch leaves the counters untouched
+    /// (a degraded pool may retain a prefix of the new blocks; the
+    /// service layer fences the shard unhealthy either way).
+    ///
+    /// Contract violations (stale ids, out-of-vocabulary items) are
+    /// caller bugs and still panic.
+    pub fn try_batch_insert(
+        &mut self,
+        records: &[Record],
+        threads: usize,
+    ) -> Result<(), btree::BTreeError> {
+        let mut additions: HashMap<ItemId, Vec<Posting>> = HashMap::new();
+        let mut max_id = self.max_id;
+        for r in records {
+            assert!(r.id > max_id, "batch ids must be fresh and increasing");
+            max_id = r.id;
+            for &item in &r.items {
+                assert!((item as usize) < self.vocab_size, "item out of vocabulary");
+                additions
+                    .entry(item)
+                    .or_default()
+                    .push(Posting::new(r.id, r.items.len() as u32));
+            }
+        }
+        let mut items: Vec<ItemId> = additions.keys().copied().collect();
+        items.sort_unstable();
+        let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for &item in &items {
+            let mut enc = PostingsEncoder::with_mode(self.compression);
+            let mut last = 0u64;
+            for &p in &additions[&item] {
+                if !enc.is_empty() && enc.len_bytes() + enc.cost_of(p) > self.block_bytes {
+                    let full =
+                        std::mem::replace(&mut enc, PostingsEncoder::with_mode(self.compression));
+                    entries.push((encode_key(item, last).to_vec(), full.finish()));
+                }
+                enc.push(p);
+                last = p.id;
+            }
+            if !enc.is_empty() {
+                entries.push((encode_key(item, last).to_vec(), enc.finish()));
+            }
+        }
+        self.tree.try_batch_insert(&entries, threads)?;
+        for r in records {
+            self.max_id = r.id;
+            self.num_records += 1;
+        }
+        for (item, added) in &additions {
+            self.postings_per_item[*item as usize] += added.len() as u64;
+        }
+        Ok(())
     }
 
     /// Scan the whole list of `item`, calling `f` on each posting; `f`
@@ -497,6 +581,76 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn batch_insert_extends_lists() {
+        let d = Dataset::paper_fig1();
+        let mut idx = UnorderedBTree::build(&d);
+        // Record {a, d} joins both worked examples' answer sets.
+        idx.batch_insert(&[Record::new(200, vec![0, 3])]);
+        assert_eq!(idx.subset(&[0, 3]), vec![101, 104, 114, 200]);
+        assert_eq!(idx.equality(&[0, 3]), vec![114, 200]);
+        assert_eq!(idx.num_records(), 19);
+        assert_eq!(idx.support(3), 7);
+    }
+
+    #[test]
+    fn batch_insert_matches_brute_force_after_append() {
+        let base = SyntheticSpec {
+            num_records: 1500,
+            vocab_size: 80,
+            zipf: 0.8,
+            len_min: 1,
+            len_max: 10,
+            seed: 23,
+        }
+        .generate();
+        let extra = SyntheticSpec {
+            num_records: 300,
+            vocab_size: 80,
+            zipf: 0.8,
+            len_min: 1,
+            len_max: 10,
+            seed: 24,
+        }
+        .generate();
+        let batch: Vec<Record> = extra
+            .records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Record::new(10_000 + i as u64, r.items.clone()))
+            .collect();
+        let mut combined = base.clone();
+        combined.records.extend(batch.iter().cloned());
+        let mut idx = UnorderedBTree::build(&base);
+        idx.batch_insert(&batch);
+        for kind in QueryKind::ALL {
+            let ws = WorkloadSpec {
+                kind,
+                qs_size: 3,
+                count: 6,
+                seed: 77,
+            }
+            .generate(&combined);
+            for qs in &ws.queries {
+                let got = idx.eval(kind, qs);
+                let want = match kind {
+                    QueryKind::Subset => brute::subset(&combined, qs),
+                    QueryKind::Equality => brute::equality(&combined, qs),
+                    QueryKind::Superset => brute::superset(&combined, qs),
+                };
+                assert_eq!(got, want, "{kind:?} {qs:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fresh and increasing")]
+    fn stale_batch_id_panics() {
+        let d = Dataset::paper_fig1();
+        let mut idx = UnorderedBTree::build(&d);
+        idx.batch_insert(&[Record::new(5, vec![0])]);
     }
 
     #[test]

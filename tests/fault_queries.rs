@@ -275,6 +275,97 @@ fn flaky_medium_under_parallel_batches_fails_queries_not_the_batch() {
 }
 
 #[test]
+fn write_faults_mid_batch_surface_typed_and_reads_stay_exact() {
+    // The write-path leg of the sweep: a medium that stops accepting
+    // writes mid-batch must surface as a typed error from
+    // `try_batch_insert` — never a panic — leave the index statistics
+    // untouched, and keep every read bit-for-bit exact afterwards.
+    use set_containment::datagen::Record;
+    use set_containment::oif::ContainmentIndex;
+
+    let d = dataset();
+    let wl = workload(&d);
+    let (storage, h) = FaultStorage::create(FaultConfig::default()).expect("create in-proc");
+    let pager = Pager::with_storage(storage, 32 * 1024);
+    pager.set_retry_clock(Arc::new(NoSleep));
+    let mut inv = InvertedFile::builder(&d).pager(pager.clone()).build();
+    inv.persist().expect("fault-free persist");
+
+    let reference: Reference = wl
+        .iter()
+        .map(|(kind, qs)| {
+            let answers = qs
+                .iter()
+                .map(|q| {
+                    let a = ContainmentIndex::try_eval(&inv, *kind, q)
+                        .expect("fault-free evaluation cannot fail");
+                    (q.clone(), a)
+                })
+                .collect();
+            (*kind, answers)
+        })
+        .collect();
+    let records_before = inv.num_records();
+    let supports_before: Vec<u64> = (0..60).map(|i| inv.support(i)).collect();
+
+    // From here every physical write fails. List rewrites evict dirty
+    // staged pages through the 8-frame pool, so a batch insert must hit a
+    // failed write-back, exhaust the bounded retry and degrade the pool.
+    let ops = h.ops();
+    h.set_fault_config(FaultConfig {
+        transient_writes: (ops..ops + 1_000_000).collect(),
+        ..FaultConfig::default()
+    });
+    let mut failed = None;
+    for round in 0..64u64 {
+        let base = 100_000 + round * 1000;
+        let batch: Vec<Record> = (0..200u64)
+            .map(|i| Record::new(base + i, vec![(i % 60) as u32, ((i * 7) % 60) as u32]))
+            .collect();
+        match inv.try_batch_insert(&batch, 1) {
+            Ok(()) => continue,
+            Err(e) => {
+                failed = Some(e);
+                break;
+            }
+        }
+    }
+    let err = failed.expect("a dead write medium must fail a batch");
+    assert!(
+        matches!(
+            err,
+            PageError::ReadOnly { .. } | PageError::Transient { .. }
+        ),
+        "write faults must surface typed, got {err}"
+    );
+    assert!(
+        pager.degraded().is_some(),
+        "exhausted write-back retries must degrade the pool"
+    );
+
+    // The failed batch left no partial state: statistics are exactly the
+    // pre-fault values, and a retry is refused up front as ReadOnly.
+    assert_eq!(inv.num_records(), records_before, "partial batch applied");
+    for (i, &want) in supports_before.iter().enumerate() {
+        assert_eq!(inv.support(i as u32), want, "support of item {i} moved");
+    }
+    assert!(matches!(
+        inv.try_batch_insert(&[Record::new(900_000, vec![0])], 1),
+        Err(PageError::ReadOnly { .. })
+    ));
+
+    // Reads still serve, bit-for-bit — the staged orphan runs are
+    // invisible because the directory never saw the failed batch.
+    for (kind, qs) in &reference {
+        for (q, want) in qs {
+            let got = ContainmentIndex::try_eval(&inv, *kind, q)
+                .unwrap_or_else(|e| panic!("[write faults] {kind:?} {q:?}: {e}"));
+            assert_eq!(&got, want, "[write faults] {kind:?} {q:?}");
+        }
+    }
+}
+
+#[test]
 fn bit_flips_quarantine_and_scrub_reports_exactly_them() {
     let d = dataset();
     let wl = workload(&d);
